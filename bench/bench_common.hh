@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: standard run lengths and
+ * command-line handling (--quick for smoke runs, --insts=N,
+ * --bench=name to restrict the suite).
+ */
+
+#ifndef DMDC_BENCH_BENCH_COMMON_HH
+#define DMDC_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/campaign.hh"
+#include "trace/spec_suite.hh"
+
+namespace dmdc
+{
+
+/** Parsed bench command line. */
+struct BenchArgs
+{
+    std::uint64_t warmupInsts = 30000;
+    std::uint64_t runInsts = 200000;
+    std::vector<std::string> benchmarks;   ///< suite subset (or all)
+    bool verbose = false;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        args.benchmarks = specAllNames();
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--quick") {
+                args.warmupInsts = 10000;
+                args.runInsts = 60000;
+                args.benchmarks = {"gzip", "mcf", "swim", "art"};
+            } else if (a.rfind("--insts=", 0) == 0) {
+                args.runInsts = std::stoull(a.substr(8));
+            } else if (a.rfind("--bench=", 0) == 0) {
+                args.benchmarks = {a.substr(8)};
+            } else if (a == "--verbose") {
+                args.verbose = true;
+            }
+        }
+        return args;
+    }
+
+    SimOptions
+    baseOptions() const
+    {
+        SimOptions opt;
+        opt.warmupInsts = warmupInsts;
+        opt.runInsts = runInsts;
+        return opt;
+    }
+};
+
+} // namespace dmdc
+
+#endif // DMDC_BENCH_BENCH_COMMON_HH

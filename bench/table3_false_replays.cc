@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 3: breakdown of false replays per million committed
+ * instructions under global DMDC (config 2), split by the triggering
+ * approximation: address (hashing conflict) vs. timing, with timing
+ * split into load-issued-before-store, X (load inside the store's own
+ * checking window) and Y (merged windows). Also reports the effect of
+ * safe-load detection (Sec. 6.2.2: without it, replays double).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "table_helpers.hh"
+
+using namespace dmdc;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    printBanner("Table 3: false-replay breakdown (global DMDC, "
+                "config 2)",
+                "DMDC (MICRO 2006), Table 3; paper totals: INT ~168, "
+                "FP ~35 per 1M instructions");
+
+    SimOptions base = args.baseOptions();
+    base.configLevel = 2;
+    base.scheme = Scheme::DmdcGlobal;
+    const auto with_safe = runSuite(base, args.benchmarks,
+                                    args.verbose);
+
+    printReplayBreakdown(with_safe);
+
+    // Sec. 6.2.2: the value of safe-load detection.
+    base.safeLoads = false;
+    const auto without_safe =
+        runSuite(base, args.benchmarks, args.verbose);
+
+    std::printf("\nSafe-load detection ablation (false replays per "
+                "1M instructions):\n");
+    std::printf("  %-6s %16s %16s %12s\n", "group", "with safe-loads",
+                "without", "reduction");
+    for (const bool fp : {false, true}) {
+        const Range with_r = rangeOver(with_safe, fp,
+            [](const SimResult &r) {
+                return r.perMInst(r.falseReplays());
+            });
+        const Range wo_r = rangeOver(without_safe, fp,
+            [](const SimResult &r) {
+                return r.perMInst(r.falseReplays());
+            });
+        const double red = wo_r.mean > 0
+            ? (1.0 - with_r.mean / wo_r.mean) * 100.0 : 0.0;
+        std::printf("  %-6s %16s %16s %11s%%\n", fp ? "FP" : "INT",
+                    fmt(with_r.mean).c_str(), fmt(wo_r.mean).c_str(),
+                    fmt(red, 0).c_str());
+    }
+
+    std::printf("\nPaper shape: most false replays stem from ONE "
+                "approximation (timing dominates with a\n"
+                "2K-entry table: hashing is ~11%% INT / ~26%% FP); "
+                "safe loads cut replays by ~52%% (INT)\n"
+                "/ ~20%% (FP).\n");
+    return 0;
+}

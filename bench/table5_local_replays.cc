@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 5: false-replay breakdown under LOCAL DMDC (config 2),
+ * comparable to Table 3; the merged-window column (Y) shrinks because
+ * local windows overlap less and the table is cleared more often.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "table_helpers.hh"
+
+using namespace dmdc;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    printBanner("Table 5: false-replay breakdown (LOCAL DMDC, "
+                "config 2)",
+                "DMDC (MICRO 2006), Table 5; paper totals: INT ~134 "
+                "(-20% vs. global), FP ~23.7 (-33%)");
+
+    SimOptions base = args.baseOptions();
+    base.configLevel = 2;
+
+    base.scheme = Scheme::DmdcLocal;
+    const auto local_res = runSuite(base, args.benchmarks,
+                                    args.verbose);
+    std::printf("\nLocal DMDC:");
+    printReplayBreakdown(local_res);
+
+    base.scheme = Scheme::DmdcGlobal;
+    const auto global_res =
+        runSuite(base, args.benchmarks, args.verbose);
+
+    std::printf("\nTotal false replays per 1M instructions, local vs. "
+                "global:\n");
+    std::printf("  %-6s %10s %10s %12s\n", "group", "global", "local",
+                "reduction");
+    for (const bool fp : {false, true}) {
+        const Range g = rangeOver(global_res, fp,
+            [](const SimResult &r) {
+                return r.perMInst(r.falseReplays());
+            });
+        const Range l = rangeOver(local_res, fp,
+            [](const SimResult &r) {
+                return r.perMInst(r.falseReplays());
+            });
+        const double red =
+            g.mean > 0 ? (1.0 - l.mean / g.mean) * 100.0 : 0.0;
+        std::printf("  %-6s %10s %10s %11s%%\n", fp ? "FP" : "INT",
+                    fmt(g.mean).c_str(), fmt(l.mean).c_str(),
+                    fmt(red, 0).c_str());
+    }
+
+    std::printf("\nPaper shape: the Y (merged windows) column is "
+                "mitigated under local DMDC; totals drop\n"
+                "~20%% (INT) / ~33%% (FP).\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared row formatters for the Tables 2-5 benches (checking-window
+ * statistics and false-replay breakdowns).
+ */
+
+#ifndef DMDC_BENCH_TABLE_HELPERS_HH
+#define DMDC_BENCH_TABLE_HELPERS_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/campaign.hh"
+
+namespace dmdc
+{
+
+/** Table 2 / Table 4 shape: per-group checking-window contents. */
+inline void
+printWindowTable(const std::vector<SimResult> &results)
+{
+    std::printf("\n  %-6s %14s %10s %12s\n", "group", "instructions",
+                "loads", "safe loads");
+    for (const bool fp : {false, true}) {
+        const Range instrs = rangeOver(results, fp,
+            [](const SimResult &r) { return r.windowInstrs; });
+        const Range loads = rangeOver(results, fp,
+            [](const SimResult &r) { return r.windowLoads; });
+        const Range safe = rangeOver(results, fp,
+            [](const SimResult &r) { return r.windowSafeLoads; });
+        std::printf("  %-6s %14s %10s %12s\n", fp ? "FP" : "INT",
+                    fmt(instrs.mean).c_str(), fmt(loads.mean).c_str(),
+                    fmt(safe.mean, 2).c_str());
+    }
+}
+
+/** Table 3 / Table 5 shape: false replays per million instructions. */
+inline void
+printReplayBreakdown(const std::vector<SimResult> &results)
+{
+    std::printf("\n  (false replays per 1M committed instructions; "
+                "%% of all false replays)\n");
+    std::printf("  %-6s %-16s %18s %18s %18s %10s\n", "group", "cause",
+                "load before store", "X (own window)",
+                "Y (merged windows)", "total");
+    for (const bool fp : {false, true}) {
+        double addr_x = 0;
+        double addr_y = 0;
+        double hash_b = 0;
+        double hash_x = 0;
+        double hash_y = 0;
+        double overflow = 0;
+        double true_r = 0;
+        for (const SimResult &r : results) {
+            if (r.fp != fp)
+                continue;
+            addr_x += r.perMInst(static_cast<double>(r.falseAddrX));
+            addr_y += r.perMInst(static_cast<double>(r.falseAddrY));
+            hash_b +=
+                r.perMInst(static_cast<double>(r.falseHashBefore));
+            hash_x += r.perMInst(static_cast<double>(r.falseHashX));
+            hash_y += r.perMInst(static_cast<double>(r.falseHashY));
+            overflow +=
+                r.perMInst(static_cast<double>(r.falseOverflow));
+            true_r += r.perMInst(static_cast<double>(r.trueReplays));
+        }
+        double n = 0;
+        for (const SimResult &r : results)
+            n += r.fp == fp;
+        if (n == 0)
+            continue;
+        addr_x /= n;
+        addr_y /= n;
+        hash_b /= n;
+        hash_x /= n;
+        hash_y /= n;
+        overflow /= n;
+        true_r /= n;
+        const double total =
+            addr_x + addr_y + hash_b + hash_x + hash_y + overflow;
+        auto cell = [total](double v) {
+            return fmt(v) + " (" +
+                fmt(total > 0 ? v / total * 100.0 : 0.0, 0) + "%)";
+        };
+        std::printf("  %-6s %-16s %18s %18s %18s %10s\n",
+                    fp ? "FP" : "INT", "Address match", "-",
+                    cell(addr_x).c_str(), cell(addr_y).c_str(), "");
+        std::printf("  %-6s %-16s %18s %18s %18s %10s\n", "",
+                    "Hashing conflict", cell(hash_b).c_str(),
+                    cell(hash_x).c_str(), cell(hash_y).c_str(),
+                    fmt(total).c_str());
+        if (overflow > 0) {
+            std::printf("  %-6s %-16s %56s %10s\n", "",
+                        "Queue overflow", "", cell(overflow).c_str());
+        }
+        std::printf("  %-6s %-16s (true replays: %s per 1M)\n", "",
+                    "", fmt(true_r, 2).c_str());
+    }
+}
+
+} // namespace dmdc
+
+#endif // DMDC_BENCH_TABLE_HELPERS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Example: coherent DMDC under external invalidation traffic
+ * (Sec. 4.3 / 6.2.4). Enables the second, line-interleaved YLA set and
+ * the INV bit, then ramps the injected invalidation rate and reports
+ * how checking activity and replays respond — the write-serialization
+ * guarantee is enforced throughout by the simulator's built-in safety
+ * checks.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/simulator.hh"
+
+using namespace dmdc;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "equake";
+
+    SimOptions opt;
+    opt.benchmark = bench;
+    opt.configLevel = 2;
+    opt.scheme = Scheme::DmdcGlobal;
+    opt.coherence = true;
+    opt.warmupInsts = 30000;
+    opt.runInsts = 200000;
+
+    std::printf("benchmark: %s, coherent DMDC (two YLA sets + INV "
+                "bits), config 2\n\n", bench.c_str());
+    std::printf("%12s %18s %16s %18s %10s\n", "inv/1k cyc",
+                "% cycles checking", "window (insts)",
+                "false replays/M", "IPC");
+
+    double base_cpi = 0;
+    for (double rate : {0.0, 1.0, 10.0, 100.0}) {
+        opt.invalidationsPer1kCycles = rate;
+        const SimResult r = runSimulation(opt);
+        const double cpi =
+            static_cast<double>(r.cycles) / r.instructions;
+        if (rate == 0.0)
+            base_cpi = cpi;
+        std::printf("%12.0f %17.1f%% %16.1f %18.1f %10.2f\n", rate,
+                    r.checkingCycleFrac * 100, r.windowInstrs,
+                    r.perMInst(r.falseReplays()), r.ipc);
+        if (rate == 100.0) {
+            std::printf("\nslowdown at 100/1k cycles vs. quiet: "
+                        "%.2f%%\n", (cpi / base_cpi - 1.0) * 100);
+        }
+    }
+
+    std::printf("\nUp to ~10 invalidations per 1000 cycles the design "
+                "absorbs the traffic; beyond that\n"
+                "the paper recommends invalidation filtering "
+                "(Sec. 6.2.4), as do we.\n");
+    return 0;
+}

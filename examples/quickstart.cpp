@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: run one benchmark under the conventional LSQ and under
+ * DMDC, and print the headline comparison the paper makes — LQ-energy
+ * savings at negligible slowdown.
+ */
+
+#include <cstdio>
+
+#include "sim/campaign.hh"
+#include "sim/simulator.hh"
+#include "trace/spec_suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dmdc;
+
+    const std::string bench = argc > 1 ? argv[1] : "gzip";
+    if (argc > 1) {
+        bool known = false;
+        for (const auto &n : specAllNames())
+            known = known || n == bench;
+        if (!known) {
+            std::fprintf(stderr, "unknown benchmark '%s'\n",
+                         bench.c_str());
+            std::fprintf(stderr, "available:");
+            for (const auto &n : specAllNames())
+                std::fprintf(stderr, " %s", n.c_str());
+            std::fprintf(stderr, "\n");
+            return 1;
+        }
+    }
+
+    SimOptions opt;
+    opt.benchmark = bench;
+    opt.configLevel = 2;
+    opt.warmupInsts = 50000;
+    opt.runInsts = 500000;
+
+    std::printf("Running '%s' (config 2, %llu instructions)...\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(opt.runInsts));
+
+    opt.scheme = Scheme::Baseline;
+    const SimResult base = runSimulation(opt);
+
+    opt.scheme = Scheme::DmdcGlobal;
+    const SimResult dmdc_result = runSimulation(opt);
+
+    const double base_cpi =
+        static_cast<double>(base.cycles) / base.instructions;
+    const double dmdc_cpi = static_cast<double>(dmdc_result.cycles) /
+        dmdc_result.instructions;
+
+    std::printf("\n%-28s %14s %14s\n", "", "baseline", "DMDC");
+    std::printf("%-28s %14.3f %14.3f\n", "IPC", base.ipc,
+                dmdc_result.ipc);
+    std::printf("%-28s %14.0f %14.0f\n", "LQ-function energy",
+                base.energy.lqFunction(),
+                dmdc_result.energy.lqFunction());
+    std::printf("%-28s %14.0f %14.0f\n", "total energy",
+                base.energy.total(), dmdc_result.energy.total());
+    std::printf("\n");
+    std::printf("safe stores:        %s\n",
+                pct(dmdc_result.safeStoreFrac).c_str());
+    std::printf("safe loads:         %s\n",
+                pct(dmdc_result.safeLoadFrac).c_str());
+    std::printf("LQ energy savings:  %s\n",
+                pct(1.0 - dmdc_result.energy.lqFunction() /
+                              base.energy.lqFunction()).c_str());
+    std::printf("net energy savings: %s\n",
+                pct(1.0 - dmdc_result.energy.total() /
+                              base.energy.total()).c_str());
+    std::printf("slowdown:           %s\n",
+                fmt((dmdc_cpi - base_cpi) / base_cpi * 100.0, 2).c_str());
+    std::printf("false replays/Minst:%8.1f\n",
+                dmdc_result.perMInst(dmdc_result.falseReplays()));
+    return 0;
+}

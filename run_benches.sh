@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerate every paper table/figure; output tees to bench_output.txt.
+set -u
+cd "$(dirname "$0")"
+: > bench_output.txt
+for b in fig2_yla_filtering fig3_bloom_filter fig4_dmdc_main \
+         fig5_local_vs_global table2_checking_window \
+         table3_false_replays table4_local_window table5_local_replays \
+         table6_invalidations sec3_sq_filtering sec61_yla_energy \
+         sec623_checking_queue ablation_table_size related_agetable; do
+    echo "=== running $b ===" | tee -a bench_output.txt
+    ./build/bench/$b "$@" 2>/dev/null | tee -a bench_output.txt
+done
+echo "=== running micro_structures ===" | tee -a bench_output.txt
+./build/bench/micro_structures --benchmark_min_time=0.05s 2>/dev/null \
+    | tee -a bench_output.txt
+echo "ALL BENCHES DONE" | tee -a bench_output.txt

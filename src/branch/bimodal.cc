@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bimodal predictor implementation.
+ */
+
+#include "branch/bimodal.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+BimodalPredictor::BimodalPredictor(unsigned entries)
+    : table_(entries, 1)
+{
+    if (!isPowerOf2(entries))
+        fatal("bimodal predictor size must be a power of two");
+}
+
+unsigned
+BimodalPredictor::index(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & (table_.size() - 1));
+}
+
+bool
+BimodalPredictor::lookup(Addr pc) const
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = table_[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace dmdc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bimodal (per-PC 2-bit counter) branch direction predictor.
+ */
+
+#ifndef DMDC_BRANCH_BIMODAL_HH
+#define DMDC_BRANCH_BIMODAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmdc
+{
+
+/** Classic table of saturating 2-bit counters indexed by PC bits. */
+class BimodalPredictor
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit BimodalPredictor(unsigned entries);
+
+    /** Predicted direction for the branch at @p pc. */
+    bool lookup(Addr pc) const;
+
+    /** Train with the resolved outcome. */
+    void update(Addr pc, bool taken);
+
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(table_.size());
+    }
+
+  private:
+    unsigned index(Addr pc) const;
+
+    std::vector<std::uint8_t> table_;   ///< 2-bit counters, init 01
+};
+
+} // namespace dmdc
+
+#endif // DMDC_BRANCH_BIMODAL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * BTB implementation.
+ */
+
+#include "branch/btb.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+Btb::Btb(unsigned entries, unsigned assoc)
+    : entries_(entries), assoc_(assoc), numSets_(entries / assoc)
+{
+    if (!isPowerOf2(entries) || assoc == 0 || entries % assoc != 0 ||
+        !isPowerOf2(numSets_)) {
+        fatal("BTB geometry invalid: %u entries, %u-way", entries, assoc);
+    }
+}
+
+unsigned
+Btb::setIndex(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & (numSets_ - 1));
+}
+
+bool
+Btb::lookup(Addr pc, Addr &target)
+{
+    const unsigned base = setIndex(pc) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.tag == pc) {
+            e.lru = ++lruClock_;
+            target = e.target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    const unsigned base = setIndex(pc) * assoc_;
+    Entry *victim = &entries_[base];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lru = ++lruClock_;
+            return;
+        }
+        if (!e.valid || e.lru < victim->lru ||
+            (victim->valid && !e.valid)) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lru = ++lruClock_;
+}
+
+} // namespace dmdc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Set-associative branch target buffer.
+ */
+
+#ifndef DMDC_BRANCH_BTB_HH
+#define DMDC_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmdc
+{
+
+/** BTB with true-LRU replacement within each set. */
+class Btb
+{
+  public:
+    /**
+     * @param entries total entries (power of two)
+     * @param assoc set associativity
+     */
+    Btb(unsigned entries, unsigned assoc);
+
+    /**
+     * Look up the target for @p pc.
+     * @return true and fills @p target on hit.
+     */
+    bool lookup(Addr pc, Addr &target);
+
+    /** Install/refresh the mapping pc -> target. */
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint64_t lru = 0;
+    };
+
+    unsigned setIndex(Addr pc) const;
+
+    std::vector<Entry> entries_;
+    unsigned assoc_;
+    unsigned numSets_;
+    std::uint64_t lruClock_ = 0;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_BRANCH_BTB_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Gshare predictor implementation.
+ */
+
+#include "branch/gshare.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
+    : table_(entries, 1), historyBits_(history_bits),
+      historyMask_(mask(history_bits))
+{
+    if (!isPowerOf2(entries))
+        fatal("gshare PHT size must be a power of two");
+    if (history_bits == 0 || history_bits > 32)
+        fatal("gshare history length must be in [1, 32]");
+}
+
+unsigned
+GsharePredictor::index(Addr pc, std::uint64_t history) const
+{
+    return static_cast<unsigned>(((pc >> 2) ^ history) &
+                                 (table_.size() - 1));
+}
+
+bool
+GsharePredictor::lookup(Addr pc) const
+{
+    return table_[index(pc, history_)] >= 2;
+}
+
+void
+GsharePredictor::speculate(bool taken)
+{
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+void
+GsharePredictor::update(Addr pc, std::uint64_t history, bool taken)
+{
+    std::uint8_t &ctr = table_[index(pc, history)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace dmdc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Gshare (global-history XOR PC) branch direction predictor.
+ */
+
+#ifndef DMDC_BRANCH_GSHARE_HH
+#define DMDC_BRANCH_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmdc
+{
+
+/**
+ * Gshare predictor with a speculatively-updated global history
+ * register. The pipeline snapshots the history at prediction time and
+ * restores it on squash.
+ */
+class GsharePredictor
+{
+  public:
+    /**
+     * @param entries PHT size (power of two)
+     * @param history_bits global-history length
+     */
+    GsharePredictor(unsigned entries, unsigned history_bits);
+
+    /** Predicted direction, using current (speculative) history. */
+    bool lookup(Addr pc) const;
+
+    /** Push a (predicted) outcome into the speculative history. */
+    void speculate(bool taken);
+
+    /** Train the PHT with the resolved outcome under @p history. */
+    void update(Addr pc, std::uint64_t history, bool taken);
+
+    /** Current speculative history (snapshot for recovery). */
+    std::uint64_t history() const { return history_; }
+
+    /** Restore the history after a squash. */
+    void restoreHistory(std::uint64_t history) { history_ = history; }
+
+    unsigned historyBits() const { return historyBits_; }
+
+  private:
+    unsigned index(Addr pc, std::uint64_t history) const;
+
+    std::vector<std::uint8_t> table_;
+    unsigned historyBits_;
+    std::uint64_t historyMask_;
+    std::uint64_t history_ = 0;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_BRANCH_GSHARE_HH

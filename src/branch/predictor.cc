@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Combined predictor implementation.
+ */
+
+#include "branch/predictor.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams &params)
+    : bimodal_(params.bimodalEntries),
+      gshare_(params.gshareEntries, params.gshareHistoryBits),
+      meta_(params.metaEntries, 2),
+      btb_(params.btbEntries, params.btbAssoc),
+      ras_(params.rasEntries)
+{
+    if (!isPowerOf2(params.metaEntries))
+        fatal("meta predictor size must be a power of two");
+}
+
+bool
+BranchPredictor::metaChoosesGshare(Addr pc) const
+{
+    return meta_[(pc >> 2) & (meta_.size() - 1)] >= 2;
+}
+
+void
+BranchPredictor::trainMeta(Addr pc, bool bimodal_correct,
+                           bool gshare_correct)
+{
+    if (bimodal_correct == gshare_correct)
+        return;
+    std::uint8_t &ctr = meta_[(pc >> 2) & (meta_.size() - 1)];
+    if (gshare_correct) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+BranchPrediction
+BranchPredictor::predict(Addr pc, BranchKind kind, Addr fallthrough)
+{
+    BranchPrediction pred;
+    pred.historyBefore = gshare_.history();
+    pred.rasBefore = ras_.checkpoint();
+
+    switch (kind) {
+      case BranchKind::Cond: {
+        pred.bimodalTaken = bimodal_.lookup(pc);
+        pred.gshareTaken = gshare_.lookup(pc);
+        pred.choseGshare = metaChoosesGshare(pc);
+        bool dir = pred.choseGshare ? pred.gshareTaken
+                                    : pred.bimodalTaken;
+        pred.btbHit = btb_.lookup(pc, pred.target);
+        if (dir && !pred.btbHit) {
+            // Predicted taken but no target known: fall through.
+            dir = false;
+        }
+        pred.taken = dir;
+        gshare_.speculate(dir);
+        break;
+      }
+      case BranchKind::Uncond:
+      case BranchKind::Call: {
+        pred.btbHit = btb_.lookup(pc, pred.target);
+        pred.taken = pred.btbHit;
+        if (kind == BranchKind::Call)
+            ras_.push(fallthrough);
+        break;
+      }
+      case BranchKind::Return: {
+        const Addr t = ras_.pop();
+        pred.usedRas = t != 0;
+        pred.taken = pred.usedRas;
+        pred.target = t;
+        break;
+      }
+      case BranchKind::NotABranch:
+        panic("predict() called on a non-branch");
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(Addr pc, BranchKind kind,
+                        const BranchPrediction &pred, bool taken,
+                        Addr target)
+{
+    if (kind == BranchKind::Cond) {
+        bimodal_.update(pc, taken);
+        gshare_.update(pc, pred.historyBefore, taken);
+        trainMeta(pc, pred.bimodalTaken == taken,
+                  pred.gshareTaken == taken);
+    }
+    if (taken && kind != BranchKind::Return)
+        btb_.update(pc, target);
+}
+
+void
+BranchPredictor::recover(Addr pc, BranchKind kind,
+                         const BranchPrediction &pred, bool taken,
+                         Addr fallthrough)
+{
+    gshare_.restoreHistory(pred.historyBefore);
+    ras_.restore(pred.rasBefore);
+    // Re-apply the branch's architectural effect on speculative state.
+    if (kind == BranchKind::Cond)
+        gshare_.speculate(taken);
+    if (kind == BranchKind::Call)
+        ras_.push(fallthrough);
+    if (kind == BranchKind::Return)
+        ras_.pop();
+    (void)pc;
+}
+
+} // namespace dmdc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Combined branch predictor facade: bimodal + gshare with a meta
+ * chooser (the paper's Table 1 configuration), a set-associative BTB
+ * and a return address stack.
+ */
+
+#ifndef DMDC_BRANCH_PREDICTOR_HH
+#define DMDC_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "branch/bimodal.hh"
+#include "branch/btb.hh"
+#include "branch/gshare.hh"
+#include "branch/ras.hh"
+#include "trace/microop.hh"
+
+namespace dmdc
+{
+
+/** Geometry of the combined predictor. */
+struct BranchPredictorParams
+{
+    unsigned bimodalEntries = 4096;
+    unsigned gshareEntries = 8192;
+    unsigned gshareHistoryBits = 13;
+    unsigned metaEntries = 8192;
+    unsigned btbEntries = 4096;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 16;
+};
+
+/**
+ * Everything the pipeline must remember about one prediction so the
+ * predictor can be trained and recovered later.
+ */
+struct BranchPrediction
+{
+    bool taken = false;
+    Addr target = 0;            ///< predicted target (valid if taken)
+    bool btbHit = false;
+    bool usedRas = false;
+    bool bimodalTaken = false;
+    bool gshareTaken = false;
+    bool choseGshare = false;
+    std::uint64_t historyBefore = 0;    ///< gshare history at predict
+    ReturnAddressStack::Checkpoint rasBefore{0, 0};
+};
+
+/** The combined predictor. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorParams &params);
+
+    /**
+     * Predict the branch at @p pc of kind @p kind; @p fallthrough is
+     * pc+4 (pushed on calls). Updates speculative history and RAS.
+     */
+    BranchPrediction predict(Addr pc, BranchKind kind, Addr fallthrough);
+
+    /**
+     * Train tables with the architectural outcome. Called at branch
+     * resolution for correct-path branches.
+     */
+    void update(Addr pc, BranchKind kind, const BranchPrediction &pred,
+                bool taken, Addr target);
+
+    /**
+     * Recover speculative state after the branch at @p pc mispredicted:
+     * restore the pre-branch checkpoint, then re-apply the branch's
+     * actual behaviour.
+     */
+    void recover(Addr pc, BranchKind kind, const BranchPrediction &pred,
+                 bool taken, Addr fallthrough);
+
+  private:
+    bool metaChoosesGshare(Addr pc) const;
+    void trainMeta(Addr pc, bool bimodal_correct, bool gshare_correct);
+
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<std::uint8_t> meta_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_BRANCH_PREDICTOR_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Return address stack implementation.
+ */
+
+#include "branch/ras.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+ReturnAddressStack::ReturnAddressStack(unsigned entries)
+    : stack_(entries, 0)
+{
+    if (entries == 0)
+        fatal("RAS needs at least one entry");
+}
+
+void
+ReturnAddressStack::push(Addr return_pc)
+{
+    top_ = (top_ + 1) % stack_.size();
+    stack_[top_] = return_pc;
+    if (size_ < stack_.size())
+        ++size_;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (size_ == 0)
+        return 0;
+    const Addr t = stack_[top_];
+    top_ = (top_ + static_cast<unsigned>(stack_.size()) - 1) %
+           stack_.size();
+    --size_;
+    return t;
+}
+
+void
+ReturnAddressStack::restore(const Checkpoint &cp)
+{
+    top_ = cp.top % stack_.size();
+    size_ = cp.size > stack_.size()
+        ? static_cast<unsigned>(stack_.size()) : cp.size;
+}
+
+} // namespace dmdc

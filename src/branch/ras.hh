@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Return address stack with checkpoint/restore for squash recovery.
+ */
+
+#ifndef DMDC_BRANCH_RAS_HH
+#define DMDC_BRANCH_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dmdc
+{
+
+/**
+ * Circular return-address stack. The pipeline snapshots (top, size)
+ * at every prediction and restores on squash; entries themselves are
+ * not checkpointed, which mirrors real RAS imprecision.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries = 16);
+
+    /** Push a return address (on predicted/decoded calls). */
+    void push(Addr return_pc);
+
+    /** Pop and return the predicted return target (0 if empty). */
+    Addr pop();
+
+    /** Snapshot for branch recovery. */
+    struct Checkpoint { unsigned top; unsigned size; };
+    Checkpoint checkpoint() const { return {top_, size_}; }
+    void restore(const Checkpoint &cp);
+
+    unsigned size() const { return size_; }
+
+  private:
+    std::vector<Addr> stack_;
+    unsigned top_ = 0;
+    unsigned size_ = 0;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_BRANCH_RAS_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches, predictors and hash
+ * structures.
+ */
+
+#ifndef DMDC_COMMON_BITUTILS_HH
+#define DMDC_COMMON_BITUTILS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace dmdc
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceiling of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    assert(last >= first && last < 64);
+    const std::uint64_t mask =
+        (last - first >= 63) ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << (last - first + 1)) - 1);
+    return (v >> first) & mask;
+}
+
+/** Mask with the low @p n bits set. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/**
+ * Fold (XOR) a 64-bit value down to @p width bits. This is the "H0"
+ * style hashing function used by the bloom filter and checking table:
+ * successive @p width-bit slices of the address are XORed together.
+ */
+constexpr std::uint64_t
+foldXor(std::uint64_t v, unsigned width)
+{
+    assert(width > 0 && width < 64);
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & mask(width);
+        v >>= width;
+    }
+    return r;
+}
+
+} // namespace dmdc
+
+#endif // DMDC_COMMON_BITUTILS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the gem5-style logging helpers.
+ */
+
+#include "common/logging.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmdc
+{
+
+namespace
+{
+
+std::array<std::uint64_t, 4> messageCounts{};
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    ++messageCounts[static_cast<unsigned>(level)];
+
+    std::fprintf(stderr, "%s: ", levelPrefix(level));
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+
+    if (level == LogLevel::Panic)
+        std::abort();
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+}
+
+} // namespace detail
+
+std::uint64_t
+loggedMessageCount(LogLevel level)
+{
+    return messageCounts[static_cast<unsigned>(level)];
+}
+
+} // namespace dmdc

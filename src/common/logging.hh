@@ -1,0 +1,72 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic(), fatal(), warn(), inform().
+ *
+ * panic() is for simulator bugs (assert-like, aborts); fatal() is for
+ * user errors such as invalid configurations (clean exit); warn() and
+ * inform() print to stderr and continue.
+ */
+
+#ifndef DMDC_COMMON_LOGGING_HH
+#define DMDC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace dmdc
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail
+{
+/** Format and dispatch one message; exits/aborts for Fatal/Panic. */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+} // namespace detail
+
+/** Report a simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Panic, fmt, args...);
+    __builtin_unreachable();
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Fatal, fmt, args...);
+    __builtin_unreachable();
+}
+
+/** Report a suspicious condition and continue. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Warn, fmt, args...);
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Inform, fmt, args...);
+}
+
+/**
+ * Number of Warn/Fatal/Panic messages emitted so far (testing hook;
+ * Fatal/Panic normally terminate but tests stub the terminate step).
+ */
+std::uint64_t loggedMessageCount(LogLevel level);
+
+} // namespace dmdc
+
+#endif // DMDC_COMMON_LOGGING_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * xoshiro256** generator implementation.
+ */
+
+#include "common/random.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace dmdc
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mixHash(std::uint64_t v)
+{
+    std::uint64_t state = v;
+    return splitmix64(state);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection-free multiply-shift; bias is negligible for
+    // simulation-scale bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+std::int64_t
+Rng::between(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+        range(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+unsigned
+Rng::geometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    const double p = 1.0 / mean;
+    // Inverse-transform sampling, clamped to keep tails sane.
+    const double u = uniform();
+    const double v = std::log1p(-u) / std::log1p(-p);
+    const double clamped = std::fmin(v + 1.0, mean * 16.0);
+    return static_cast<unsigned>(clamped < 1.0 ? 1.0 : clamped);
+}
+
+} // namespace dmdc

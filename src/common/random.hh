@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in the simulator (synthetic workloads,
+ * wrong-path synthesis, invalidation injection) draws from Rng so runs
+ * are exactly reproducible given a seed.
+ */
+
+#ifndef DMDC_COMMON_RANDOM_HH
+#define DMDC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace dmdc
+{
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256** variant). Deterministic
+ * across platforms; not suitable for cryptography, ideal for simulation.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed, returning the generator to a known state. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p);
+
+    /**
+     * Sample a geometric-ish distance >= 1 with mean roughly @p mean.
+     * Used for dependence-distance and burst-length modeling.
+     */
+    unsigned geometric(double mean);
+
+  private:
+    std::uint64_t s[4];
+};
+
+/** splitmix64 step, also usable as a stateless integer hash. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless mixing hash of a 64-bit value (for per-PC determinism). */
+std::uint64_t mixHash(std::uint64_t v);
+
+} // namespace dmdc
+
+#endif // DMDC_COMMON_RANDOM_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Statistics infrastructure implementation.
+ */
+
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Average::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(unsigned num_buckets, double bucket_width)
+    : buckets_(num_buckets, 0), bucketWidth_(bucket_width)
+{
+    if (num_buckets == 0 || bucket_width <= 0.0)
+        panic("Histogram requires positive bucket count and width");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (v < 0.0) {
+        ++buckets_.front();
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(v / bucketWidth_);
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+std::uint64_t
+Histogram::bucket(unsigned i) const
+{
+    if (i >= buckets_.size())
+        panic("Histogram bucket %u out of range", i);
+    return buckets_[i];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = overflow_ = 0;
+    sum_ = 0.0;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+void
+StatGroup::regCounter(const std::string &name, Counter *c,
+                      const std::string &desc)
+{
+    entries_[name] = Entry{desc, c, nullptr, nullptr};
+}
+
+void
+StatGroup::regAverage(const std::string &name, Average *a,
+                      const std::string &desc)
+{
+    entries_[name] = Entry{desc, nullptr, a, nullptr};
+}
+
+void
+StatGroup::regHistogram(const std::string &name, Histogram *h,
+                        const std::string &desc)
+{
+    entries_[name] = Entry{desc, nullptr, nullptr, h};
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, e] : entries_) {
+        if (e.counter)
+            e.counter->reset();
+        if (e.average)
+            e.average->reset();
+        if (e.histogram)
+            e.histogram->reset();
+    }
+    for (auto *child : children_)
+        child->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &indent) const
+{
+    if (!name_.empty())
+        os << indent << "[" << name_ << "]\n";
+    const std::string inner = indent + "  ";
+    for (const auto &[name, e] : entries_) {
+        os << inner << std::left << std::setw(32) << name << " ";
+        if (e.counter) {
+            os << e.counter->value();
+        } else if (e.average) {
+            os << "mean=" << e.average->mean()
+               << " min=" << e.average->min()
+               << " max=" << e.average->max()
+               << " n=" << e.average->count();
+        } else if (e.histogram) {
+            os << "mean=" << e.histogram->mean()
+               << " n=" << e.histogram->count();
+        }
+        if (!e.desc.empty())
+            os << "   # " << e.desc;
+        os << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os, inner);
+}
+
+const Counter *
+StatGroup::findCounter(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it != entries_.end() && it->second.counter)
+        return it->second.counter;
+    for (const auto *child : children_) {
+        if (const auto *c = child->findCounter(name))
+            return c;
+    }
+    return nullptr;
+}
+
+} // namespace dmdc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef DMDC_COMMON_TYPES_HH
+#define DMDC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dmdc
+{
+
+/** Byte address in the simulated virtual address space. */
+using Addr = std::uint64_t;
+
+/** Simulation time, in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/**
+ * Global dynamic-instruction age. Monotonically increasing across the
+ * whole run (never recycled), so comparing two SeqNums always gives
+ * correct relative program order, even across squashes. This models the
+ * "ROB ID with some simple extension" the paper uses for YLA contents.
+ */
+using SeqNum = std::uint64_t;
+
+/** Sentinel meaning "no instruction" / "older than everything". */
+constexpr SeqNum invalidSeqNum = 0;
+
+/** Sentinel for an invalid/unknown address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Number of bytes in a quad word (the checking-table granularity). */
+constexpr unsigned quadWordBytes = 8;
+
+/**
+ * Test whether two byte ranges [a, a+asize) and [b, b+bsize) overlap.
+ * Used for all memory-dependence address checks.
+ */
+inline bool
+rangesOverlap(Addr a, unsigned asize, Addr b, unsigned bsize)
+{
+    return a < b + bsize && b < a + asize;
+}
+
+} // namespace dmdc
+
+#endif // DMDC_COMMON_TYPES_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fetch stage implementation.
+ */
+
+#include "core/fetch.hh"
+
+#include <algorithm>
+
+namespace dmdc
+{
+
+FetchStage::FetchStage(const FetchParams &params, Workload &workload,
+                       BranchPredictor &predictor, MemoryHierarchy &mem)
+    : params_(params), workload_(workload), predictor_(predictor),
+      mem_(mem)
+{
+    fetchPc_ = workload_.op(0).pc;
+}
+
+void
+FetchStage::regStats(StatGroup &parent)
+{
+    stats_.regCounter("fetched_total", &fetchedTotal);
+    stats_.regCounter("fetched_wrong_path", &fetchedWrongPath);
+    stats_.regCounter("icache_stall_cycles", &icacheStallCycles);
+    parent.addChild(&stats_);
+}
+
+std::unique_ptr<DynInst>
+FetchStage::makeInst(const MicroOp &op, bool wrong_path, Cycle now)
+{
+    auto inst = std::make_unique<DynInst>();
+    inst->op = op;
+    inst->seq = ++seqCounter_;
+    inst->wrongPath = wrong_path;
+    inst->traceIndex = wrong_path ? ~std::uint64_t{0} : nextTraceIndex_;
+    inst->fetchReadyCycle = now + params_.fetchToDispatch;
+    return inst;
+}
+
+void
+FetchStage::tick(Cycle now, std::vector<std::unique_ptr<DynInst>> &out,
+                 std::size_t max_count)
+{
+    if (now < stallUntil_) {
+        ++icacheStallCycles;
+        return;
+    }
+
+    const std::size_t budget =
+        std::min<std::size_t>(params_.fetchWidth, max_count);
+    const unsigned line_bytes = mem_.l1i().lineBytes();
+
+    for (std::size_t n = 0; n < budget; ++n) {
+        // One I-cache access per line crossing.
+        const Addr line = fetchPc_ / line_bytes;
+        if (line != lastFetchLine_) {
+            const unsigned lat = mem_.accessInst(fetchPc_);
+            lastFetchLine_ = line;
+            if (lat > mem_.l1i().latency()) {
+                stallUntil_ = now + lat;
+                return;
+            }
+        }
+
+        MicroOp op;
+        const bool wrong_path = wrongPathMode_;
+        if (!wrongPathMode_)
+            op = workload_.op(nextTraceIndex_);
+        else
+            op = workload_.wrongPathOp(fetchPc_, wrongPathSalt_++);
+
+        auto inst = makeInst(op, wrong_path, now);
+        ++fetchedTotal;
+        if (wrong_path)
+            ++fetchedWrongPath;
+
+        Addr next_pc = fetchPc_ + 4;
+        bool taken = false;
+        if (op.isBranch()) {
+            inst->pred = predictor_.predict(op.pc, op.branch,
+                                            op.pc + 4);
+            inst->predictionMade = true;
+            taken = inst->pred.taken;
+            if (taken)
+                next_pc = inst->pred.target;
+            if (!wrong_path) {
+                ++nextTraceIndex_;
+                if (next_pc != op.nextPc)
+                    wrongPathMode_ = true;
+            }
+        } else if (!wrong_path) {
+            ++nextTraceIndex_;
+        }
+
+        fetchPc_ = next_pc;
+        out.push_back(std::move(inst));
+
+        // Fetch does not continue past a predicted-taken branch in the
+        // same cycle.
+        if (taken)
+            break;
+    }
+}
+
+void
+FetchStage::redirectToTrace(std::uint64_t trace_index, Cycle resume)
+{
+    wrongPathMode_ = false;
+    nextTraceIndex_ = trace_index;
+    fetchPc_ = workload_.op(trace_index).pc;
+    stallUntil_ = resume;
+    lastFetchLine_ = invalidAddr;
+}
+
+void
+FetchStage::redirectWrongPath(Addr pc, Cycle resume)
+{
+    wrongPathMode_ = true;
+    fetchPc_ = pc;
+    stallUntil_ = resume;
+    lastFetchLine_ = invalidAddr;
+}
+
+} // namespace dmdc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FU pool implementation.
+ */
+
+#include "core/fu_pool.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+FuPool::FuPool(const FuPoolParams &params) : params_(params)
+{
+    capacity_[FamIntAlu] = params.intAlu;
+    capacity_[FamIntMulDiv] = params.intMulDiv;
+    capacity_[FamFpAlu] = params.fpAlu;
+    capacity_[FamFpMulDiv] = params.fpMulDiv;
+}
+
+void
+FuPool::tick(Cycle now)
+{
+    now_ = now;
+    usedThisCycle_.fill(0);
+}
+
+FuPool::Family
+FuPool::familyOf(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Nop:
+        return FamIntAlu;   // address generation / simple ALU
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FamIntMulDiv;
+      case OpClass::FpAdd:
+        return FamFpAlu;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return FamFpMulDiv;
+    }
+    return FamIntAlu;
+}
+
+bool
+FuPool::tryIssue(OpClass cls, unsigned &latency_out)
+{
+    const Family fam = familyOf(cls);
+    if (usedThisCycle_[fam] >= capacity_[fam])
+        return false;
+
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Load:       // address generation; memory follows
+      case OpClass::Store:
+      case OpClass::Nop:
+        latency_out = params_.intAluLat;
+        break;
+      case OpClass::IntMult:
+        latency_out = params_.intMultLat;
+        break;
+      case OpClass::IntDiv:
+        if (intDivBusyUntil_ > now_)
+            return false;
+        intDivBusyUntil_ = now_ + params_.intDivLat;
+        latency_out = params_.intDivLat;
+        break;
+      case OpClass::FpAdd:
+        latency_out = params_.fpAddLat;
+        break;
+      case OpClass::FpMult:
+        latency_out = params_.fpMultLat;
+        break;
+      case OpClass::FpDiv:
+        if (fpDivBusyUntil_ > now_)
+            return false;
+        fpDivBusyUntil_ = now_ + params_.fpDivLat;
+        latency_out = params_.fpDivLat;
+        break;
+    }
+    ++usedThisCycle_[fam];
+    return true;
+}
+
+} // namespace dmdc

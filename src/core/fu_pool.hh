@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Functional-unit pool: per-class unit counts, latencies and pipelining
+ * (divides are unpipelined), following the paper's Table 1 core.
+ */
+
+#ifndef DMDC_CORE_FU_POOL_HH
+#define DMDC_CORE_FU_POOL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/microop.hh"
+
+namespace dmdc
+{
+
+/** FU pool configuration. */
+struct FuPoolParams
+{
+    unsigned intAlu = 8;        ///< also executes branches, mem addr gen
+    unsigned intMulDiv = 2;
+    unsigned fpAlu = 8;
+    unsigned fpMulDiv = 2;
+
+    unsigned intAluLat = 1;
+    unsigned intMultLat = 3;
+    unsigned intDivLat = 20;    ///< unpipelined
+    unsigned fpAddLat = 2;
+    unsigned fpMultLat = 4;
+    unsigned fpDivLat = 12;     ///< unpipelined
+};
+
+/**
+ * Tracks per-cycle issue bandwidth of each unit family and the busy
+ * time of unpipelined dividers.
+ */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuPoolParams &params);
+
+    /** Reset per-cycle issue counters; call once per cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Try to claim a unit for @p cls this cycle.
+     * @param latency_out filled with the operation latency on success
+     * @return true if a unit was available
+     */
+    bool tryIssue(OpClass cls, unsigned &latency_out);
+
+    const FuPoolParams &params() const { return params_; }
+
+  private:
+    enum Family : unsigned
+    {
+        FamIntAlu,
+        FamIntMulDiv,
+        FamFpAlu,
+        FamFpMulDiv,
+        NumFamilies,
+    };
+
+    static Family familyOf(OpClass cls);
+
+    FuPoolParams params_;
+    std::array<unsigned, NumFamilies> capacity_;
+    std::array<unsigned, NumFamilies> usedThisCycle_{};
+    // Unpipelined dividers: next cycle each unit family frees up.
+    Cycle intDivBusyUntil_ = 0;
+    Cycle fpDivBusyUntil_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_CORE_FU_POOL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Issue queue implementation.
+ */
+
+#include "core/issue_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+IssueQueue::IssueQueue(unsigned capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("issue queue capacity must be non-zero");
+    entries_.reserve(capacity);
+}
+
+void
+IssueQueue::insert(DynInst *inst)
+{
+    if (full())
+        panic("issue queue insert on full queue");
+    if (!entries_.empty() && inst->seq <= entries_.back()->seq)
+        panic("issue queue insertion out of age order");
+    entries_.push_back(inst);
+    inst->inIssueQueue = true;
+}
+
+void
+IssueQueue::remove(DynInst *inst)
+{
+    auto it = std::find(entries_.begin(), entries_.end(), inst);
+    if (it == entries_.end())
+        panic("issue queue remove of an absent instruction");
+    entries_.erase(it);
+    inst->inIssueQueue = false;
+}
+
+void
+IssueQueue::squashFrom(SeqNum from_seq)
+{
+    while (!entries_.empty() && entries_.back()->seq >= from_seq) {
+        entries_.back()->inIssueQueue = false;
+        entries_.pop_back();
+    }
+}
+
+} // namespace dmdc

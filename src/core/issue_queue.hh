@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Issue queue (scheduler window): age-ordered list of dispatched
+ * instructions waiting for operands and a functional unit.
+ */
+
+#ifndef DMDC_CORE_ISSUE_QUEUE_HH
+#define DMDC_CORE_ISSUE_QUEUE_HH
+
+#include <vector>
+
+#include "core/inst.hh"
+
+namespace dmdc
+{
+
+/**
+ * One issue queue (the paper's machine has separate INT and FP
+ * queues). Entries are kept in age order; selection is oldest-first
+ * among ready instructions, which the pipeline drives.
+ */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(unsigned capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Insert at dispatch (program order). */
+    void insert(DynInst *inst);
+
+    /** Remove @p inst after it issues. */
+    void remove(DynInst *inst);
+
+    /** Remove every entry with seq >= @p from_seq. */
+    void squashFrom(SeqNum from_seq);
+
+    /** Iterate oldest to youngest (selection order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (DynInst *inst : entries_)
+            fn(inst);
+    }
+
+    /** Oldest-first snapshot for selection loops that mutate the IQ. */
+    const std::vector<DynInst *> &entries() const { return entries_; }
+
+  private:
+    std::vector<DynInst *> entries_;
+    unsigned capacity_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_CORE_ISSUE_QUEUE_HH

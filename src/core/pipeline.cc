@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Out-of-order pipeline implementation.
+ */
+
+#include "core/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+/** Cycles with no commit after which the simulator declares deadlock. */
+constexpr Cycle deadlockThreshold = 200000;
+
+} // namespace
+
+Pipeline::Pipeline(const CoreParams &params, Workload &workload)
+    : params_(params), workload_(workload),
+      mem_(params.mem),
+      predictor_(params.bp),
+      fetch_(params.fetchParams(), workload, predictor_, mem_),
+      rob_(params.robSize),
+      rename_(params.intRegs, params.fpRegs),
+      intIq_(params.intIqSize),
+      fpIq_(params.fpIqSize),
+      fuPool_(params.fu),
+      lsq_(params.lsq),
+      root_("sim")
+{
+    regStats(root_);
+}
+
+Pipeline::~Pipeline() = default;
+
+void
+Pipeline::regStats(StatGroup &parent)
+{
+    pipeStats_.regCounter("cycles", &stats_.cycles);
+    pipeStats_.regCounter("committed_insts", &stats_.committedInsts);
+    pipeStats_.regCounter("committed_loads", &stats_.committedLoads);
+    pipeStats_.regCounter("committed_stores", &stats_.committedStores);
+    pipeStats_.regCounter("committed_branches",
+                          &stats_.committedBranches);
+    pipeStats_.regCounter("dispatched", &stats_.dispatched);
+    pipeStats_.regCounter("issued", &stats_.issued);
+    pipeStats_.regCounter("branch_mispredicts",
+                          &stats_.branchMispredicts);
+    pipeStats_.regCounter("mispred_cond", &stats_.mispredCond);
+    pipeStats_.regCounter("mispred_btb_miss", &stats_.mispredBtbMiss);
+    pipeStats_.regCounter("mispred_target", &stats_.mispredTarget);
+    pipeStats_.regCounter("mispred_return", &stats_.mispredReturn);
+    pipeStats_.regCounter("baseline_replays", &stats_.baselineReplays);
+    pipeStats_.regCounter("dmdc_replays", &stats_.dmdcReplays);
+    pipeStats_.regCounter("age_table_replays",
+                          &stats_.ageTableReplays);
+    pipeStats_.regCounter("load_rejections", &stats_.loadRejections);
+    pipeStats_.regCounter("load_forwards", &stats_.loadForwards);
+    pipeStats_.regCounter("speculative_loads",
+                          &stats_.speculativeLoads);
+    parent.addChild(&pipeStats_);
+
+    fetch_.regStats(parent);
+    mem_.regStats(parent);
+    regfile_.regStats(parent);
+    lsq_.regStats(parent);
+}
+
+void
+Pipeline::resetStats()
+{
+    root_.resetAll();
+    lastCommitCycle_ = now_;
+}
+
+bool
+Pipeline::producerDone(const DynInst *producer, SeqNum pseq) const
+{
+    if (!producer)
+        return true;
+    const DynInst *head = rob_.head();
+    if (!head || pseq < head->seq)
+        return true;   // producer already committed
+    return producer->completed();
+}
+
+bool
+Pipeline::operandsReady(const DynInst *inst) const
+{
+    if (!producerDone(inst->src1Producer, inst->src1ProducerSeq))
+        return false;
+    if (!producerDone(inst->src2Producer, inst->src2ProducerSeq))
+        return false;
+    // Store data (src3) is tracked separately; it does not gate
+    // address generation.
+    if (!inst->isStore() &&
+        !producerDone(inst->src3Producer, inst->src3ProducerSeq)) {
+        return false;
+    }
+    return true;
+}
+
+void
+Pipeline::scheduleCompletion(DynInst *inst, Cycle when)
+{
+    completions_.push_back(Event{when, inst->seq, inst});
+    std::push_heap(completions_.begin(), completions_.end(),
+                   [](const Event &a, const Event &b) {
+                       return a.when > b.when ||
+                           (a.when == b.when && a.seq > b.seq);
+                   });
+}
+
+void
+Pipeline::tick()
+{
+    ++now_;
+    ++stats_.cycles;
+    dcachePortsUsed_ = 0;
+    fuPool_.tick(now_);
+
+    doCompletions();
+    scanStoreData();
+    doCommit();
+    doIssue();
+    if (pendingReplay_ && pendingAgeReplay_) {
+        // Keep whichever squash reaches further back; the other's
+        // range is contained in it.
+        if (pendingReplay_->seq <= pendingAgeReplay_->seq)
+            pendingAgeReplay_ = nullptr;
+        else
+            pendingReplay_ = nullptr;
+    }
+    if (pendingReplay_) {
+        DynInst *victim = pendingReplay_;
+        pendingReplay_ = nullptr;
+        replayFrom(victim);
+    }
+    if (pendingAgeReplay_) {
+        DynInst *store = pendingAgeReplay_;
+        pendingAgeReplay_ = nullptr;
+        ++stats_.ageTableReplays;
+        const bool wrong_path = store->wrongPath;
+        const std::uint64_t trace_index = store->traceIndex;
+        const Addr pc = store->op.pc;
+        squashFrom(store->seq + 1);
+        if (wrong_path)
+            fetch_.redirectWrongPath(pc + 4,
+                                     now_ + params_.redirectPenalty);
+        else
+            fetch_.redirectToTrace(trace_index + 1,
+                                   now_ + params_.redirectPenalty);
+    }
+    doDispatch();
+    doFetch();
+    lsq_.tick();
+}
+
+void
+Pipeline::run(std::uint64_t num_insts)
+{
+    const std::uint64_t target = committed() + num_insts;
+    while (committed() < target) {
+        tick();
+        if (now_ - lastCommitCycle_ > deadlockThreshold)
+            panic("pipeline deadlock: no commit since cycle %llu "
+                  "(now %llu, workload '%s')",
+                  static_cast<unsigned long long>(lastCommitCycle_),
+                  static_cast<unsigned long long>(now_),
+                  workload_.name().c_str());
+    }
+}
+
+// --------------------------------------------------------------------
+// Fetch and dispatch
+// --------------------------------------------------------------------
+
+void
+Pipeline::doFetch()
+{
+    if (fetchQueue_.size() >= params_.fetchQueueSize)
+        return;
+    std::vector<std::unique_ptr<DynInst>> fresh;
+    fetch_.tick(now_, fresh, params_.fetchQueueSize - fetchQueue_.size());
+    for (auto &inst : fresh)
+        fetchQueue_.push_back(std::move(inst));
+}
+
+void
+Pipeline::doDispatch()
+{
+    for (unsigned n = 0; n < params_.decodeWidth; ++n) {
+        if (fetchQueue_.empty())
+            return;
+        DynInst *inst = fetchQueue_.front().get();
+        if (inst->fetchReadyCycle > now_)
+            return;
+        if (rob_.full() || !rename_.canRename(inst->op))
+            return;
+        IssueQueue &iq = inst->op.isFp() ? fpIq_ : intIq_;
+        if (iq.full())
+            return;
+        if (inst->isLoad() && !lsq_.canDispatchLoad())
+            return;
+        if (inst->isStore() && !lsq_.canDispatchStore())
+            return;
+
+        rename_.rename(inst);
+        DynInst *owned = rob_.allocate(std::move(fetchQueue_.front()));
+        fetchQueue_.pop_front();
+        iq.insert(owned);
+        if (owned->isLoad())
+            lsq_.dispatchLoad(owned);
+        if (owned->isStore())
+            lsq_.dispatchStore(owned);
+        owned->stage = InstStage::Dispatched;
+        ++stats_.dispatched;
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue and execute
+// --------------------------------------------------------------------
+
+void
+Pipeline::issueLoad(DynInst *inst)
+{
+    SqCheckResult check = lsq_.loadIssue(inst, now_);
+    switch (check.outcome) {
+      case SqCheck::Reject:
+        ++stats_.loadRejections;
+        inst->retryCycle = now_ + params_.loadRetryDelay;
+        retryLoads_.push_back(inst);
+        return;
+      case SqCheck::Forward:
+        ++stats_.loadForwards;
+        lsq_.loadComplete(inst, now_, check.producer->seq);
+        scheduleCompletion(inst, now_ + 1 + mem_.l1d().latency());
+        return;
+      case SqCheck::NoMatch: {
+        if (check.sawUnresolvedOlder)
+            ++stats_.speculativeLoads;
+        ++dcachePortsUsed_;
+        const unsigned lat =
+            mem_.accessData(inst->op.effAddr, false);
+        lsq_.loadComplete(inst, now_, invalidSeqNum);
+        scheduleCompletion(inst, now_ + 1 + lat);
+        return;
+      }
+    }
+}
+
+void
+Pipeline::doIssue()
+{
+    // Rejected loads retry ahead of new issues (they are older).
+    for (auto it = retryLoads_.begin(); it != retryLoads_.end();) {
+        DynInst *load = *it;
+        if (load->retryCycle > now_ ||
+            dcachePortsUsed_ >= params_.l1dPorts) {
+            ++it;
+            continue;
+        }
+        SqCheckResult check = lsq_.loadIssue(load, now_);
+        if (check.outcome == SqCheck::Reject) {
+            ++stats_.loadRejections;
+            load->retryCycle = now_ + params_.loadRetryDelay;
+            ++it;
+            continue;
+        }
+        if (check.outcome == SqCheck::Forward) {
+            ++stats_.loadForwards;
+            lsq_.loadComplete(load, now_, check.producer->seq);
+            scheduleCompletion(load, now_ + 1 + mem_.l1d().latency());
+        } else {
+            if (check.sawUnresolvedOlder)
+                ++stats_.speculativeLoads;
+            ++dcachePortsUsed_;
+            const unsigned lat =
+                mem_.accessData(load->op.effAddr, false);
+            lsq_.loadComplete(load, now_, invalidSeqNum);
+            scheduleCompletion(load, now_ + 1 + lat);
+        }
+        it = retryLoads_.erase(it);
+    }
+
+    // Merge the two issue queues oldest-first.
+    unsigned issued = 0;
+    std::size_t ii = 0;
+    std::size_t fi = 0;
+    const auto &iv = intIq_.entries();
+    const auto &fv = fpIq_.entries();
+    std::vector<DynInst *> picked;
+
+    while (issued + static_cast<unsigned>(picked.size()) <
+               params_.issueWidth &&
+           (ii < iv.size() || fi < fv.size())) {
+        DynInst *inst;
+        if (fi >= fv.size() ||
+            (ii < iv.size() && iv[ii]->seq < fv[fi]->seq)) {
+            inst = iv[ii++];
+        } else {
+            inst = fv[fi++];
+        }
+        if (!operandsReady(inst))
+            continue;
+        if (inst->isLoad() && dcachePortsUsed_ >= params_.l1dPorts)
+            continue;
+        unsigned latency = 0;
+        if (!fuPool_.tryIssue(inst->op.cls, latency))
+            continue;
+
+        inst->stage = InstStage::Issued;
+        inst->issueCycle = now_;
+        regfile_.noteIssueReads(inst);
+        ++stats_.issued;
+        picked.push_back(inst);
+
+        if (inst->isLoad()) {
+            issueLoad(inst);
+        } else if (inst->isStore()) {
+            // Stores resolve (and search/filter the LQ) at issue time,
+            // the same point at which loads update the YLA registers;
+            // the ROB-visible completion follows after address
+            // generation.
+            inst->doneCycle = now_;
+            resolveStore(inst);
+            scheduleCompletion(inst, now_ + latency);
+        } else {
+            // Branches resolve at completion; ALU ops simply finish.
+            scheduleCompletion(inst, now_ + latency);
+        }
+    }
+
+    for (DynInst *inst : picked) {
+        if (inst->op.isFp())
+            fpIq_.remove(inst);
+        else
+            intIq_.remove(inst);
+    }
+}
+
+// --------------------------------------------------------------------
+// Completion, branch resolution, store resolution
+// --------------------------------------------------------------------
+
+void
+Pipeline::doCompletions()
+{
+    auto cmp = [](const Event &a, const Event &b) {
+        return a.when > b.when || (a.when == b.when && a.seq > b.seq);
+    };
+    while (!completions_.empty() && completions_.front().when <= now_) {
+        std::pop_heap(completions_.begin(), completions_.end(), cmp);
+        Event ev = completions_.back();
+        completions_.pop_back();
+        completeInst(ev.inst);
+    }
+}
+
+void
+Pipeline::completeInst(DynInst *inst)
+{
+    inst->stage = InstStage::Done;
+    inst->doneCycle = now_;
+    regfile_.noteWriteback(inst);
+
+    if (inst->isBranch())
+        resolveBranch(inst);
+}
+
+void
+Pipeline::resolveStore(DynInst *inst)
+{
+    StoreResolveResult result = lsq_.storeResolve(inst, now_);
+    if (result.violatingLoad) {
+        // Deferred: squashing mid-issue would invalidate the issue
+        // loop's view of the queues. Keep the oldest victim.
+        if (!pendingReplay_ ||
+            result.violatingLoad->seq < pendingReplay_->seq) {
+            pendingReplay_ = result.violatingLoad;
+        }
+    }
+    if (result.replayAllYounger) {
+        if (!pendingAgeReplay_ ||
+            inst->seq < pendingAgeReplay_->seq) {
+            pendingAgeReplay_ = inst;
+        }
+    }
+}
+
+void
+Pipeline::resolveBranch(DynInst *inst)
+{
+    if (inst->wrongPath)
+        return;   // resolution of a wrong-path branch never redirects
+
+    const MicroOp &op = inst->op;
+    const bool mispredict = inst->pred.taken != op.taken ||
+        (op.taken && inst->pred.target != op.targetPc);
+    if (!mispredict)
+        return;
+
+    inst->mispredicted = true;
+    ++stats_.branchMispredicts;
+    if (op.branch == BranchKind::Return) {
+        ++stats_.mispredReturn;
+    } else if (inst->pred.taken != op.taken) {
+        if (op.taken && !inst->pred.btbHit &&
+            op.branch == BranchKind::Cond) {
+            ++stats_.mispredBtbMiss;
+        } else {
+            ++stats_.mispredCond;
+        }
+    } else {
+        ++stats_.mispredTarget;
+    }
+    predictor_.recover(op.pc, op.branch, inst->pred, op.taken,
+                       op.pc + 4);
+    squashFrom(inst->seq + 1);
+    lsq_.branchRecovery(inst->seq);
+    fetch_.redirectToTrace(inst->traceIndex + 1,
+                           now_ + params_.redirectPenalty);
+}
+
+void
+Pipeline::scanStoreData()
+{
+    lsq_.storeQueue().forEach([this](DynInst *store) {
+        if (!store->sqDataReady &&
+            producerDone(store->src3Producer, store->src3ProducerSeq)) {
+            lsq_.storeDataReady(store);
+        }
+    });
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+Pipeline::doCommit()
+{
+    for (unsigned n = 0; n < params_.commitWidth; ++n) {
+        DynInst *head = rob_.head();
+        if (!head || head->stage != InstStage::Done)
+            return;
+        if (head->wrongPath)
+            panic("wrong-path instruction reached the ROB head");
+        if (head->isStore()) {
+            if (!head->sqDataReady)
+                return;
+            if (dcachePortsUsed_ >= params_.l1dPorts)
+                return;
+        }
+
+        // A load that was already replayed once re-executed with no
+        // older in-flight store (the whole window drained before the
+        // refetch), so its data is provably correct; never replay the
+        // same dynamic load twice. This matters when safe-load
+        // detection is disabled (ablation), where the re-execution
+        // would otherwise hit the still-marked table entry forever.
+        const bool replay_guard =
+            head->isLoad() && head->traceIndex == lastDmdcReplayIndex_;
+
+        ReplayClass rc = lsq_.commit(head, now_, replay_guard);
+
+        // Safety property (all schemes): a load that truly read stale
+        // data can never commit without having been replayed. The
+        // ghost checker marks such loads independently of the
+        // mechanism under test.
+        if (head->isLoad() && head->ghostViolation && !rc.replay &&
+            !replay_guard) {
+            panic("true memory-order violation escaped replay "
+                  "(load seq %llu, store seq %llu, scheme %d)",
+                  static_cast<unsigned long long>(head->seq),
+                  static_cast<unsigned long long>(
+                      head->ghostViolatingStore),
+                  static_cast<int>(lsq_.params().scheme));
+        }
+
+        if (rc.replay) {
+            ++stats_.dmdcReplays;
+            const std::uint64_t trace_index = head->traceIndex;
+            lastDmdcReplayIndex_ = trace_index;
+            squashFrom(head->seq);
+            fetch_.redirectToTrace(trace_index,
+                                   now_ + params_.redirectPenalty);
+            return;
+        }
+
+        if (head->isStore()) {
+            mem_.accessData(head->op.effAddr, true);
+            ++dcachePortsUsed_;
+            ++stats_.committedStores;
+        } else if (head->isLoad()) {
+            ++stats_.committedLoads;
+        } else if (head->isBranch()) {
+            ++stats_.committedBranches;
+            predictor_.update(head->op.pc, head->op.branch, head->pred,
+                              head->op.taken, head->op.targetPc);
+        }
+
+        rename_.release(head);
+        workload_.discardBefore(head->traceIndex);
+        ++stats_.committedInsts;
+        lastCommitCycle_ = now_;
+        rob_.retireHead();
+    }
+}
+
+// --------------------------------------------------------------------
+// Squash machinery
+// --------------------------------------------------------------------
+
+void
+Pipeline::squashFrom(SeqNum from_seq)
+{
+    // Structures holding raw pointers are purged before the ROB frees
+    // the instructions.
+    std::erase_if(completions_, [from_seq](const Event &ev) {
+        return ev.seq >= from_seq;
+    });
+    std::make_heap(completions_.begin(), completions_.end(),
+                   [](const Event &a, const Event &b) {
+                       return a.when > b.when ||
+                           (a.when == b.when && a.seq > b.seq);
+                   });
+    std::erase_if(retryLoads_, [from_seq](const DynInst *inst) {
+        return inst->seq >= from_seq;
+    });
+    intIq_.squashFrom(from_seq);
+    fpIq_.squashFrom(from_seq);
+    lsq_.squashFrom(from_seq);
+
+    while (!fetchQueue_.empty() &&
+           fetchQueue_.back()->seq >= from_seq) {
+        fetchQueue_.pop_back();
+    }
+
+    const SeqNum oldest_active =
+        rob_.empty() ? invalidSeqNum : rob_.head()->seq;
+    rob_.squashFrom(from_seq, [this, oldest_active](DynInst *inst) {
+        rename_.squash(inst, oldest_active);
+    });
+}
+
+void
+Pipeline::replayFrom(DynInst *load)
+{
+    ++stats_.baselineReplays;
+    const bool wrong_path = load->wrongPath;
+    const std::uint64_t trace_index = load->traceIndex;
+    const Addr pc = load->op.pc;
+
+    squashFrom(load->seq);
+    if (wrong_path)
+        fetch_.redirectWrongPath(pc, now_ + params_.redirectPenalty);
+    else
+        fetch_.redirectToTrace(trace_index,
+                               now_ + params_.redirectPenalty);
+}
+
+// --------------------------------------------------------------------
+// External events
+// --------------------------------------------------------------------
+
+void
+Pipeline::externalInvalidation(Addr addr)
+{
+    mem_.invalidateLine(addr);
+    const DynInst *head = rob_.head();
+    const SeqNum oldest_active =
+        head ? head->seq : fetch_.lastSeq() + 1;
+    lsq_.invalidationArrived(addr, now_, oldest_active);
+}
+
+} // namespace dmdc

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The out-of-order pipeline: the SimpleScalar sim-outorder equivalent
+ * this reproduction is built on. Glues fetch, rename/dispatch, issue,
+ * execute, writeback and commit around the ROB, issue queues and the
+ * LSQ unit, with full wrong-path execution and squash recovery.
+ */
+
+#ifndef DMDC_CORE_PIPELINE_HH
+#define DMDC_CORE_PIPELINE_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/stats.hh"
+#include "core/fetch.hh"
+#include "core/fu_pool.hh"
+#include "core/issue_queue.hh"
+#include "core/regfile.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "lsq/lsq_unit.hh"
+#include "mem/hierarchy.hh"
+#include "trace/workload.hh"
+
+namespace dmdc
+{
+
+/** Full core configuration (see sim/machine_config for presets). */
+struct CoreParams
+{
+    unsigned fetchWidth = 8;
+    unsigned decodeWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned robSize = 256;
+    unsigned intIqSize = 48;
+    unsigned fpIqSize = 48;
+    unsigned intRegs = 200;
+    unsigned fpRegs = 200;
+    unsigned fetchToDispatch = 3;
+    /**
+     * Extra front-end redirect stall after a misprediction/replay;
+     * together with fetchToDispatch this realizes the paper's 7-cycle
+     * misprediction penalty.
+     */
+    unsigned redirectPenalty = 4;
+    unsigned l1dPorts = 2;
+    unsigned loadRetryDelay = 3;   ///< rejected-load retry interval
+    unsigned fetchQueueSize = 32;
+
+    FetchParams fetchParams() const
+    {
+        return FetchParams{fetchWidth, fetchToDispatch};
+    }
+
+    FuPoolParams fu;
+    BranchPredictorParams bp;
+    HierarchyParams mem;
+    LsqParams lsq;
+};
+
+/** Aggregate pipeline statistics (beyond subsystem stat groups). */
+struct PipelineStats
+{
+    Counter cycles;
+    Counter committedInsts;
+    Counter committedLoads;
+    Counter committedStores;
+    Counter committedBranches;
+    Counter dispatched;
+    Counter issued;
+    Counter branchMispredicts;
+    Counter mispredCond;       ///< direction mispredictions
+    Counter mispredBtbMiss;    ///< taken but no BTB target
+    Counter mispredTarget;     ///< taken with wrong target
+    Counter mispredReturn;     ///< RAS misses/corruption
+    Counter baselineReplays;   ///< store-resolve-detected violations
+    Counter dmdcReplays;       ///< commit-time DMDC replays
+    Counter ageTableReplays;   ///< age-table squash-all-younger replays
+    Counter loadRejections;    ///< SQ reject-and-retry events
+    Counter loadForwards;      ///< store-to-load forwards
+    Counter speculativeLoads;  ///< loads issued past unresolved stores
+};
+
+/** The pipeline. */
+class Pipeline
+{
+  public:
+    Pipeline(const CoreParams &params, Workload &workload);
+    ~Pipeline();
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run until @p num_insts instructions have committed. */
+    void run(std::uint64_t num_insts);
+
+    /** Inject an external coherence invalidation for @p addr's line. */
+    void externalInvalidation(Addr addr);
+
+    Cycle now() const { return now_; }
+    std::uint64_t committed() const
+    {
+        return stats_.committedInsts.value();
+    }
+    double
+    ipc() const
+    {
+        const auto c = stats_.cycles.value();
+        return c ? static_cast<double>(committed()) / c : 0.0;
+    }
+
+    LsqUnit &lsq() { return lsq_; }
+    const LsqUnit &lsq() const { return lsq_; }
+    const PipelineStats &stats() const { return stats_; }
+    const MemoryHierarchy &mem() const { return mem_; }
+    const FetchStage &fetch() const { return fetch_; }
+    const RegFileActivity &regfile() const { return regfile_; }
+    const CoreParams &params() const { return params_; }
+
+    /** Attach a shadow filter (Figs. 2/3); not owned. */
+    void addFilterObserver(FilterObserver *obs)
+    {
+        lsq_.addObserver(obs);
+    }
+
+    /** Zero all statistics (end-of-warm-up). */
+    void resetStats();
+
+    void regStats(StatGroup &parent);
+    StatGroup &statRoot() { return root_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        SeqNum seq;
+        DynInst *inst;
+    };
+
+    bool operandsReady(const DynInst *inst) const;
+    bool producerDone(const DynInst *producer, SeqNum pseq) const;
+    void scheduleCompletion(DynInst *inst, Cycle when);
+    void doFetch();
+    void doDispatch();
+    void doIssue();
+    void issueLoad(DynInst *inst);
+    void resolveStore(DynInst *inst);
+    void doCompletions();
+    void completeInst(DynInst *inst);
+    void resolveBranch(DynInst *inst);
+    void scanStoreData();
+    void doCommit();
+    void squashFrom(SeqNum from_seq);
+    void replayFrom(DynInst *load);
+
+    CoreParams params_;
+    Workload &workload_;
+
+    MemoryHierarchy mem_;
+    BranchPredictor predictor_;
+    FetchStage fetch_;
+    Rob rob_;
+    RenameState rename_;
+    IssueQueue intIq_;
+    IssueQueue fpIq_;
+    FuPool fuPool_;
+    RegFileActivity regfile_;
+    LsqUnit lsq_;
+
+    Cycle now_ = 0;
+    std::deque<std::unique_ptr<DynInst>> fetchQueue_;
+    std::vector<Event> completions_;    ///< min-heap on (when, seq)
+    std::vector<DynInst *> retryLoads_; ///< rejected loads awaiting retry
+    unsigned dcachePortsUsed_ = 0;
+    Cycle lastCommitCycle_ = 0;
+    std::uint64_t lastDmdcReplayIndex_ = ~std::uint64_t{0};
+    DynInst *pendingReplay_ = nullptr;  ///< deferred violation victim
+    DynInst *pendingAgeReplay_ = nullptr; ///< age-table replay store
+
+    PipelineStats stats_;
+    StatGroup root_;
+    StatGroup pipeStats_{"pipeline"};
+};
+
+} // namespace dmdc
+
+#endif // DMDC_CORE_PIPELINE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Register-file activity implementation.
+ */
+
+#include "core/regfile.hh"
+
+namespace dmdc
+{
+
+void
+RegFileActivity::noteRead(RegIndex r)
+{
+    if (r == noReg)
+        return;
+    if (isFpReg(r))
+        ++fpReads_;
+    else
+        ++intReads_;
+}
+
+void
+RegFileActivity::noteIssueReads(const DynInst *inst)
+{
+    noteRead(inst->op.src1);
+    noteRead(inst->op.src2);
+    noteRead(inst->op.src3);
+}
+
+void
+RegFileActivity::noteWriteback(const DynInst *inst)
+{
+    if (inst->op.dst == noReg)
+        return;
+    if (isFpReg(inst->op.dst))
+        ++fpWrites_;
+    else
+        ++intWrites_;
+}
+
+void
+RegFileActivity::regStats(StatGroup &parent)
+{
+    stats_.regCounter("int_reads", &intReads_);
+    stats_.regCounter("int_writes", &intWrites_);
+    stats_.regCounter("fp_reads", &fpReads_);
+    stats_.regCounter("fp_writes", &fpWrites_);
+    parent.addChild(&stats_);
+}
+
+} // namespace dmdc

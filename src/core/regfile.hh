@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Register-file port activity model. The physical register *capacity*
+ * is enforced by RenameState; this class accounts read/write port
+ * traffic for the energy model.
+ */
+
+#ifndef DMDC_CORE_REGFILE_HH
+#define DMDC_CORE_REGFILE_HH
+
+#include "common/stats.hh"
+#include "core/inst.hh"
+
+namespace dmdc
+{
+
+/** Read/write activity of the INT and FP register files. */
+class RegFileActivity
+{
+  public:
+    /** Account operand reads performed when @p inst issues. */
+    void noteIssueReads(const DynInst *inst);
+
+    /** Account the result write when @p inst completes. */
+    void noteWriteback(const DynInst *inst);
+
+    std::uint64_t intReads() const { return intReads_.value(); }
+    std::uint64_t intWrites() const { return intWrites_.value(); }
+    std::uint64_t fpReads() const { return fpReads_.value(); }
+    std::uint64_t fpWrites() const { return fpWrites_.value(); }
+
+    void regStats(StatGroup &parent);
+
+  private:
+    void noteRead(RegIndex r);
+
+    Counter intReads_;
+    Counter intWrites_;
+    Counter fpReads_;
+    Counter fpWrites_;
+    StatGroup stats_{"regfile"};
+};
+
+} // namespace dmdc
+
+#endif // DMDC_CORE_REGFILE_HH

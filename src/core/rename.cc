@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Rename state implementation.
+ */
+
+#include "core/rename.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+RenameState::RenameState(unsigned int_regs, unsigned fp_regs)
+{
+    if (int_regs < 32 || fp_regs < 32)
+        fatal("physical register files must cover the architectural "
+              "state (>= 32 each)");
+    // Architectural state consumes 32 registers of each file.
+    freeInt_ = int_regs - 32;
+    freeFp_ = fp_regs - 32;
+    map_.fill(nullptr);
+}
+
+bool
+RenameState::canRename(const MicroOp &op) const
+{
+    if (op.dst == noReg)
+        return true;
+    return isFpReg(op.dst) ? freeFp_ > 0 : freeInt_ > 0;
+}
+
+void
+RenameState::rename(DynInst *inst)
+{
+    auto bind = [this](RegIndex r, DynInst *&producer, SeqNum &pseq) {
+        if (r == noReg) {
+            producer = nullptr;
+            return;
+        }
+        producer = map_[r];
+        pseq = producer ? producer->seq : invalidSeqNum;
+    };
+    bind(inst->op.src1, inst->src1Producer, inst->src1ProducerSeq);
+    bind(inst->op.src2, inst->src2Producer, inst->src2ProducerSeq);
+    bind(inst->op.src3, inst->src3Producer, inst->src3ProducerSeq);
+
+    if (inst->op.dst != noReg) {
+        if (isFpReg(inst->op.dst)) {
+            if (freeFp_ == 0)
+                panic("rename without a free FP register");
+            --freeFp_;
+        } else {
+            if (freeInt_ == 0)
+                panic("rename without a free INT register");
+            --freeInt_;
+        }
+        inst->renamePrev = map_[inst->op.dst];
+        inst->renamePrevSeq = inst->renamePrev ? inst->renamePrev->seq
+                                               : invalidSeqNum;
+        map_[inst->op.dst] = inst;
+    }
+}
+
+void
+RenameState::release(DynInst *inst)
+{
+    if (inst->op.dst == noReg)
+        return;
+    if (isFpReg(inst->op.dst))
+        ++freeFp_;
+    else
+        ++freeInt_;
+    // The architectural map only tracks in-flight producers; once the
+    // youngest producer of a register commits, the register reads as
+    // architectural.
+    if (map_[inst->op.dst] == inst)
+        map_[inst->op.dst] = nullptr;
+}
+
+void
+RenameState::squash(DynInst *inst, SeqNum oldest_active)
+{
+    if (inst->op.dst == noReg)
+        return;
+    if (isFpReg(inst->op.dst))
+        ++freeFp_;
+    else
+        ++freeInt_;
+    if (map_[inst->op.dst] == inst) {
+        const bool prev_alive = inst->renamePrev &&
+            inst->renamePrevSeq >= oldest_active;
+        map_[inst->op.dst] = prev_alive ? inst->renamePrev : nullptr;
+    }
+}
+
+} // namespace dmdc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Register rename stage state: architectural-to-producer mapping and
+ * physical register accounting.
+ */
+
+#ifndef DMDC_CORE_RENAME_HH
+#define DMDC_CORE_RENAME_HH
+
+#include <array>
+
+#include "core/inst.hh"
+
+namespace dmdc
+{
+
+/**
+ * Rename map from architectural registers to their in-flight producers,
+ * plus free-physical-register accounting. A destination holds a
+ * physical register from dispatch until commit (a simplification of
+ * previous-mapping release that preserves the occupancy-driven stalls
+ * the paper's configurations impose).
+ */
+class RenameState
+{
+  public:
+    RenameState(unsigned int_regs, unsigned fp_regs);
+
+    /** True if a physical destination register is available for @p op. */
+    bool canRename(const MicroOp &op) const;
+
+    /**
+     * Rename @p inst: bind source producers (nullptr if the value is
+     * architectural) and claim a destination register if any.
+     */
+    void rename(DynInst *inst);
+
+    /** Release @p inst's destination register at commit. */
+    void release(DynInst *inst);
+
+    /**
+     * Undo @p inst's rename effects during a squash (youngest-first
+     * order is required). Restores the previous mapping unless that
+     * producer has itself already committed (seq below
+     * @p oldest_active), in which case the register reads as
+     * architectural.
+     */
+    void squash(DynInst *inst, SeqNum oldest_active);
+
+    unsigned freeIntRegs() const { return freeInt_; }
+    unsigned freeFpRegs() const { return freeFp_; }
+
+  private:
+    std::array<DynInst *, numArchRegs> map_{};
+    unsigned freeInt_;
+    unsigned freeFp_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_CORE_RENAME_HH

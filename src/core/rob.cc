@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ROB implementation.
+ */
+
+#include "core/rob.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+Rob::Rob(unsigned capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("ROB capacity must be non-zero");
+}
+
+DynInst *
+Rob::allocate(std::unique_ptr<DynInst> inst)
+{
+    if (full())
+        panic("ROB allocate on full ROB");
+    if (!insts_.empty() && inst->seq <= insts_.back()->seq)
+        panic("ROB allocation out of age order");
+    insts_.push_back(std::move(inst));
+    return insts_.back().get();
+}
+
+void
+Rob::retireHead()
+{
+    if (insts_.empty())
+        panic("ROB retire on empty ROB");
+    insts_.pop_front();
+}
+
+void
+Rob::squashFrom(SeqNum from_seq,
+                const std::function<void(DynInst *)> &on_squash)
+{
+    while (!insts_.empty() && insts_.back()->seq >= from_seq) {
+        DynInst *inst = insts_.back().get();
+        inst->stage = InstStage::Squashed;
+        on_squash(inst);
+        insts_.pop_back();
+    }
+}
+
+} // namespace dmdc

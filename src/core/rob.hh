@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reorder buffer: age-ordered window of in-flight instructions. Owns
+ * the DynInst objects for the whole pipeline.
+ */
+
+#ifndef DMDC_CORE_ROB_HH
+#define DMDC_CORE_ROB_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "core/inst.hh"
+
+namespace dmdc
+{
+
+/**
+ * The ROB owns every in-flight instruction; other structures (issue
+ * queues, LSQ) hold non-owning pointers that must be dropped when the
+ * ROB squashes.
+ */
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity);
+
+    bool full() const { return insts_.size() >= capacity_; }
+    bool empty() const { return insts_.empty(); }
+    std::size_t size() const { return insts_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Append at the tail (program order). The ROB takes ownership. */
+    DynInst *allocate(std::unique_ptr<DynInst> inst);
+
+    /** Oldest instruction, or nullptr when empty. */
+    DynInst *head() { return insts_.empty() ? nullptr
+                                            : insts_.front().get(); }
+    const DynInst *
+    head() const
+    {
+        return insts_.empty() ? nullptr : insts_.front().get();
+    }
+
+    /** Youngest instruction, or nullptr when empty. */
+    DynInst *tail() { return insts_.empty() ? nullptr
+                                            : insts_.back().get(); }
+
+    /** Retire the head instruction (must exist). */
+    void retireHead();
+
+    /**
+     * Remove all instructions with seq >= @p from_seq (inclusive
+     * squash), invoking @p on_squash on each before destruction,
+     * youngest first.
+     */
+    void squashFrom(SeqNum from_seq,
+                    const std::function<void(DynInst *)> &on_squash);
+
+    /** Iterate oldest to youngest. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &inst : insts_)
+            fn(inst.get());
+    }
+
+  private:
+    std::deque<std::unique_ptr<DynInst>> insts_;
+    unsigned capacity_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_CORE_ROB_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytic array energy implementation.
+ */
+
+#include "energy/array_model.hh"
+
+#include <cmath>
+
+namespace dmdc
+{
+
+namespace array_model
+{
+
+namespace
+{
+
+// Relative technology coefficients. The absolute scale is arbitrary;
+// the ratios (CAM match cost vs. RAM bitline cost vs. register access)
+// follow Wattch's published breakdowns for ~100nm-era arrays.
+constexpr double decodeUnit = 0.6;    ///< per log2(rows)
+constexpr double wordlineUnit = 0.12; ///< per bit of row width
+constexpr double bitlineUnit = 0.018; ///< per (row x bit) column charge
+constexpr double senseUnit = 0.25;    ///< per bit sensed
+constexpr double matchUnit = 0.06;    ///< per (row x tag bit) CAM compare
+constexpr double regUnit = 0.08;      ///< per bit of a discrete register
+
+double
+log2d(unsigned v)
+{
+    return v <= 1 ? 1.0 : std::log2(static_cast<double>(v));
+}
+
+} // namespace
+
+double
+ramRead(unsigned rows, unsigned bits)
+{
+    return decodeUnit * log2d(rows) + wordlineUnit * bits +
+        bitlineUnit * rows * 0.08 * bits + senseUnit * bits;
+}
+
+double
+ramWrite(unsigned rows, unsigned bits)
+{
+    // Writes skip sensing but drive full bitline swings.
+    return decodeUnit * log2d(rows) + wordlineUnit * bits +
+        bitlineUnit * rows * 0.12 * bits;
+}
+
+double
+camSearch(unsigned rows, unsigned tag_bits)
+{
+    // Every row's tag comparators and match line participate.
+    return matchUnit * rows * tag_bits + decodeUnit * log2d(rows);
+}
+
+double
+registerAccess(unsigned bits)
+{
+    return regUnit * bits;
+}
+
+} // namespace array_model
+
+} // namespace dmdc

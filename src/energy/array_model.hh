@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Analytic per-access energy model for RAM arrays and CAMs, in the
+ * spirit of Wattch's capacitance-based array model but reduced to the
+ * terms that matter for *relative* comparisons: decoder (log rows),
+ * wordline (row width) and bitline (column height) for RAMs; match-line
+ * and tag-line energy proportional to entries x tag width for CAMs.
+ *
+ * Units are arbitrary "energy units" (calibrated once, see
+ * energy_model.cc); every paper result is a ratio, so only relative
+ * costs matter.
+ */
+
+#ifndef DMDC_ENERGY_ARRAY_MODEL_HH
+#define DMDC_ENERGY_ARRAY_MODEL_HH
+
+namespace dmdc
+{
+
+/** Per-access energies of idealized storage structures. */
+namespace array_model
+{
+
+/** Energy of reading one @p bits-wide entry of a @p rows-entry RAM. */
+double ramRead(unsigned rows, unsigned bits);
+
+/** Energy of writing one entry. */
+double ramWrite(unsigned rows, unsigned bits);
+
+/**
+ * Energy of one fully-associative search: every entry's tag
+ * comparators and match line switch.
+ */
+double camSearch(unsigned rows, unsigned tag_bits);
+
+/** Energy of one access to a small discrete register (e.g. YLA). */
+double registerAccess(unsigned bits);
+
+} // namespace array_model
+
+} // namespace dmdc
+
+#endif // DMDC_ENERGY_ARRAY_MODEL_HH

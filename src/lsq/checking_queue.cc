@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Associative checking queue implementation.
+ */
+
+#include "lsq/checking_queue.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+CheckingQueue::CheckingQueue(unsigned entries) : capacity_(entries)
+{
+    if (entries == 0)
+        fatal("checking queue needs at least one entry");
+    stores_.reserve(entries);
+}
+
+bool
+CheckingQueue::addStore(Addr addr, unsigned size,
+                        const GhostStoreRecord &ghost)
+{
+    if (stores_.size() >= capacity_) {
+        overflowed_ = true;
+        return false;
+    }
+    stores_.push_back(StoreEntry{addr, size, ghost});
+    return true;
+}
+
+TableCheck
+CheckingQueue::checkLoad(Addr addr, unsigned size) const
+{
+    TableCheck result;
+    matchGhosts_.clear();
+    for (const StoreEntry &s : stores_) {
+        if (rangesOverlap(addr, size, s.addr, s.size)) {
+            result.wrtHit = true;
+            matchGhosts_.push_back(s.ghost);
+        }
+    }
+    result.ghosts = &matchGhosts_;
+    return result;
+}
+
+void
+CheckingQueue::clear()
+{
+    stores_.clear();
+    overflowed_ = false;
+}
+
+} // namespace dmdc

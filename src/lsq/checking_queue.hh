@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Associative checking queue — the Sec. 6.2.3 alternative to the
+ * checking table. Unsafe stores occupy full-address entries; committing
+ * loads compare against all valid entries, so there are no hashing
+ * conflicts, but queue overflow forces conservative replays.
+ */
+
+#ifndef DMDC_LSQ_CHECKING_QUEUE_HH
+#define DMDC_LSQ_CHECKING_QUEUE_HH
+
+#include <vector>
+
+#include "lsq/checking_table.hh"
+
+namespace dmdc
+{
+
+/** The associative alternative to CheckingTable. */
+class CheckingQueue
+{
+  public:
+    explicit CheckingQueue(unsigned entries);
+
+    /**
+     * Record an unsafe store.
+     * @return false on overflow (caller must replay conservatively
+     *         until the window ends)
+     */
+    bool addStore(Addr addr, unsigned size,
+                  const GhostStoreRecord &ghost);
+
+    /** Associative load check: any overlapping valid entry? */
+    TableCheck checkLoad(Addr addr, unsigned size) const;
+
+    /** End of checking window. */
+    void clear();
+
+    bool overflowed() const { return overflowed_; }
+    unsigned numEntries() const { return capacity_; }
+    unsigned occupancy() const
+    {
+        return static_cast<unsigned>(stores_.size());
+    }
+
+  private:
+    struct StoreEntry
+    {
+        Addr addr;
+        unsigned size;
+        GhostStoreRecord ghost;
+    };
+
+    std::vector<StoreEntry> stores_;
+    mutable std::vector<GhostStoreRecord> matchGhosts_;
+    unsigned capacity_;
+    bool overflowed_ = false;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_LSQ_CHECKING_QUEUE_HH

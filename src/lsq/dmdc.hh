@@ -1,0 +1,170 @@
+/**
+ * @file
+ * DMDC engine — Delayed Memory Dependence Checking (paper Sec. 4).
+ *
+ * Orchestrates the YLA register sets, the end-check register, the
+ * checking table (or associative checking queue), safe-store /
+ * safe-load classification, checking-window lifecycle, coherence
+ * invalidations, and the false-replay classification of Tables 3/5.
+ */
+
+#ifndef DMDC_LSQ_DMDC_HH
+#define DMDC_LSQ_DMDC_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "core/inst.hh"
+#include "lsq/checking_queue.hh"
+#include "lsq/checking_table.hh"
+#include "lsq/yla.hh"
+
+namespace dmdc
+{
+
+/** End-check register management policy (Sec. 4.4). */
+enum class DmdcVariant : std::uint8_t
+{
+    Global,   ///< unsafe stores push the register at issue time
+    Local,    ///< each store remembers its own boundary until commit
+};
+
+/** Configuration of the DMDC engine. */
+struct DmdcParams
+{
+    unsigned tableEntries = 2048;
+    unsigned numYlaQw = 8;        ///< quad-word-interleaved YLA set
+    unsigned numYlaLine = 8;      ///< line-interleaved set (coherence)
+    unsigned lineBytes = 64;
+    DmdcVariant variant = DmdcVariant::Global;
+    bool coherence = false;       ///< INV support + line YLA set
+    bool safeLoads = true;        ///< safe-load detection (ablation)
+    bool useQueue = false;        ///< associative checking queue
+    unsigned queueEntries = 16;
+};
+
+/** Classification of one replay (Tables 3/5 taxonomy). */
+struct ReplayClass
+{
+    bool replay = false;
+    bool trueViolation = false;
+    bool addrMatch = false;      ///< real address overlap with a store
+    bool queueOverflow = false;  ///< conservative overflow replay
+    enum class Timing : std::uint8_t { Before, InWindowX, MergedY };
+    Timing timing = Timing::InWindowX;
+};
+
+/** The DMDC engine. */
+class DmdcEngine
+{
+  public:
+    explicit DmdcEngine(const DmdcParams &params);
+    ~DmdcEngine();
+
+    // ---- issue-time hooks ----
+
+    /** A load (any path) obtained its value. */
+    void loadIssued(Addr addr, SeqNum seq);
+
+    /**
+     * A store's address resolved: YLA filter decides safe/unsafe and
+     * captures the window boundary in @p store. Global variant pushes
+     * the end-check register here.
+     */
+    void storeResolved(DynInst *store, Cycle now);
+
+    /** Branch misprediction recovery: clamp YLA and end-check state. */
+    void branchRecovery(SeqNum branch_seq);
+
+    // ---- commit-time hooks ----
+
+    /**
+     * Called for EVERY committing instruction, before retirement.
+     * Handles unsafe-store table marking, load checking, window
+     * bookkeeping and termination.
+     * @param suppress_replay treat a table hit as clean (used for a
+     *        load whose re-execution is provably correct)
+     * @return replay classification; .replay set if the committing
+     *         load must be replayed.
+     */
+    ReplayClass commit(DynInst *inst, Cycle now,
+                       bool suppress_replay = false);
+
+    /**
+     * An external invalidation of the line at @p addr arrived.
+     * @param oldest_active seq of the oldest in-flight instruction; a
+     *        line bank whose recorded age is older holds no in-flight
+     *        load, so no checking window is needed.
+     */
+    void invalidationArrived(Addr addr, Cycle now,
+                             SeqNum oldest_active = invalidSeqNum);
+
+    /** Per-cycle bookkeeping (checking-mode cycle counting). */
+    void tick();
+
+    bool checkingActive() const { return checking_; }
+    SeqNum endCheck() const { return endCheck_; }
+    const DmdcParams &params() const { return params_; }
+
+    void regStats(StatGroup &parent);
+
+    // Raw statistic accessors used by the result layer.
+    struct Stats;
+    const Stats &stats() const { return *stats_; }
+
+    /** All counters the engine maintains. */
+    struct Stats
+    {
+        Counter safeStores;
+        Counter unsafeStores;
+        Counter safeLoadsMarked;   ///< committed correct-path safe loads
+        Counter checkingCycles;
+        Counter windows;
+        Counter windowsSingleStore;
+        Average windowInstrs;
+        Average windowLoads;
+        Average windowSafeLoads;
+        Average windowUnsafeStores;
+        Average windowMarkedEntries;
+        Counter tableReads;
+        Counter tableWrites;
+        Counter replays;
+        Counter trueReplays;
+        Counter falseAddrX;
+        Counter falseAddrY;
+        Counter falseHashBefore;
+        Counter falseHashX;
+        Counter falseHashY;
+        Counter falseOverflow;
+        Counter invActivations;
+    };
+
+  private:
+    ReplayClass classifyReplay(const DynInst *load,
+                               const std::vector<GhostStoreRecord> &gs,
+                               bool overflow) const;
+    void terminateWindow();
+
+    DmdcParams params_;
+    YlaFile ylaQw_;
+    YlaFile ylaLine_;
+    std::unique_ptr<CheckingTable> table_;
+    std::unique_ptr<CheckingQueue> queue_;
+
+    bool checking_ = false;
+    SeqNum endCheck_ = invalidSeqNum;
+
+    // Current-window accumulators.
+    std::uint64_t winInstrs_ = 0;
+    std::uint64_t winLoads_ = 0;
+    std::uint64_t winSafeLoads_ = 0;
+    std::uint64_t winUnsafeStores_ = 0;
+    unsigned winMarkedPeak_ = 0;
+
+    std::unique_ptr<Stats> stats_;
+    StatGroup statGroup_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_LSQ_DMDC_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Load queue implementation.
+ */
+
+#include "lsq/load_queue.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+LoadQueue::LoadQueue(unsigned capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("load queue capacity must be non-zero");
+}
+
+void
+LoadQueue::allocate(DynInst *load)
+{
+    if (full())
+        panic("LQ allocate on full queue");
+    if (!entries_.empty() && load->seq <= entries_.back()->seq)
+        panic("LQ allocation out of age order");
+    entries_.push_back(load);
+}
+
+DynInst *
+LoadQueue::searchViolation(SeqNum store_seq, Addr addr,
+                           unsigned size) const
+{
+    // Oldest-first: the replay must restart from the oldest offender.
+    for (DynInst *load : entries_) {
+        if (load->seq <= store_seq || !load->loadIssued)
+            continue;
+        if (!rangesOverlap(addr, size, load->op.effAddr,
+                           load->op.memSize)) {
+            continue;
+        }
+        // A load that forwarded from a store younger than the resolving
+        // store already has correct (or newer) data.
+        if (load->forwardedFrom != invalidSeqNum &&
+            load->forwardedFrom > store_seq) {
+            continue;
+        }
+        return load;
+    }
+    return nullptr;
+}
+
+void
+LoadQueue::releaseHead(DynInst *load)
+{
+    if (entries_.empty() || entries_.front() != load)
+        panic("LQ release of a non-head load");
+    entries_.pop_front();
+}
+
+void
+LoadQueue::squashFrom(SeqNum from_seq)
+{
+    while (!entries_.empty() && entries_.back()->seq >= from_seq)
+        entries_.pop_back();
+}
+
+} // namespace dmdc

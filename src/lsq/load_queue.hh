@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Load queue. In the conventional scheme it is a fully-associative
+ * age-ordered CAM searched by resolving stores; under DMDC the same
+ * structure is used purely as a FIFO of hash keys (no associative
+ * search is architecturally performed — the ghost search used for
+ * ground truth is free of energy accounting).
+ */
+
+#ifndef DMDC_LSQ_LOAD_QUEUE_HH
+#define DMDC_LSQ_LOAD_QUEUE_HH
+
+#include <deque>
+
+#include "core/inst.hh"
+
+namespace dmdc
+{
+
+/** The load queue. */
+class LoadQueue
+{
+  public:
+    explicit LoadQueue(unsigned capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Allocate at dispatch, program order. */
+    void allocate(DynInst *load);
+
+    /**
+     * Associative violation search performed by a resolving store:
+     * find the oldest load younger than @p store_seq that has already
+     * issued, overlaps [@p addr, @p addr + @p size) and obtained its
+     * value from the cache or from a store older than @p store_seq.
+     * @return the offending load, or nullptr.
+     */
+    DynInst *searchViolation(SeqNum store_seq, Addr addr,
+                             unsigned size) const;
+
+    /** Remove the head load at commit (must be the oldest). */
+    void releaseHead(DynInst *load);
+
+    /** Remove all loads with seq >= @p from_seq. */
+    void squashFrom(SeqNum from_seq);
+
+    /** Iterate oldest to youngest. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (DynInst *load : entries_)
+            fn(load);
+    }
+
+  private:
+    std::deque<DynInst *> entries_;
+    unsigned capacity_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_LSQ_LOAD_QUEUE_HH

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * LSQ unit implementation.
+ */
+
+#include "lsq/lsq_unit.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+YlaObserver::YlaObserver(std::string name, unsigned num_regs,
+                         unsigned grain_bytes)
+    : name_(std::move(name)), yla_(num_regs, grain_bytes)
+{
+}
+
+void
+YlaObserver::loadIssued(Addr addr, SeqNum seq)
+{
+    yla_.loadIssued(addr, seq);
+}
+
+void
+YlaObserver::storeResolved(Addr addr, SeqNum seq)
+{
+    ++observed_;
+    if (yla_.storeSafe(addr, seq))
+        ++filtered_;
+}
+
+void
+YlaObserver::branchRecovery(SeqNum branch_seq)
+{
+    yla_.branchRecovery(branch_seq);
+}
+
+BloomObserver::BloomObserver(std::string name, unsigned buckets)
+    : name_(std::move(name)), bloom_(buckets)
+{
+}
+
+void
+BloomObserver::loadDispatched(Addr addr)
+{
+    bloom_.loadIssued(addr);
+}
+
+void
+BloomObserver::loadIssued(Addr addr, SeqNum seq)
+{
+    (void)addr;
+    (void)seq;
+}
+
+void
+BloomObserver::loadRemoved(Addr addr)
+{
+    bloom_.loadRemoved(addr);
+}
+
+void
+BloomObserver::storeResolved(Addr addr, SeqNum seq)
+{
+    (void)seq;
+    ++observed_;
+    if (bloom_.storeFiltered(addr))
+        ++filtered_;
+}
+
+LsqUnit::LsqUnit(const LsqParams &params)
+    : params_(params), sq_(params.sqSize), lq_(params.lqSize),
+      statGroup_("lsq")
+{
+    switch (params_.scheme) {
+      case LsqScheme::Conventional:
+        break;
+      case LsqScheme::YlaFiltered:
+        yla_ = std::make_unique<YlaFile>(params_.dmdc.numYlaQw,
+                                         quadWordBytes);
+        break;
+      case LsqScheme::Dmdc:
+        dmdc_ = std::make_unique<DmdcEngine>(params_.dmdc);
+        break;
+      case LsqScheme::AgeTable:
+        ageTable_ = std::make_unique<AgeTable>(
+            params_.ageTableEntries);
+        break;
+    }
+}
+
+void
+LsqUnit::regStats(StatGroup &parent)
+{
+    statGroup_.regCounter("lq_inserts", &activity_.lqInserts);
+    statGroup_.regCounter("lq_searches", &activity_.lqSearches);
+    statGroup_.regCounter("lq_searches_filtered",
+                          &activity_.lqSearchesFiltered);
+    statGroup_.regCounter("lq_inv_searches", &activity_.lqInvSearches);
+    statGroup_.regCounter("sq_inserts", &activity_.sqInserts);
+    statGroup_.regCounter("sq_searches", &activity_.sqSearches);
+    statGroup_.regCounter("loads_older_than_all_stores",
+                          &activity_.loadsOlderThanAllStores);
+    statGroup_.regCounter("sq_searches_filtered",
+                          &activity_.sqSearchesFiltered);
+    statGroup_.regCounter("yla_reads", &activity_.ylaReads);
+    statGroup_.regCounter("yla_writes", &activity_.ylaWrites);
+    statGroup_.regCounter("age_table_reads",
+                          &activity_.ageTableReads);
+    statGroup_.regCounter("age_table_writes",
+                          &activity_.ageTableWrites);
+    statGroup_.regCounter("age_table_replays",
+                          &activity_.ageTableReplays);
+    statGroup_.regCounter("true_violations",
+                          &activity_.trueViolationsDetected);
+    parent.addChild(&statGroup_);
+    if (dmdc_)
+        dmdc_->regStats(parent);
+}
+
+void
+LsqUnit::dispatchLoad(DynInst *inst)
+{
+    lq_.allocate(inst);
+    ++activity_.lqInserts;
+    for (FilterObserver *obs : observers_)
+        obs->loadDispatched(inst->op.effAddr);
+}
+
+void
+LsqUnit::dispatchStore(DynInst *inst)
+{
+    sq_.allocate(inst);
+    ++activity_.sqInserts;
+}
+
+SqCheckResult
+LsqUnit::loadIssue(DynInst *inst, Cycle now)
+{
+    (void)now;
+    // Sec. 3 "filtering for stores": loads older than every in-flight
+    // store could skip this search entirely (statistic only; the paper
+    // evaluates LQ filtering and keeps the SQ search).
+    const SeqNum oldest_store = sq_.oldestStoreSeq();
+    const bool no_older_store =
+        oldest_store == invalidSeqNum || inst->seq < oldest_store;
+    if (no_older_store)
+        ++activity_.loadsOlderThanAllStores;
+
+    if (params_.sqFilter && no_older_store) {
+        // Sec. 3 extension: nothing older to forward from or conflict
+        // with; skip the associative search (and its energy).
+        ++activity_.sqSearchesFiltered;
+        inst->safeLoad = true;
+        return SqCheckResult{};
+    }
+
+    ++activity_.sqSearches;
+    SqCheckResult result = sq_.checkLoad(inst->seq, inst->op.effAddr,
+                                         inst->op.memSize);
+    // Safe-load detection (Fig. 1b): every older store resolved.
+    if (result.outcome != SqCheck::Reject)
+        inst->safeLoad = !result.sawUnresolvedOlder;
+    return result;
+}
+
+void
+LsqUnit::loadComplete(DynInst *inst, Cycle now, SeqNum forwarded_from)
+{
+    inst->loadIssued = true;
+    inst->memIssueCycle = now;
+    inst->forwardedFrom = forwarded_from;
+
+    const Addr addr = inst->op.effAddr;
+    if (yla_) {
+        yla_->loadIssued(addr, inst->seq);
+        ++activity_.ylaWrites;
+    }
+    if (dmdc_) {
+        dmdc_->loadIssued(addr, inst->seq);
+        ++activity_.ylaWrites;
+    }
+    if (ageTable_) {
+        ageTable_->loadIssued(addr, inst->seq);
+        ++activity_.ageTableWrites;
+    }
+    for (FilterObserver *obs : observers_)
+        obs->loadIssued(addr, inst->seq);
+}
+
+void
+LsqUnit::ghostCheck(DynInst *store)
+{
+    DynInst *victim = lq_.searchViolation(store->seq, store->op.effAddr,
+                                          store->op.memSize);
+    if (victim && !victim->ghostViolation) {
+        victim->ghostViolation = true;
+        victim->ghostViolatingStore = store->seq;
+        if (!store->wrongPath && !victim->wrongPath)
+            ++activity_.trueViolationsDetected;
+    }
+}
+
+StoreResolveResult
+LsqUnit::storeResolve(DynInst *inst, Cycle now)
+{
+    StoreResolveResult result;
+    sq_.setAddress(inst);
+
+    for (FilterObserver *obs : observers_)
+        obs->storeResolved(inst->op.effAddr, inst->seq);
+
+    switch (params_.scheme) {
+      case LsqScheme::Conventional:
+        ++activity_.lqSearches;
+        result.violatingLoad = lq_.searchViolation(
+            inst->seq, inst->op.effAddr, inst->op.memSize);
+        if (result.violatingLoad && !inst->wrongPath &&
+            !result.violatingLoad->wrongPath) {
+            ++activity_.trueViolationsDetected;
+            if (std::getenv("DMDC_DEBUG_VIOLATIONS")) {
+                std::fprintf(stderr,
+                             "viol: st seq=%llu a=%llx sz=%u ic=%llu | "
+                             "ld seq=%llu a=%llx sz=%u fwd=%llu "
+                             "mic=%llu rej=%d safe=%d\n",
+                             (unsigned long long)inst->seq,
+                             (unsigned long long)inst->op.effAddr,
+                             inst->op.memSize,
+                             (unsigned long long)inst->issueCycle,
+                             (unsigned long long)
+                                 result.violatingLoad->seq,
+                             (unsigned long long)
+                                 result.violatingLoad->op.effAddr,
+                             result.violatingLoad->op.memSize,
+                             (unsigned long long)
+                                 result.violatingLoad->forwardedFrom,
+                             (unsigned long long)
+                                 result.violatingLoad->memIssueCycle,
+                             (int)result.violatingLoad->rejected,
+                             (int)result.violatingLoad->safeLoad);
+            }
+        }
+        break;
+
+      case LsqScheme::YlaFiltered: {
+        ++activity_.ylaReads;
+        if (yla_->storeSafe(inst->op.effAddr, inst->seq)) {
+            inst->safeStore = true;
+            ++activity_.lqSearchesFiltered;
+            // Safety invariant: a YLA-safe store can have no younger
+            // issued load at all in its bank, hence no violation.
+            DynInst *ghost = lq_.searchViolation(
+                inst->seq, inst->op.effAddr, inst->op.memSize);
+            if (ghost)
+                panic("YLA filtered a store with a real violation "
+                      "(store seq %llu, load seq %llu)",
+                      static_cast<unsigned long long>(inst->seq),
+                      static_cast<unsigned long long>(ghost->seq));
+        } else {
+            ++activity_.lqSearches;
+            result.violatingLoad = lq_.searchViolation(
+                inst->seq, inst->op.effAddr, inst->op.memSize);
+            if (result.violatingLoad && !inst->wrongPath &&
+                !result.violatingLoad->wrongPath) {
+                ++activity_.trueViolationsDetected;
+            }
+        }
+        break;
+      }
+
+      case LsqScheme::Dmdc:
+        ++activity_.ylaReads;
+        dmdc_->storeResolved(inst, now);
+        // Ground truth for false-replay classification and the safety
+        // property; architecturally no LQ search happens.
+        ghostCheck(inst);
+        break;
+
+      case LsqScheme::AgeTable:
+        ++activity_.ageTableReads;
+        if (ageTable_->storeNeedsReplay(inst->op.effAddr,
+                                        inst->seq)) {
+            result.replayAllYounger = true;
+            ++activity_.ageTableReplays;
+        }
+        ghostCheck(inst);
+        break;
+    }
+    return result;
+}
+
+void
+LsqUnit::storeDataReady(DynInst *inst)
+{
+    inst->sqDataReady = true;
+}
+
+ReplayClass
+LsqUnit::commit(DynInst *inst, Cycle now, bool suppress_replay)
+{
+    ReplayClass rc;
+    if (dmdc_)
+        rc = dmdc_->commit(inst, now, suppress_replay);
+
+    if (rc.replay) {
+        // The load will be squashed and re-executed; do not release
+        // its queue entry here (squashFrom handles it).
+        return rc;
+    }
+
+    if (inst->isLoad()) {
+        for (FilterObserver *obs : observers_)
+            obs->loadRemoved(inst->op.effAddr);
+        lq_.releaseHead(inst);
+    } else if (inst->isStore()) {
+        sq_.releaseHead(inst);
+    }
+    return rc;
+}
+
+void
+LsqUnit::squashFrom(SeqNum from_seq)
+{
+    // Bloom-style observers must see every in-flight load leave.
+    lq_.forEach([this, from_seq](DynInst *load) {
+        if (load->seq >= from_seq) {
+            for (FilterObserver *obs : observers_)
+                obs->loadRemoved(load->op.effAddr);
+        }
+    });
+    lq_.squashFrom(from_seq);
+    sq_.squashFrom(from_seq);
+}
+
+void
+LsqUnit::branchRecovery(SeqNum branch_seq)
+{
+    if (yla_)
+        yla_->branchRecovery(branch_seq);
+    if (dmdc_)
+        dmdc_->branchRecovery(branch_seq);
+    if (ageTable_)
+        ageTable_->branchRecovery(branch_seq);
+    for (FilterObserver *obs : observers_)
+        obs->branchRecovery(branch_seq);
+}
+
+void
+LsqUnit::invalidationArrived(Addr addr, Cycle now,
+                             SeqNum oldest_active)
+{
+    switch (params_.scheme) {
+      case LsqScheme::Conventional:
+      case LsqScheme::YlaFiltered:
+      case LsqScheme::AgeTable:
+        // Conventional coherence support searches the LQ on every
+        // external invalidation (Sec. 2); the age-table design would
+        // need an analogous lookup.
+        ++activity_.lqInvSearches;
+        break;
+      case LsqScheme::Dmdc:
+        dmdc_->invalidationArrived(addr, now, oldest_active);
+        break;
+    }
+}
+
+void
+LsqUnit::tick()
+{
+    if (dmdc_)
+        dmdc_->tick();
+}
+
+} // namespace dmdc

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * LSQ unit facade: owns the store queue, load queue and (scheme-
+ * dependent) the YLA filter / DMDC engine, and exposes the hooks the
+ * pipeline calls. Also hosts the shadow-filter observer interface used
+ * to measure many filter configurations in a single run (Figs. 2/3).
+ */
+
+#ifndef DMDC_LSQ_LSQ_UNIT_HH
+#define DMDC_LSQ_LSQ_UNIT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "lsq/age_table.hh"
+#include "lsq/bloom.hh"
+#include "lsq/dmdc.hh"
+#include "lsq/load_queue.hh"
+#include "lsq/store_queue.hh"
+#include "lsq/yla.hh"
+
+namespace dmdc
+{
+
+/** Memory-dependence enforcement scheme under evaluation. */
+enum class LsqScheme : std::uint8_t
+{
+    Conventional,  ///< associative LQ searched by every store
+    YlaFiltered,   ///< associative LQ + YLA filter (Sec. 3)
+    Dmdc,          ///< DMDC replaces the associative LQ (Sec. 4)
+    AgeTable,      ///< Garg et al. fused age/address hash table
+};
+
+/** LSQ configuration. */
+struct LsqParams
+{
+    LsqScheme scheme = LsqScheme::Conventional;
+    unsigned lqSize = 96;
+    unsigned sqSize = 48;
+    DmdcParams dmdc;   ///< used by YlaFiltered (YLA geometry) and Dmdc
+    /**
+     * SQ-side age filter (paper Sec. 3 "filtering for stores", left
+     * as future work there): a load older than every in-flight store
+     * skips the associative SQ search entirely. Exact, not heuristic:
+     * with no older store there is nothing to forward or reject.
+     */
+    bool sqFilter = false;
+    unsigned ageTableEntries = 2048;   ///< AgeTable scheme size
+};
+
+/**
+ * Passive shadow filter attached to a run: observes the same load/store
+ * events as the real mechanism and reports what it *would* filter.
+ * Filtering never changes timing, so one run measures all variants.
+ */
+class FilterObserver
+{
+  public:
+    virtual ~FilterObserver() = default;
+
+    /** A load entered the LQ (dispatch). */
+    virtual void loadDispatched(Addr addr) { (void)addr; }
+    /** A load obtained its value. */
+    virtual void loadIssued(Addr addr, SeqNum seq) = 0;
+    /** A load left the machine (committed or squashed, any state). */
+    virtual void loadRemoved(Addr addr) = 0;
+    /** A store resolved; record whether this filter avoids the search. */
+    virtual void storeResolved(Addr addr, SeqNum seq) = 0;
+    virtual void branchRecovery(SeqNum branch_seq) = 0;
+
+    virtual const std::string &name() const = 0;
+    virtual std::uint64_t storesObserved() const = 0;
+    virtual std::uint64_t storesFiltered() const = 0;
+
+    double
+    filteredFraction() const
+    {
+        const auto n = storesObserved();
+        return n ? static_cast<double>(storesFiltered()) / n : 0.0;
+    }
+};
+
+/** Shadow YLA filter of a given geometry. */
+class YlaObserver : public FilterObserver
+{
+  public:
+    YlaObserver(std::string name, unsigned num_regs,
+                unsigned grain_bytes);
+
+    void loadIssued(Addr addr, SeqNum seq) override;
+    void loadRemoved(Addr addr) override {}
+    void storeResolved(Addr addr, SeqNum seq) override;
+    void branchRecovery(SeqNum branch_seq) override;
+
+    const std::string &name() const override { return name_; }
+    std::uint64_t storesObserved() const override { return observed_; }
+    std::uint64_t storesFiltered() const override { return filtered_; }
+
+  private:
+    std::string name_;
+    YlaFile yla_;
+    std::uint64_t observed_ = 0;
+    std::uint64_t filtered_ = 0;
+};
+
+/**
+ * Shadow counting-bloom filter (address-only baseline of Fig. 3).
+ * Faithful to Sethumadhavan et al.: membership covers every load in
+ * the LQ from dispatch to commit/squash — the filter cannot know
+ * whether a load has issued, only that it is in flight.
+ */
+class BloomObserver : public FilterObserver
+{
+  public:
+    BloomObserver(std::string name, unsigned buckets);
+
+    void loadDispatched(Addr addr) override;
+    void loadIssued(Addr addr, SeqNum seq) override;
+    void loadRemoved(Addr addr) override;
+    void storeResolved(Addr addr, SeqNum seq) override;
+    void branchRecovery(SeqNum branch_seq) override {}
+
+    const std::string &name() const override { return name_; }
+    std::uint64_t storesObserved() const override { return observed_; }
+    std::uint64_t storesFiltered() const override { return filtered_; }
+
+  private:
+    std::string name_;
+    CountingBloomFilter bloom_;
+    std::uint64_t observed_ = 0;
+    std::uint64_t filtered_ = 0;
+};
+
+/** Result of a store resolution, as seen by the pipeline. */
+struct StoreResolveResult
+{
+    DynInst *violatingLoad = nullptr;  ///< replay target (baseline/YLA)
+    /**
+     * AgeTable scheme: the table cannot name the offending load, so
+     * everything younger than the store must be squashed.
+     */
+    bool replayAllYounger = false;
+};
+
+/** The LSQ unit. */
+class LsqUnit
+{
+  public:
+    explicit LsqUnit(const LsqParams &params);
+
+    bool canDispatchLoad() const { return !lq_.full(); }
+    bool canDispatchStore() const { return !sq_.full(); }
+    void dispatchLoad(DynInst *inst);
+    void dispatchStore(DynInst *inst);
+
+    /**
+     * A load issues to memory: associative SQ check plus safe-load
+     * detection. Does not yet mark the load as issued (the pipeline
+     * may have to reject/retry it).
+     */
+    SqCheckResult loadIssue(DynInst *inst, Cycle now);
+
+    /**
+     * The load obtained its value (from cache or forwarding): record
+     * it in the LQ, update YLA/DMDC and shadow filters.
+     */
+    void loadComplete(DynInst *inst, Cycle now,
+                      SeqNum forwarded_from);
+
+    /** A store's address resolved: filter and/or search the LQ. */
+    StoreResolveResult storeResolve(DynInst *inst, Cycle now);
+
+    /** A store's data became ready. */
+    void storeDataReady(DynInst *inst);
+
+    /**
+     * Commit an instruction (any type). For DMDC this may request a
+     * replay of the committing load unless @p suppress_replay.
+     */
+    ReplayClass commit(DynInst *inst, Cycle now,
+                       bool suppress_replay = false);
+
+    /** Squash all LSQ state with seq >= @p from_seq. */
+    void squashFrom(SeqNum from_seq);
+
+    /** Branch misprediction recovery (YLA clamping). */
+    void branchRecovery(SeqNum branch_seq);
+
+    /** External invalidation of the line containing @p addr. */
+    void invalidationArrived(Addr addr, Cycle now,
+                             SeqNum oldest_active = invalidSeqNum);
+
+    /** Per-cycle hook. */
+    void tick();
+
+    void addObserver(FilterObserver *obs) { observers_.push_back(obs); }
+
+    const StoreQueue &storeQueue() const { return sq_; }
+    const LoadQueue &loadQueue() const { return lq_; }
+    const LsqParams &params() const { return params_; }
+    DmdcEngine *dmdc() { return dmdc_.get(); }
+    const DmdcEngine *dmdc() const { return dmdc_.get(); }
+
+    void regStats(StatGroup &parent);
+
+    /** Activity counters feeding the energy model. */
+    struct Activity
+    {
+        Counter lqInserts;
+        Counter lqSearches;        ///< associative searches performed
+        Counter lqSearchesFiltered;///< searches avoided by YLA
+        Counter lqInvSearches;     ///< invalidation-triggered searches
+        Counter sqInserts;
+        Counter sqSearches;
+        Counter loadsOlderThanAllStores; ///< Sec. 3 SQ-filter candidates
+        Counter sqSearchesFiltered;      ///< skipped via SQ filter
+        Counter ylaReads;
+        Counter ylaWrites;
+        Counter ageTableReads;
+        Counter ageTableWrites;
+        Counter ageTableReplays;
+        Counter trueViolationsDetected;  ///< ground truth occurrences
+    };
+    const Activity &activity() const { return activity_; }
+
+  private:
+    /** Ground-truth premature-load detection (ghost, energy-free). */
+    void ghostCheck(DynInst *store);
+
+    LsqParams params_;
+    StoreQueue sq_;
+    LoadQueue lq_;
+    std::unique_ptr<YlaFile> yla_;       ///< YlaFiltered scheme
+    std::unique_ptr<DmdcEngine> dmdc_;   ///< Dmdc scheme
+    std::unique_ptr<AgeTable> ageTable_; ///< AgeTable scheme
+    std::vector<FilterObserver *> observers_;
+    Activity activity_;
+    StatGroup statGroup_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_LSQ_LSQ_UNIT_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Store queue implementation.
+ */
+
+#include "lsq/store_queue.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+StoreQueue::StoreQueue(unsigned capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("store queue capacity must be non-zero");
+}
+
+void
+StoreQueue::allocate(DynInst *store)
+{
+    if (full())
+        panic("SQ allocate on full queue");
+    if (!entries_.empty() && store->seq <= entries_.back()->seq)
+        panic("SQ allocation out of age order");
+    entries_.push_back(store);
+}
+
+void
+StoreQueue::setAddress(DynInst *store)
+{
+    store->sqAddrReady = true;
+}
+
+SqCheckResult
+StoreQueue::checkLoad(SeqNum load_seq, Addr addr, unsigned size) const
+{
+    SqCheckResult result;
+    // Youngest-first scan over stores older than the load; the first
+    // address match decides the outcome (it is the youngest producer).
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        DynInst *store = *it;
+        if (store->seq >= load_seq)
+            continue;
+        if (!store->sqAddrReady) {
+            result.sawUnresolvedOlder = true;
+            continue;
+        }
+        if (!rangesOverlap(addr, size, store->op.effAddr,
+                           store->op.memSize)) {
+            continue;
+        }
+        const bool contains = store->op.effAddr <= addr &&
+            addr + size <= store->op.effAddr + store->op.memSize;
+        if (contains && store->sqDataReady) {
+            result.outcome = SqCheck::Forward;
+            result.producer = store;
+        } else {
+            // Data not ready, or a partial overlap the forwarding
+            // network cannot assemble: reject and retry.
+            result.outcome = SqCheck::Reject;
+            result.producer = store;
+        }
+        return result;
+    }
+    return result;
+}
+
+bool
+StoreQueue::allOlderResolved(SeqNum load_seq) const
+{
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        DynInst *store = *it;
+        if (store->seq >= load_seq)
+            continue;
+        if (!store->sqAddrReady)
+            return false;
+    }
+    return true;
+}
+
+SeqNum
+StoreQueue::oldestStoreSeq() const
+{
+    return entries_.empty() ? invalidSeqNum : entries_.front()->seq;
+}
+
+void
+StoreQueue::releaseHead(DynInst *store)
+{
+    if (entries_.empty() || entries_.front() != store)
+        panic("SQ release of a non-head store");
+    entries_.pop_front();
+}
+
+void
+StoreQueue::squashFrom(SeqNum from_seq)
+{
+    while (!entries_.empty() && entries_.back()->seq >= from_seq)
+        entries_.pop_back();
+}
+
+} // namespace dmdc

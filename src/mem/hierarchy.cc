@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory hierarchy implementation.
+ */
+
+#include "mem/hierarchy.hh"
+
+namespace dmdc
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
+    : l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2),
+      memLatency_(params.memLatency)
+{
+}
+
+unsigned
+MemoryHierarchy::accessData(Addr addr, bool write)
+{
+    unsigned latency = l1d_.latency();
+    if (l1d_.access(addr, write))
+        return latency;
+    latency += l2_.latency();
+    if (l2_.access(addr, write))
+        return latency;
+    return latency + memLatency_;
+}
+
+unsigned
+MemoryHierarchy::accessInst(Addr pc)
+{
+    unsigned latency = l1i_.latency();
+    if (l1i_.access(pc, false))
+        return latency;
+    latency += l2_.latency();
+    if (l2_.access(pc, false))
+        return latency;
+    return latency + memLatency_;
+}
+
+void
+MemoryHierarchy::invalidateLine(Addr addr)
+{
+    l1d_.invalidate(addr);
+    l2_.invalidate(addr);
+}
+
+void
+MemoryHierarchy::regStats(StatGroup &parent)
+{
+    l1i_.regStats(parent);
+    l1d_.regStats(parent);
+    l2_.regStats(parent);
+}
+
+} // namespace dmdc

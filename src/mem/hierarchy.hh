@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Two-level memory hierarchy (L1I, L1D, unified L2, flat memory)
+ * matching the paper's Table 1.
+ */
+
+#ifndef DMDC_MEM_HIERARCHY_HH
+#define DMDC_MEM_HIERARCHY_HH
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+
+namespace dmdc
+{
+
+/** Hierarchy-wide parameters. */
+struct HierarchyParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 1, 64, 2};
+    CacheParams l1d{"l1d", 32 * 1024, 2, 64, 2};
+    CacheParams l2{"l2", 1024 * 1024, 8, 128, 15};
+    unsigned memLatency = 120;
+};
+
+/**
+ * Timing-only hierarchy: each access returns its total latency in
+ * cycles. Misses are overlapped freely (an idealized non-blocking
+ * hierarchy); port contention is modeled by the pipeline, which limits
+ * L1D accesses per cycle.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams &params);
+
+    /** Data access at @p addr. @return total latency in cycles. */
+    unsigned accessData(Addr addr, bool write);
+
+    /** Instruction fetch at @p pc. @return total latency in cycles. */
+    unsigned accessInst(Addr pc);
+
+    /**
+     * External coherence invalidation of the line at @p addr:
+     * removed from L1D and L2.
+     */
+    void invalidateLine(Addr addr);
+
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l2() const { return l2_; }
+    unsigned l1dLineBytes() const { return l1d_.lineBytes(); }
+
+    void regStats(StatGroup &parent);
+
+  private:
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    unsigned memLatency_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_MEM_HIERARCHY_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Campaign helper implementation.
+ */
+
+#include "sim/campaign.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+std::vector<SimResult>
+runSuite(const SimOptions &base, const std::vector<std::string> &names,
+         bool verbose)
+{
+    std::vector<SimResult> results;
+    results.reserve(names.size());
+    for (const std::string &name : names) {
+        SimOptions opt = base;
+        opt.benchmark = name;
+        results.push_back(runSimulation(opt));
+        if (verbose) {
+            inform("  %-10s %-12s config%u  ipc=%.2f", name.c_str(),
+                   schemeName(opt.scheme), opt.configLevel,
+                   results.back().ipc);
+        }
+    }
+    return results;
+}
+
+Range
+slowdownRange(const std::vector<SimResult> &baseline,
+              const std::vector<SimResult> &test, bool fp_group)
+{
+    std::vector<double> v;
+    for (const SimResult &b : baseline) {
+        if (b.fp != fp_group)
+            continue;
+        const SimResult &t = findResult(test, b.benchmark);
+        // Compare cycles per instruction; runs commit the same
+        // instruction budget.
+        const double base_cpi = static_cast<double>(b.cycles) /
+            static_cast<double>(b.instructions);
+        const double test_cpi = static_cast<double>(t.cycles) /
+            static_cast<double>(t.instructions);
+        v.push_back((test_cpi - base_cpi) / base_cpi * 100.0);
+    }
+    return makeRange(v);
+}
+
+void
+printBanner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n");
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+pct(double frac, int precision)
+{
+    return fmt(frac * 100.0, precision) + "%";
+}
+
+std::string
+rangeStr(const Range &r, int precision)
+{
+    return fmt(r.mean, precision) + " [" + fmt(r.min, precision) +
+        ", " + fmt(r.max, precision) + "]";
+}
+
+} // namespace dmdc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Campaign helpers: run a SimOptions template across the benchmark
+ * suite and compare schemes, plus small table-formatting utilities
+ * shared by the bench harnesses.
+ */
+
+#ifndef DMDC_SIM_CAMPAIGN_HH
+#define DMDC_SIM_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace dmdc
+{
+
+/**
+ * Run @p base once per benchmark in @p benchmarks (the template's
+ * .benchmark field is overwritten). Progress is reported via inform().
+ */
+std::vector<SimResult> runSuite(const SimOptions &base,
+                                const std::vector<std::string> &names,
+                                bool verbose = true);
+
+/**
+ * Per-benchmark slowdown (%) of @p test versus @p baseline, aggregated
+ * over one group. Negative values are speedups.
+ */
+Range slowdownRange(const std::vector<SimResult> &baseline,
+                    const std::vector<SimResult> &test, bool fp_group);
+
+/**
+ * Per-benchmark relative saving (%) of a metric between baseline and
+ * test, aggregated over one group.
+ */
+template <typename Fn>
+Range
+savingRange(const std::vector<SimResult> &baseline,
+            const std::vector<SimResult> &test, bool fp_group, Fn &&fn)
+{
+    std::vector<double> v;
+    for (const SimResult &b : baseline) {
+        if (b.fp != fp_group)
+            continue;
+        const SimResult &t = findResult(test, b.benchmark);
+        const double base_val = fn(b);
+        const double test_val = fn(t);
+        if (base_val > 0)
+            v.push_back((base_val - test_val) / base_val * 100.0);
+    }
+    return makeRange(v);
+}
+
+// ---- formatting helpers ----
+
+/** Print a bench banner. */
+void printBanner(const std::string &title, const std::string &paper_ref);
+
+/** "12.3" with fixed precision. */
+std::string fmt(double v, int precision = 1);
+
+/** "12.3%" from a fraction. */
+std::string pct(double frac, int precision = 1);
+
+/** "mean [min, max]" summary of a Range. */
+std::string rangeStr(const Range &r, int precision = 1);
+
+} // namespace dmdc
+
+#endif // DMDC_SIM_CAMPAIGN_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Invalidation injector implementation.
+ */
+
+#include "sim/invalidation.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+InvalidationInjector::InvalidationInjector(double rate_per_1k_cycles,
+                                           Addr data_base,
+                                           Addr data_size,
+                                           unsigned line_bytes,
+                                           std::uint64_t seed)
+    : probPerCycle_(rate_per_1k_cycles / 1000.0), base_(data_base),
+      sizeMask_(data_size - 1), lineBytes_(line_bytes), rng_(seed)
+{
+    if (!isPowerOf2(data_size))
+        fatal("invalidation region size must be a power of two");
+}
+
+void
+InvalidationInjector::tick(Pipeline &pipe)
+{
+    if (probPerCycle_ <= 0.0)
+        return;
+    // Support rates above one per cycle by splitting into whole and
+    // fractional parts.
+    double budget = probPerCycle_;
+    while (budget >= 1.0 || (budget > 0.0 && rng_.chance(budget))) {
+        const Addr line = (base_ + (rng_.next() & sizeMask_)) &
+            ~Addr{lineBytes_ - 1};
+        pipe.externalInvalidation(line);
+        ++injected_;
+        budget -= 1.0;
+    }
+}
+
+} // namespace dmdc

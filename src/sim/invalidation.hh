@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Random external-invalidation injector (paper Sec. 6.2.4
+ * methodology): invalidations of random data lines arrive as a
+ * Poisson-like process at a configurable rate.
+ */
+
+#ifndef DMDC_SIM_INVALIDATION_HH
+#define DMDC_SIM_INVALIDATION_HH
+
+#include "common/random.hh"
+#include "core/pipeline.hh"
+
+namespace dmdc
+{
+
+/** The injector. */
+class InvalidationInjector
+{
+  public:
+    /**
+     * @param rate_per_1k_cycles average invalidations per 1000 cycles
+     * @param data_base base of the workload's data footprint
+     * @param data_size footprint size in bytes (power of two)
+     * @param line_bytes cache line granularity
+     */
+    InvalidationInjector(double rate_per_1k_cycles, Addr data_base,
+                         Addr data_size, unsigned line_bytes,
+                         std::uint64_t seed = 12345);
+
+    /** Call once per simulated cycle. */
+    void tick(Pipeline &pipe);
+
+    std::uint64_t injected() const { return injected_; }
+
+  private:
+    double probPerCycle_;
+    Addr base_;
+    Addr sizeMask_;
+    unsigned lineBytes_;
+    Rng rng_;
+    std::uint64_t injected_ = 0;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_SIM_INVALIDATION_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Machine configuration presets.
+ */
+
+#include "sim/machine_config.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline:   return "baseline";
+      case Scheme::YlaOnly:    return "yla";
+      case Scheme::DmdcGlobal: return "dmdc-global";
+      case Scheme::DmdcLocal:  return "dmdc-local";
+      case Scheme::DmdcQueue:  return "dmdc-queue";
+      case Scheme::AgeTable:   return "age-table";
+    }
+    return "?";
+}
+
+CoreParams
+makeMachineConfig(unsigned level)
+{
+    CoreParams p;
+    // Common Table 1 parameters: 8-wide core, combined predictor,
+    // 7-cycle misprediction penalty, memory hierarchy defaults already
+    // match (64KB/32KB/1MB, 2/2/15/120 cycles).
+    switch (level) {
+      case 1:
+        p.intIqSize = 32;
+        p.fpIqSize = 32;
+        p.robSize = 128;
+        p.lsq.lqSize = 48;
+        p.lsq.sqSize = 32;
+        p.intRegs = 100;
+        p.fpRegs = 100;
+        p.lsq.dmdc.tableEntries = 1024;
+        break;
+      case 2:
+        p.intIqSize = 48;
+        p.fpIqSize = 48;
+        p.robSize = 256;
+        p.lsq.lqSize = 96;
+        p.lsq.sqSize = 48;
+        p.intRegs = 200;
+        p.fpRegs = 200;
+        p.lsq.dmdc.tableEntries = 2048;
+        break;
+      case 3:
+        p.intIqSize = 64;
+        p.fpIqSize = 64;
+        p.robSize = 512;
+        p.lsq.lqSize = 192;
+        p.lsq.sqSize = 64;
+        p.intRegs = 400;
+        p.fpRegs = 400;
+        p.lsq.dmdc.tableEntries = 4096;
+        break;
+      default:
+        fatal("unknown machine configuration level %u (use 1-3)",
+              level);
+    }
+    return p;
+}
+
+void
+applyScheme(CoreParams &params, Scheme scheme, bool coherence,
+            bool safe_loads)
+{
+    DmdcParams &d = params.lsq.dmdc;
+    d.coherence = coherence;
+    d.safeLoads = safe_loads;
+    d.lineBytes = params.mem.l1d.lineBytes;
+
+    switch (scheme) {
+      case Scheme::Baseline:
+        params.lsq.scheme = LsqScheme::Conventional;
+        break;
+      case Scheme::YlaOnly:
+        params.lsq.scheme = LsqScheme::YlaFiltered;
+        break;
+      case Scheme::DmdcGlobal:
+        params.lsq.scheme = LsqScheme::Dmdc;
+        d.variant = DmdcVariant::Global;
+        d.useQueue = false;
+        break;
+      case Scheme::DmdcLocal:
+        params.lsq.scheme = LsqScheme::Dmdc;
+        d.variant = DmdcVariant::Local;
+        d.useQueue = false;
+        break;
+      case Scheme::DmdcQueue:
+        params.lsq.scheme = LsqScheme::Dmdc;
+        d.variant = DmdcVariant::Global;
+        d.useQueue = true;
+        break;
+      case Scheme::AgeTable:
+        params.lsq.scheme = LsqScheme::AgeTable;
+        params.lsq.ageTableEntries = d.tableEntries;
+        break;
+    }
+}
+
+} // namespace dmdc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Result aggregation helpers.
+ */
+
+#include "sim/results.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+Range
+makeRange(const std::vector<double> &values)
+{
+    Range r;
+    r.n = values.size();
+    if (values.empty())
+        return r;
+    r.min = *std::min_element(values.begin(), values.end());
+    r.max = *std::max_element(values.begin(), values.end());
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    r.mean = sum / static_cast<double>(values.size());
+    return r;
+}
+
+const SimResult &
+findResult(const std::vector<SimResult> &results,
+           const std::string &benchmark)
+{
+    for (const SimResult &r : results) {
+        if (r.benchmark == benchmark)
+            return r;
+    }
+    fatal("no result recorded for benchmark '%s'", benchmark.c_str());
+}
+
+} // namespace dmdc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Simulator driver implementation.
+ */
+
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "sim/invalidation.hh"
+#include "trace/spec_suite.hh"
+
+namespace dmdc
+{
+
+Simulator::Simulator(const SimOptions &options) : options_(options)
+{
+    params_ = makeMachineConfig(options_.configLevel);
+    applyScheme(params_, options_.scheme, options_.coherence,
+                options_.safeLoads);
+    params_.lsq.dmdc.numYlaQw = options_.numYlaQw;
+    if (options_.tableEntriesOverride)
+        params_.lsq.dmdc.tableEntries = options_.tableEntriesOverride;
+    params_.lsq.dmdc.queueEntries = options_.queueEntries;
+    params_.lsq.sqFilter = options_.sqFilter;
+    if (options_.tweak)
+        options_.tweak(params_);
+
+    workload_ = makeSpecWorkload(options_.benchmark);
+    pipe_ = std::make_unique<Pipeline>(params_, *workload_);
+    for (FilterObserver *obs : options_.observers)
+        pipe_->addFilterObserver(obs);
+}
+
+Simulator::~Simulator() = default;
+
+SimResult
+Simulator::run()
+{
+    const WorkloadParams &wp = workload_->params();
+    // Invalidations model another processor writing a shared address
+    // space; sampling only this core's (small) footprint would make
+    // every message evict live cache lines, which is neither the
+    // paper's methodology nor how random coherence traffic behaves.
+    const unsigned inv_region_log2 =
+        wp.footprintLog2 > 26 ? wp.footprintLog2 : 26;
+    InvalidationInjector injector(
+        options_.invalidationsPer1kCycles,
+        Addr{0x10000000}, Addr{1} << inv_region_log2,
+        params_.mem.l1d.lineBytes,
+        wp.seed ^ 0xfeedbeefull);
+
+    auto run_phase = [&](std::uint64_t insts) {
+        const std::uint64_t target = pipe_->committed() + insts;
+        while (pipe_->committed() < target) {
+            pipe_->tick();
+            injector.tick(*pipe_);
+        }
+    };
+
+    run_phase(options_.warmupInsts);
+    pipe_->resetStats();
+    run_phase(options_.runInsts);
+
+    // ---- collect ----
+    SimResult r;
+    r.benchmark = options_.benchmark;
+    r.fp = workload_->isFpBenchmark();
+    r.configLevel = options_.configLevel;
+    r.scheme = options_.scheme;
+
+    const PipelineStats &ps = pipe_->stats();
+    r.instructions = ps.committedInsts.value();
+    r.cycles = ps.cycles.value();
+    r.ipc = pipe_->ipc();
+
+    const auto &act = pipe_->lsq().activity();
+    r.lqSearches = act.lqSearches.value();
+    r.lqSearchesFiltered = act.lqSearchesFiltered.value();
+    r.sqSearches = act.sqSearches.value();
+    r.sqSearchesFiltered = act.sqSearchesFiltered.value();
+    r.ageTableReplays = ps.ageTableReplays.value();
+    r.loadsOlderThanAllStores = act.loadsOlderThanAllStores.value();
+    r.committedLoads = ps.committedLoads.value();
+    r.committedStores = ps.committedStores.value();
+    r.baselineReplays = ps.baselineReplays.value();
+    r.dmdcReplays = ps.dmdcReplays.value();
+    r.trueViolations = act.trueViolationsDetected.value();
+
+    if (const DmdcEngine *engine = pipe_->lsq().dmdc()) {
+        const auto &ds = engine->stats();
+        const double stores = static_cast<double>(
+            ds.safeStores.value() + ds.unsafeStores.value());
+        r.safeStoreFrac = stores
+            ? static_cast<double>(ds.safeStores.value()) / stores : 0.0;
+        const double loads =
+            static_cast<double>(ps.committedLoads.value());
+        r.safeLoadFrac = loads
+            ? static_cast<double>(ds.safeLoadsMarked.value()) / loads
+            : 0.0;
+        r.checkingCycleFrac = r.cycles
+            ? static_cast<double>(ds.checkingCycles.value()) /
+                static_cast<double>(r.cycles)
+            : 0.0;
+        r.windowInstrs = ds.windowInstrs.mean();
+        r.windowLoads = ds.windowLoads.mean();
+        r.windowSafeLoads = ds.windowSafeLoads.mean();
+        r.windowMarkedEntries = ds.windowMarkedEntries.mean();
+        const double windows =
+            static_cast<double>(ds.windows.value());
+        r.windowSingleStoreFrac = windows
+            ? static_cast<double>(ds.windowsSingleStore.value()) /
+                windows
+            : 0.0;
+        r.trueReplays = ds.trueReplays.value();
+        r.falseAddrX = ds.falseAddrX.value();
+        r.falseAddrY = ds.falseAddrY.value();
+        r.falseHashBefore = ds.falseHashBefore.value();
+        r.falseHashX = ds.falseHashX.value();
+        r.falseHashY = ds.falseHashY.value();
+        r.falseOverflow = ds.falseOverflow.value();
+    }
+
+    EnergyModel energy_model(params_);
+    r.energy = energy_model.compute(*pipe_);
+    return r;
+}
+
+SimResult
+runSimulation(const SimOptions &options)
+{
+    Simulator sim(options);
+    return sim.run();
+}
+
+} // namespace dmdc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Top-level public API: configure and run one simulation and collect a
+ * SimResult. This is the entry point examples, tests and benches use.
+ */
+
+#ifndef DMDC_SIM_SIMULATOR_HH
+#define DMDC_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsq/lsq_unit.hh"
+#include "sim/results.hh"
+#include "trace/synthetic.hh"
+
+namespace dmdc
+{
+
+/** Options of one simulation run. */
+struct SimOptions
+{
+    /** SPEC stand-in benchmark name (see specAllNames()). */
+    std::string benchmark = "gzip";
+    /** Paper Table 1 configuration level, 1-3. */
+    unsigned configLevel = 2;
+    Scheme scheme = Scheme::Baseline;
+
+    std::uint64_t warmupInsts = 100000;
+    std::uint64_t runInsts = 1000000;
+
+    /** External invalidation rate (paper Table 6 sweep). */
+    double invalidationsPer1kCycles = 0.0;
+    /** Coherence extension (second YLA set + INV bits). */
+    bool coherence = false;
+    /** Safe-load detection (Sec. 4.2 optimization; ablation knob). */
+    bool safeLoads = true;
+    /** SQ-side age filter (Sec. 3 extension; default off, as in the
+     *  paper's evaluation). */
+    bool sqFilter = false;
+
+    /** Override the quad-word YLA register count (default 8). */
+    unsigned numYlaQw = 8;
+    /** Override the checking-table entry count (0 = config default). */
+    unsigned tableEntriesOverride = 0;
+    /** Checking-queue entries for Scheme::DmdcQueue. */
+    unsigned queueEntries = 16;
+
+    /** Shadow filters to attach (not owned; Figs. 2/3). */
+    std::vector<FilterObserver *> observers;
+
+    /** Override any core parameter after preset construction. */
+    std::function<void(CoreParams &)> tweak;
+};
+
+/** One fully-owned simulation instance. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimOptions &options);
+    ~Simulator();
+
+    /** Run warm-up + measured phase; returns the collected result. */
+    SimResult run();
+
+    /** Access the live pipeline (tests and examples). */
+    Pipeline &pipeline() { return *pipe_; }
+    SyntheticWorkload &workload() { return *workload_; }
+    const CoreParams &coreParams() const { return params_; }
+
+  private:
+    SimOptions options_;
+    CoreParams params_;
+    std::unique_ptr<SyntheticWorkload> workload_;
+    std::unique_ptr<Pipeline> pipe_;
+};
+
+/** Convenience wrapper: construct, run, return. */
+SimResult runSimulation(const SimOptions &options);
+
+} // namespace dmdc
+
+#endif // DMDC_SIM_SIMULATOR_HH

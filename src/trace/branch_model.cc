@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Static-branch behaviour implementation.
+ */
+
+#include "trace/branch_model.hh"
+
+namespace dmdc
+{
+
+StaticBranchState::StaticBranchState(BranchBehavior behavior,
+                                     std::uint64_t seed,
+                                     unsigned trip_count, double bias)
+    : behavior_(behavior), rng_(seed),
+      tripCount_(trip_count < 2 ? 2 : trip_count), bias_(bias)
+{
+    // Patterned branches are mostly-one-direction with a periodic
+    // exception (the common shape of history-predictable branches):
+    // taken once per period, or not-taken once per period.
+    patternMark_ = (mixHash(seed) & 1) ? 1 : tripCount_ - 1;
+}
+
+bool
+StaticBranchState::nextOutcome()
+{
+    switch (behavior_) {
+      case BranchBehavior::LoopBack: {
+        const bool taken = counter_ + 1 < tripCount_;
+        counter_ = taken ? counter_ + 1 : 0;
+        return taken;
+      }
+      case BranchBehavior::BiasedTaken:
+        return rng_.chance(bias_);
+      case BranchBehavior::BiasedNotTaken:
+        return rng_.chance(1.0 - bias_);
+      case BranchBehavior::Patterned: {
+        const bool taken = counter_ < patternMark_;
+        counter_ = (counter_ + 1) % tripCount_;
+        return taken;
+      }
+      case BranchBehavior::Random:
+        return rng_.chance(0.5);
+    }
+    return false;
+}
+
+} // namespace dmdc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Behavioural models for static conditional branches in synthetic
+ * programs. Each archetype targets a different component of the
+ * combined predictor: loop-back branches (counted trips), biased
+ * branches (bimodal-predictable), patterned branches (history-
+ * predictable, i.e. gshare territory) and random branches (noise).
+ */
+
+#ifndef DMDC_TRACE_BRANCH_MODEL_HH
+#define DMDC_TRACE_BRANCH_MODEL_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace dmdc
+{
+
+/** Archetype of a static conditional branch. */
+enum class BranchBehavior : std::uint8_t
+{
+    LoopBack,       ///< taken (trip-1) times, then fall out once
+    BiasedTaken,    ///< taken with high fixed probability
+    BiasedNotTaken, ///< taken with low fixed probability
+    Patterned,      ///< periodic taken/not-taken pattern
+    Random,         ///< 50/50, unpredictable
+};
+
+/**
+ * Per-static-branch dynamic state and outcome generation. Outcomes are
+ * drawn from the branch's own deterministic stream so the trace does
+ * not depend on unrelated instructions.
+ */
+class StaticBranchState
+{
+  public:
+    StaticBranchState() = default;
+
+    /**
+     * @param behavior archetype
+     * @param seed per-branch seed for the outcome stream
+     * @param trip_count loop trip count (LoopBack) or pattern period
+     * @param bias taken probability for biased branches
+     */
+    StaticBranchState(BranchBehavior behavior, std::uint64_t seed,
+                      unsigned trip_count, double bias);
+
+    /** Architectural outcome of the next execution of this branch. */
+    bool nextOutcome();
+
+    BranchBehavior behavior() const { return behavior_; }
+
+  private:
+    BranchBehavior behavior_ = BranchBehavior::Random;
+    Rng rng_{0};
+    unsigned tripCount_ = 4;
+    unsigned counter_ = 0;
+    unsigned patternMark_ = 2;
+    double bias_ = 0.5;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_TRACE_BRANCH_MODEL_HH

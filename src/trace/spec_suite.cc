@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Parameter sets of the 26 synthetic SPEC CPU2000 stand-ins.
+ */
+
+#include "trace/spec_suite.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+/** Common INT-group defaults; entries below override per benchmark. */
+WorkloadParams
+intBase(const std::string &name, std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.fp = false;
+    p.seed = seed;
+    p.numMainBlocks = 384;
+    p.numFunctions = 12;
+    p.blockLenMean = 5.0;
+    p.loopBackProb = 0.22;
+    p.callProb = 0.06;
+    p.loopTripMean = 10.0;
+    p.biasedFrac = 0.74;
+    p.patternedFrac = 0.20;
+    p.takenBias = 0.95;
+    p.loadFrac = 0.26;
+    p.storeFrac = 0.11;
+    p.fpFrac = 0.02;
+    p.mulFrac = 0.03;
+    p.divFrac = 0.006;
+    p.depDistMean = 3.5;
+    p.chaseFrac = 0.12;
+    p.strideFrac = 0.40;
+    p.storeAddrFromLoadFrac = 0.04;
+    p.storeAddrReadyFrac = 0.62;
+    p.nearStoreFrac = 0.16;
+    p.shareProb = 0.08;
+    p.smallSizeFrac = 0.15;
+    p.footprintLog2 = 19;
+    p.hotLog2 = 12;
+    p.numStreams = 3;
+    return p;
+}
+
+/** Common FP-group defaults. */
+WorkloadParams
+fpBase(const std::string &name, std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.fp = true;
+    p.seed = seed;
+    p.numMainBlocks = 192;
+    p.numFunctions = 6;
+    p.blockLenMean = 10.0;
+    p.loopBackProb = 0.35;
+    p.callProb = 0.03;
+    p.loopTripMean = 24.0;
+    p.biasedFrac = 0.86;
+    p.patternedFrac = 0.11;
+    p.takenBias = 0.98;
+    p.loadFrac = 0.28;
+    p.storeFrac = 0.10;
+    p.fpFrac = 0.55;
+    p.mulFrac = 0.05;
+    p.divFrac = 0.008;
+    p.depDistMean = 5.0;
+    p.chaseFrac = 0.02;
+    p.strideFrac = 0.80;
+    p.storeAddrFromLoadFrac = 0.008;
+    p.storeAddrReadyFrac = 0.79;
+    p.nearStoreFrac = 0.24;
+    p.shareProb = 0.05;
+    p.smallSizeFrac = 0.03;
+    p.footprintLog2 = 21;
+    p.hotLog2 = 12;
+    p.numStreams = 6;
+    return p;
+}
+
+std::map<std::string, WorkloadParams>
+buildSuite()
+{
+    std::map<std::string, WorkloadParams> m;
+    auto add = [&m](WorkloadParams p) { m[p.name] = std::move(p); };
+
+    // ------------------------ integer group ------------------------
+    {   // gzip: compression, tight loops, modest footprint.
+        auto p = intBase("gzip", 101);
+        p.footprintLog2 = 18;
+        p.strideFrac = 0.55;
+        p.chaseFrac = 0.05;
+        p.loopTripMean = 20.0;
+        p.biasedFrac = 0.70;
+        add(p);
+    }
+    {   // vpr: place & route, pointer heavy, branchy.
+        auto p = intBase("vpr", 102);
+        p.chaseFrac = 0.18;
+        p.patternedFrac = 0.24;
+        p.biasedFrac = 0.64;
+        p.footprintLog2 = 20;
+        add(p);
+    }
+    {   // gcc: huge code footprint, very branchy, short blocks.
+        auto p = intBase("gcc", 103);
+        p.numMainBlocks = 1024;
+        p.numFunctions = 48;
+        p.blockLenMean = 4.0;
+        p.callProb = 0.10;
+        p.biasedFrac = 0.68;
+        p.patternedFrac = 0.22;
+        p.shareProb = 0.12;
+        p.storeFrac = 0.14;
+        add(p);
+    }
+    {   // mcf: pointer chasing over a working set far beyond L2.
+        auto p = intBase("mcf", 104);
+        p.chaseFrac = 0.45;
+        p.strideFrac = 0.15;
+        p.footprintLog2 = 25;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.07;
+        p.storeAddrFromLoadFrac = 0.20;
+        p.storeAddrReadyFrac = 0.40;
+        add(p);
+    }
+    {   // crafty: chess, branch intensive, small working set.
+        auto p = intBase("crafty", 105);
+        p.footprintLog2 = 16;
+        p.biasedFrac = 0.64;
+        p.patternedFrac = 0.24;
+        p.loopTripMean = 6.0;
+        p.mulFrac = 0.05;
+        add(p);
+    }
+    {   // parser: dictionary lookups, pointer chasing, many calls.
+        auto p = intBase("parser", 106);
+        p.chaseFrac = 0.25;
+        p.callProb = 0.09;
+        p.footprintLog2 = 21;
+        p.shareProb = 0.10;
+        add(p);
+    }
+    {   // eon: C++ ray tracer, call heavy, some FP.
+        auto p = intBase("eon", 107);
+        p.callProb = 0.14;
+        p.numFunctions = 32;
+        p.fpFrac = 0.20;
+        p.footprintLog2 = 17;
+        p.biasedFrac = 0.74;
+        add(p);
+    }
+    {   // perlbmk: interpreter loop, indirect-ish control, branchy.
+        auto p = intBase("perlbmk", 108);
+        p.numMainBlocks = 768;
+        p.callProb = 0.11;
+        p.biasedFrac = 0.66;
+        p.shareProb = 0.11;
+        p.storeFrac = 0.13;
+        add(p);
+    }
+    {   // gap: group theory, computation heavy, large lists.
+        auto p = intBase("gap", 109);
+        p.chaseFrac = 0.15;
+        p.footprintLog2 = 22;
+        p.mulFrac = 0.06;
+        p.loopTripMean = 16.0;
+        add(p);
+    }
+    {   // vortex: OO database, calls + stores heavy.
+        auto p = intBase("vortex", 110);
+        p.callProb = 0.12;
+        p.numFunctions = 40;
+        p.storeFrac = 0.16;
+        p.shareProb = 0.12;
+        p.footprintLog2 = 21;
+        add(p);
+    }
+    {   // bzip2: compression, strided over mid-size buffers.
+        auto p = intBase("bzip2", 111);
+        p.strideFrac = 0.60;
+        p.chaseFrac = 0.04;
+        p.footprintLog2 = 20;
+        p.loopTripMean = 28.0;
+        p.biasedFrac = 0.72;
+        add(p);
+    }
+    {   // twolf: placement, pointer structures, random control.
+        auto p = intBase("twolf", 112);
+        p.chaseFrac = 0.20;
+        p.biasedFrac = 0.62;
+        p.patternedFrac = 0.26;
+        p.footprintLog2 = 19;
+        p.storeAddrFromLoadFrac = 0.10;
+        p.storeAddrReadyFrac = 0.50;
+        add(p);
+    }
+
+    // --------------------- floating-point group ---------------------
+    {   // wupwise: lattice QCD, dense linear algebra.
+        auto p = fpBase("wupwise", 201);
+        p.footprintLog2 = 22;
+        p.loopTripMean = 32.0;
+        add(p);
+    }
+    {   // swim: shallow water stencils, long unit-stride streams.
+        auto p = fpBase("swim", 202);
+        p.footprintLog2 = 24;
+        p.numStreams = 8;
+        p.strideFrac = 0.9;
+        p.blockLenMean = 14.0;
+        p.loopTripMean = 48.0;
+        add(p);
+    }
+    {   // mgrid: multigrid, nested loops, strided.
+        auto p = fpBase("mgrid", 203);
+        p.footprintLog2 = 23;
+        p.strideFrac = 0.88;
+        p.loopTripMean = 40.0;
+        p.blockLenMean = 12.0;
+        add(p);
+    }
+    {   // applu: PDE solver, large footprint.
+        auto p = fpBase("applu", 204);
+        p.footprintLog2 = 23;
+        p.loopTripMean = 36.0;
+        p.storeFrac = 0.12;
+        add(p);
+    }
+    {   // mesa: software rendering; most integer-like of the FP set.
+        auto p = fpBase("mesa", 205);
+        p.fpFrac = 0.35;
+        p.footprintLog2 = 19;
+        p.biasedFrac = 0.72;
+        p.blockLenMean = 7.0;
+        p.callProb = 0.08;
+        p.chaseFrac = 0.05;
+        p.smallSizeFrac = 0.08;
+        add(p);
+    }
+    {   // galgel: fluid dynamics, blocked linear algebra.
+        auto p = fpBase("galgel", 206);
+        p.footprintLog2 = 21;
+        p.loopTripMean = 28.0;
+        p.numStreams = 5;
+        add(p);
+    }
+    {   // art: neural net over image, tiny kernel, misses badly.
+        auto p = fpBase("art", 207);
+        p.footprintLog2 = 24;
+        p.numMainBlocks = 96;
+        p.strideFrac = 0.92;
+        p.blockLenMean = 9.0;
+        p.loopTripMean = 64.0;
+        add(p);
+    }
+    {   // equake: sparse matrix-vector, indirect accesses.
+        auto p = fpBase("equake", 208);
+        p.chaseFrac = 0.12;
+        p.strideFrac = 0.6;
+        p.footprintLog2 = 23;
+        p.storeAddrFromLoadFrac = 0.08;
+        p.storeAddrReadyFrac = 0.65;
+        add(p);
+    }
+    {   // facerec: image correlation, strided, moderate set.
+        auto p = fpBase("facerec", 209);
+        p.footprintLog2 = 21;
+        p.loopTripMean = 30.0;
+        add(p);
+    }
+    {   // ammp: molecular dynamics, neighbour lists.
+        auto p = fpBase("ammp", 210);
+        p.chaseFrac = 0.15;
+        p.strideFrac = 0.5;
+        p.footprintLog2 = 22;
+        p.storeAddrFromLoadFrac = 0.06;
+        p.storeAddrReadyFrac = 0.70;
+        p.divFrac = 0.02;
+        add(p);
+    }
+    {   // lucas: FFT-based primality, power-of-two strides.
+        auto p = fpBase("lucas", 211);
+        p.footprintLog2 = 23;
+        p.numStreams = 8;
+        p.loopTripMean = 44.0;
+        add(p);
+    }
+    {   // fma3d: finite elements, mixed access, call heavy for FP.
+        auto p = fpBase("fma3d", 212);
+        p.callProb = 0.07;
+        p.numFunctions = 24;
+        p.footprintLog2 = 22;
+        p.strideFrac = 0.65;
+        add(p);
+    }
+    {   // sixtrack: particle tracking, small hot kernel.
+        auto p = fpBase("sixtrack", 213);
+        p.footprintLog2 = 18;
+        p.loopTripMean = 52.0;
+        p.blockLenMean = 16.0;
+        p.mulFrac = 0.08;
+        add(p);
+    }
+    {   // apsi: meteorology, mixed stencils.
+        auto p = fpBase("apsi", 214);
+        p.footprintLog2 = 22;
+        p.strideFrac = 0.75;
+        p.loopTripMean = 26.0;
+        add(p);
+    }
+
+    return m;
+}
+
+const std::map<std::string, WorkloadParams> &
+suite()
+{
+    static const std::map<std::string, WorkloadParams> s = buildSuite();
+    return s;
+}
+
+std::vector<std::string>
+namesInGroup(bool fp)
+{
+    std::vector<std::string> v;
+    for (const auto &[name, p] : suite()) {
+        if (p.fp == fp)
+            v.push_back(name);
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specIntNames()
+{
+    static const std::vector<std::string> v = namesInGroup(false);
+    return v;
+}
+
+const std::vector<std::string> &
+specFpNames()
+{
+    static const std::vector<std::string> v = namesInGroup(true);
+    return v;
+}
+
+const std::vector<std::string> &
+specAllNames()
+{
+    static const std::vector<std::string> v = [] {
+        std::vector<std::string> all = specIntNames();
+        const auto &fp = specFpNames();
+        all.insert(all.end(), fp.begin(), fp.end());
+        return all;
+    }();
+    return v;
+}
+
+bool
+specIsFp(const std::string &name)
+{
+    return specParams(name).fp;
+}
+
+WorkloadParams
+specParams(const std::string &name)
+{
+    auto it = suite().find(name);
+    if (it == suite().end())
+        fatal("unknown SPEC stand-in benchmark '%s'", name.c_str());
+    return it->second;
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeSpecWorkload(const std::string &name)
+{
+    return std::make_unique<SyntheticWorkload>(specParams(name));
+}
+
+} // namespace dmdc

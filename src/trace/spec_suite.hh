@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The 26-benchmark synthetic suite standing in for SPEC CPU2000.
+ *
+ * Each entry is a WorkloadParams instance whose knobs are set from the
+ * qualitative, widely reported character of the corresponding SPEC
+ * benchmark (footprint, branchiness, pointer chasing, FP loop nests).
+ * The absolute parameter values were then calibrated so the group-level
+ * aggregates match the paper's reported ranges (see DESIGN.md Sec. 3).
+ */
+
+#ifndef DMDC_TRACE_SPEC_SUITE_HH
+#define DMDC_TRACE_SPEC_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace dmdc
+{
+
+/** Names of the 12 integer benchmarks. */
+const std::vector<std::string> &specIntNames();
+
+/** Names of the 14 floating-point benchmarks. */
+const std::vector<std::string> &specFpNames();
+
+/** All 26 names, INT first. */
+const std::vector<std::string> &specAllNames();
+
+/** True if @p name belongs to the FP group. */
+bool specIsFp(const std::string &name);
+
+/** Parameter set for @p name; fatal() on unknown names. */
+WorkloadParams specParams(const std::string &name);
+
+/** Construct a fresh workload instance for benchmark @p name. */
+std::unique_ptr<SyntheticWorkload> makeSpecWorkload(
+    const std::string &name);
+
+} // namespace dmdc
+
+#endif // DMDC_TRACE_SPEC_SUITE_HH

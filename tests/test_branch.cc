@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the branch prediction subsystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/bimodal.hh"
+#include "branch/btb.hh"
+#include "branch/gshare.hh"
+#include "branch/predictor.hh"
+#include "branch/ras.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+TEST(Bimodal, LearnsDirection)
+{
+    BimodalPredictor p(1024);
+    const Addr pc = 0x400100;
+    // Initial state is weakly not-taken.
+    EXPECT_FALSE(p.lookup(pc));
+    p.update(pc, true);
+    p.update(pc, true);
+    EXPECT_TRUE(p.lookup(pc));
+    // Hysteresis: one opposite outcome does not flip it.
+    p.update(pc, false);
+    EXPECT_TRUE(p.lookup(pc));
+    p.update(pc, false);
+    p.update(pc, false);
+    EXPECT_FALSE(p.lookup(pc));
+}
+
+TEST(Bimodal, SaturationDoesNotOverflow)
+{
+    BimodalPredictor p(64);
+    const Addr pc = 0x400004;
+    for (int i = 0; i < 100; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.lookup(pc));
+    for (int i = 0; i < 3; ++i)
+        p.update(pc, false);
+    EXPECT_FALSE(p.lookup(pc));
+}
+
+TEST(Gshare, HistorySpeculationAndRestore)
+{
+    GsharePredictor p(4096, 8);
+    EXPECT_EQ(p.history(), 0u);
+    p.speculate(true);
+    p.speculate(false);
+    p.speculate(true);
+    EXPECT_EQ(p.history(), 0b101u);
+    const std::uint64_t snapshot = p.history();
+    p.speculate(true);
+    p.restoreHistory(snapshot);
+    EXPECT_EQ(p.history(), 0b101u);
+}
+
+TEST(Gshare, HistoryIsBounded)
+{
+    GsharePredictor p(4096, 6);
+    for (int i = 0; i < 100; ++i)
+        p.speculate(true);
+    EXPECT_LT(p.history(), 1u << 6);
+}
+
+TEST(Gshare, LearnsAlternatingPatternUnderCleanHistory)
+{
+    GsharePredictor p(4096, 8);
+    const Addr pc = 0x400200;
+    // Train an alternating branch; history disambiguates phases.
+    bool outcome = false;
+    for (int i = 0; i < 200; ++i) {
+        outcome = !outcome;
+        p.update(pc, p.history(), outcome);
+        p.speculate(outcome);
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        outcome = !outcome;
+        correct += p.lookup(pc) == outcome;
+        p.update(pc, p.history(), outcome);
+        p.speculate(outcome);
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb(256, 4);
+    Addr target = 0;
+    EXPECT_FALSE(btb.lookup(0x400100, target));
+    btb.update(0x400100, 0x400800);
+    EXPECT_TRUE(btb.lookup(0x400100, target));
+    EXPECT_EQ(target, 0x400800u);
+    // Update overwrites the target in place.
+    btb.update(0x400100, 0x400900);
+    EXPECT_TRUE(btb.lookup(0x400100, target));
+    EXPECT_EQ(target, 0x400900u);
+}
+
+TEST(Btb, LruEvictsWithinSet)
+{
+    Btb btb(8, 2);   // 4 sets x 2 ways
+    // Three PCs mapping to the same set (stride = 4 * numSets).
+    const Addr a = 0x400000;
+    const Addr b = a + 4 * 4;
+    const Addr c = b + 4 * 4;
+    btb.update(a, 1);
+    btb.update(b, 2);
+    Addr t = 0;
+    EXPECT_TRUE(btb.lookup(a, t));
+    btb.update(c, 3);          // evicts b (LRU; a was just touched)
+    EXPECT_TRUE(btb.lookup(a, t));
+    EXPECT_TRUE(btb.lookup(c, t));
+    EXPECT_FALSE(btb.lookup(b, t));
+}
+
+TEST(Ras, PushPopNesting)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.pop(), 0u);   // empty
+}
+
+TEST(Ras, CheckpointRestore)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    const auto cp = ras.checkpoint();
+    ras.push(0x200);
+    ras.pop();
+    ras.pop();
+    ras.restore(cp);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, OverflowWrapsLosingOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3);
+    EXPECT_EQ(ras.pop(), 0x3u);
+    EXPECT_EQ(ras.pop(), 0x2u);
+    EXPECT_EQ(ras.pop(), 0u);   // 0x1 was overwritten
+}
+
+class PredictorTest : public ::testing::Test
+{
+  protected:
+    BranchPredictorParams params;
+    BranchPredictor pred{params};
+};
+
+TEST_F(PredictorTest, CondTrainingConverges)
+{
+    const Addr pc = 0x400300;
+    // Strongly-taken branch with a BTB-known target.
+    int correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        BranchPrediction p =
+            pred.predict(pc, BranchKind::Cond, pc + 4);
+        const bool actual = true;
+        if (p.taken != actual) {
+            pred.recover(pc, BranchKind::Cond, p, actual, pc + 4);
+        }
+        pred.update(pc, BranchKind::Cond, p, actual, 0x400500);
+        if (i >= 100)
+            correct += p.taken == actual && p.target == 0x400500;
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST_F(PredictorTest, ReturnUsesRas)
+{
+    const Addr call_pc = 0x400400;
+    const Addr ret_pc = 0x400800;
+    BranchPrediction cp =
+        pred.predict(call_pc, BranchKind::Call, call_pc + 4);
+    (void)cp;
+    BranchPrediction rp =
+        pred.predict(ret_pc, BranchKind::Return, ret_pc + 4);
+    EXPECT_TRUE(rp.usedRas);
+    EXPECT_TRUE(rp.taken);
+    EXPECT_EQ(rp.target, call_pc + 4);
+}
+
+TEST_F(PredictorTest, RecoverRestoresSpeculativeState)
+{
+    const Addr pc = 0x400404;
+    BranchPrediction p1 = pred.predict(pc, BranchKind::Cond, pc + 4);
+    const std::uint64_t hist_before = p1.historyBefore;
+    // Mispredict: recover re-applies the actual outcome.
+    pred.recover(pc, BranchKind::Cond, p1, !p1.taken, pc + 4);
+    BranchPrediction p2 =
+        pred.predict(pc + 8, BranchKind::Cond, pc + 12);
+    EXPECT_EQ(p2.historyBefore,
+              ((hist_before << 1) | (!p1.taken ? 1 : 0)) &
+                  ((1u << 13) - 1));
+}
+
+TEST_F(PredictorTest, UncondPredictedOnceBtbWarm)
+{
+    const Addr pc = 0x400500;
+    BranchPrediction p = pred.predict(pc, BranchKind::Uncond, pc + 4);
+    EXPECT_FALSE(p.taken);   // cold BTB: falls through (mispredict)
+    pred.update(pc, BranchKind::Uncond, p, true, 0x400900);
+    p = pred.predict(pc, BranchKind::Uncond, pc + 4);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 0x400900u);
+}
+
+} // namespace
+} // namespace dmdc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests of the campaign layer: suite running, comparison helpers and
+ * formatting utilities the benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/campaign.hh"
+#include "trace/spec_suite.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+TEST(Campaign, RunSuiteProducesOneResultPerBenchmark)
+{
+    SimOptions opt;
+    opt.warmupInsts = 2000;
+    opt.runInsts = 15000;
+    opt.scheme = Scheme::Baseline;
+    const std::vector<std::string> names{"gzip", "swim"};
+    const auto results = runSuite(opt, names, /*verbose=*/false);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].benchmark, "gzip");
+    EXPECT_FALSE(results[0].fp);
+    EXPECT_EQ(results[1].benchmark, "swim");
+    EXPECT_TRUE(results[1].fp);
+}
+
+TEST(Campaign, SlowdownRangeIsZeroAgainstItself)
+{
+    SimOptions opt;
+    opt.warmupInsts = 2000;
+    opt.runInsts = 15000;
+    const auto results = runSuite(opt, {"gzip", "crafty"}, false);
+    const Range r = slowdownRange(results, results, false);
+    EXPECT_EQ(r.n, 2u);
+    EXPECT_DOUBLE_EQ(r.mean, 0.0);
+    EXPECT_DOUBLE_EQ(r.min, 0.0);
+    EXPECT_DOUBLE_EQ(r.max, 0.0);
+}
+
+TEST(Campaign, SavingRangeComputesRelativeDifference)
+{
+    std::vector<SimResult> base(1);
+    base[0].benchmark = "x";
+    base[0].fp = false;
+    base[0].energy.lqCam = 100.0;
+    std::vector<SimResult> test = base;
+    test[0].energy.lqCam = 25.0;
+    const Range r = savingRange(base, test, false,
+        [](const SimResult &s) { return s.energy.lqCam; });
+    EXPECT_DOUBLE_EQ(r.mean, 75.0);
+}
+
+TEST(Campaign, FindResultFatalOnMissing)
+{
+    std::vector<SimResult> results(1);
+    results[0].benchmark = "gzip";
+    EXPECT_EQ(&findResult(results, "gzip"), &results[0]);
+    EXPECT_EXIT((void)findResult(results, "nope"),
+                ::testing::ExitedWithCode(1), ".*");
+}
+
+TEST(Campaign, FormattingHelpers)
+{
+    EXPECT_EQ(fmt(12.345, 1), "12.3");
+    EXPECT_EQ(fmt(12.345, 0), "12");
+    EXPECT_EQ(pct(0.5), "50.0%");
+    const Range r{1.0, 2.0, 3.0, 3};
+    EXPECT_EQ(rangeStr(r), "2.0 [1.0, 3.0]");
+}
+
+TEST(Campaign, RangeOverFiltersByGroup)
+{
+    std::vector<SimResult> results(3);
+    results[0].fp = false;
+    results[0].ipc = 1.0;
+    results[1].fp = true;
+    results[1].ipc = 2.0;
+    results[2].fp = false;
+    results[2].ipc = 3.0;
+    const Range int_r = rangeOver(results, false,
+        [](const SimResult &r) { return r.ipc; });
+    EXPECT_EQ(int_r.n, 2u);
+    EXPECT_DOUBLE_EQ(int_r.mean, 2.0);
+    const Range fp_r = rangeOver(results, true,
+        [](const SimResult &r) { return r.ipc; });
+    EXPECT_EQ(fp_r.n, 1u);
+    EXPECT_DOUBLE_EQ(fp_r.mean, 2.0);
+}
+
+TEST(Campaign, PerMInstNormalization)
+{
+    SimResult r;
+    r.instructions = 2000000;
+    EXPECT_DOUBLE_EQ(r.perMInst(4.0), 2.0);
+    SimResult empty;
+    EXPECT_DOUBLE_EQ(empty.perMInst(4.0), 0.0);
+}
+
+} // namespace
+} // namespace dmdc

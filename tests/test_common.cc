@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: bit utilities, RNG,
+ * statistics and logging counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitUtils, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtils, BitsAndMask)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffull);
+    EXPECT_EQ(bits(0xabcd, 3, 0), 0xdull);
+    EXPECT_EQ(mask(0), 0ull);
+    EXPECT_EQ(mask(8), 0xffull);
+    EXPECT_EQ(mask(64), ~0ull);
+}
+
+TEST(BitUtils, FoldXorCoversWidth)
+{
+    // Folding must stay within the requested width.
+    for (unsigned width = 3; width <= 16; ++width) {
+        for (std::uint64_t v : {0ull, 1ull, 0xdeadbeefcafeull,
+                                ~0ull}) {
+            EXPECT_LT(foldXor(v, width), 1ull << width);
+        }
+    }
+    // Values differing only above the fold width still hash
+    // differently in general.
+    EXPECT_NE(foldXor(0x1000, 8), foldXor(0x2000, 8));
+}
+
+TEST(RangesOverlap, Basic)
+{
+    EXPECT_TRUE(rangesOverlap(0, 4, 0, 4));
+    EXPECT_TRUE(rangesOverlap(0, 8, 4, 4));
+    EXPECT_TRUE(rangesOverlap(4, 4, 0, 8));
+    EXPECT_FALSE(rangesOverlap(0, 4, 4, 4));
+    EXPECT_FALSE(rangesOverlap(8, 8, 0, 8));
+    EXPECT_TRUE(rangesOverlap(7, 1, 0, 8));
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.range(17), 17u);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.between(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, GeometricMeanApproximation)
+{
+    Rng rng(13);
+    double sum = 0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.geometric(8.0);
+    EXPECT_NEAR(sum / n, 8.0, 1.0);
+    // Mean <= 1 degenerates to the constant 1.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(0.5), 1u);
+}
+
+TEST(Rng, MixHashIsStable)
+{
+    EXPECT_EQ(mixHash(12345), mixHash(12345));
+    EXPECT_NE(mixHash(12345), mixHash(12346));
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    Histogram h(4, 10.0);
+    h.sample(0.0);
+    h.sample(9.9);
+    h.sample(10.0);
+    h.sample(35.0);
+    h.sample(1000.0);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Stats, GroupResetAndDump)
+{
+    StatGroup root("root");
+    StatGroup child("child");
+    Counter c;
+    Average a;
+    root.regCounter("events", &c, "test counter");
+    child.regAverage("metric", &a);
+    root.addChild(&child);
+
+    c += 5;
+    a.sample(1.0);
+    root.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+
+    c += 3;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("events"), std::string::npos);
+    EXPECT_NE(os.str().find("metric"), std::string::npos);
+
+    EXPECT_EQ(root.findCounter("events"), &c);
+    EXPECT_EQ(root.findCounter("nope"), nullptr);
+}
+
+TEST(Logging, WarnCountsMessages)
+{
+    const auto before = loggedMessageCount(LogLevel::Warn);
+    warn("test warning %d", 1);
+    EXPECT_EQ(loggedMessageCount(LogLevel::Warn), before + 1);
+}
+
+} // namespace
+} // namespace dmdc

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the core structures: ROB, rename, issue queue, FU
+ * pool, register-file activity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fu_pool.hh"
+#include "core/issue_queue.hh"
+#include "core/regfile.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+std::unique_ptr<DynInst>
+makeInst(SeqNum seq, OpClass cls = OpClass::IntAlu,
+         RegIndex dst = noReg, RegIndex src1 = noReg,
+         RegIndex src2 = noReg)
+{
+    auto inst = std::make_unique<DynInst>();
+    inst->seq = seq;
+    inst->op.cls = cls;
+    inst->op.dst = dst;
+    inst->op.src1 = src1;
+    inst->op.src2 = src2;
+    return inst;
+}
+
+TEST(Rob, FifoOrderAndCapacity)
+{
+    Rob rob(4);
+    EXPECT_TRUE(rob.empty());
+    for (SeqNum s = 1; s <= 4; ++s)
+        rob.allocate(makeInst(s));
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.head()->seq, 1u);
+    EXPECT_EQ(rob.tail()->seq, 4u);
+    rob.retireHead();
+    EXPECT_EQ(rob.head()->seq, 2u);
+    EXPECT_FALSE(rob.full());
+}
+
+TEST(Rob, SquashFromRemovesSuffixYoungestFirst)
+{
+    Rob rob(8);
+    for (SeqNum s = 1; s <= 6; ++s)
+        rob.allocate(makeInst(s));
+    std::vector<SeqNum> squashed;
+    rob.squashFrom(4, [&](DynInst *inst) {
+        squashed.push_back(inst->seq);
+        EXPECT_EQ(inst->stage, InstStage::Squashed);
+    });
+    ASSERT_EQ(squashed.size(), 3u);
+    EXPECT_EQ(squashed[0], 6u);
+    EXPECT_EQ(squashed[1], 5u);
+    EXPECT_EQ(squashed[2], 4u);
+    EXPECT_EQ(rob.tail()->seq, 3u);
+}
+
+TEST(Rob, OutOfOrderAllocationPanics)
+{
+    Rob rob(8);
+    rob.allocate(makeInst(5));
+    EXPECT_DEATH(rob.allocate(makeInst(3)), ".*age order.*");
+}
+
+TEST(Rename, BindsProducersAndTracksFreeRegs)
+{
+    RenameState rs(40, 40);   // 8 free in each file
+    EXPECT_EQ(rs.freeIntRegs(), 8u);
+
+    auto p = makeInst(1, OpClass::IntAlu, 5);
+    rs.rename(p.get());
+    EXPECT_EQ(rs.freeIntRegs(), 7u);
+
+    auto c = makeInst(2, OpClass::IntAlu, 6, 5);
+    rs.rename(c.get());
+    EXPECT_EQ(c->src1Producer, p.get());
+    EXPECT_EQ(c->src1ProducerSeq, 1u);
+
+    // A consumer of an unwritten register has no producer.
+    auto d = makeInst(3, OpClass::IntAlu, 7, 12);
+    rs.rename(d.get());
+    EXPECT_EQ(d->src1Producer, nullptr);
+}
+
+TEST(Rename, ReleaseClearsMapAndFreesReg)
+{
+    RenameState rs(40, 40);
+    auto p = makeInst(1, OpClass::IntAlu, 5);
+    rs.rename(p.get());
+    rs.release(p.get());
+    EXPECT_EQ(rs.freeIntRegs(), 8u);
+    auto c = makeInst(2, OpClass::IntAlu, 6, 5);
+    rs.rename(c.get());
+    EXPECT_EQ(c->src1Producer, nullptr);   // value is architectural
+}
+
+TEST(Rename, SquashRestoresPreviousMapping)
+{
+    RenameState rs(40, 40);
+    auto p1 = makeInst(1, OpClass::IntAlu, 5);
+    auto p2 = makeInst(2, OpClass::IntAlu, 5);
+    rs.rename(p1.get());
+    rs.rename(p2.get());
+    rs.squash(p2.get(), 1);   // oldest active = 1: p1 still in flight
+    auto c = makeInst(3, OpClass::IntAlu, 6, 5);
+    rs.rename(c.get());
+    EXPECT_EQ(c->src1Producer, p1.get());
+}
+
+TEST(Rename, SquashDropsCommittedPrevMapping)
+{
+    RenameState rs(40, 40);
+    auto p1 = makeInst(1, OpClass::IntAlu, 5);
+    auto p2 = makeInst(2, OpClass::IntAlu, 5);
+    rs.rename(p1.get());
+    rs.rename(p2.get());
+    rs.release(p1.get());      // p1 commits
+    rs.squash(p2.get(), 3);    // oldest active seq is now 3
+    auto c = makeInst(3, OpClass::IntAlu, 6, 5);
+    rs.rename(c.get());
+    EXPECT_EQ(c->src1Producer, nullptr);
+}
+
+TEST(Rename, FpAndIntFilesIndependent)
+{
+    RenameState rs(33, 34);
+    EXPECT_EQ(rs.freeIntRegs(), 1u);
+    EXPECT_EQ(rs.freeFpRegs(), 2u);
+    auto p = makeInst(1, OpClass::IntAlu, 3);
+    EXPECT_TRUE(rs.canRename(p->op));
+    rs.rename(p.get());
+    auto q = makeInst(2, OpClass::IntAlu, 4);
+    EXPECT_FALSE(rs.canRename(q->op));
+    auto f = makeInst(3, OpClass::FpAdd, firstFpReg + 2);
+    EXPECT_TRUE(rs.canRename(f->op));
+}
+
+TEST(IssueQueue, InsertRemoveSquash)
+{
+    IssueQueue iq(4);
+    auto a = makeInst(1);
+    auto b = makeInst(2);
+    auto c = makeInst(3);
+    iq.insert(a.get());
+    iq.insert(b.get());
+    iq.insert(c.get());
+    EXPECT_TRUE(a->inIssueQueue);
+    iq.remove(b.get());
+    EXPECT_FALSE(b->inIssueQueue);
+    EXPECT_EQ(iq.size(), 2u);
+    iq.squashFrom(3);
+    EXPECT_EQ(iq.size(), 1u);
+    EXPECT_FALSE(c->inIssueQueue);
+    EXPECT_EQ(iq.entries().front(), a.get());
+}
+
+TEST(FuPool, PerCycleBandwidth)
+{
+    FuPoolParams p;
+    p.intAlu = 2;
+    FuPool pool(p);
+    pool.tick(1);
+    unsigned lat = 0;
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, lat));
+    EXPECT_EQ(lat, 1u);
+    EXPECT_TRUE(pool.tryIssue(OpClass::Branch, lat));
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntAlu, lat));
+    pool.tick(2);
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, lat));
+}
+
+TEST(FuPool, DividerIsUnpipelined)
+{
+    FuPoolParams p;
+    FuPool pool(p);
+    pool.tick(1);
+    unsigned lat = 0;
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntDiv, lat));
+    EXPECT_EQ(lat, p.intDivLat);
+    pool.tick(2);
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntDiv, lat));
+    pool.tick(1 + p.intDivLat);
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntDiv, lat));
+}
+
+TEST(FuPool, ClassLatencies)
+{
+    FuPoolParams p;
+    FuPool pool(p);
+    pool.tick(1);
+    unsigned lat = 0;
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntMult, lat));
+    EXPECT_EQ(lat, p.intMultLat);
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpAdd, lat));
+    EXPECT_EQ(lat, p.fpAddLat);
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpMult, lat));
+    EXPECT_EQ(lat, p.fpMultLat);
+    EXPECT_TRUE(pool.tryIssue(OpClass::Load, lat));
+    EXPECT_EQ(lat, p.intAluLat);
+}
+
+TEST(RegFileActivity, CountsByFile)
+{
+    RegFileActivity rf;
+    auto inst = makeInst(1, OpClass::IntAlu, 3, 4, firstFpReg + 1);
+    rf.noteIssueReads(inst.get());
+    rf.noteWriteback(inst.get());
+    EXPECT_EQ(rf.intReads(), 1u);
+    EXPECT_EQ(rf.fpReads(), 1u);
+    EXPECT_EQ(rf.intWrites(), 1u);
+    EXPECT_EQ(rf.fpWrites(), 0u);
+}
+
+} // namespace
+} // namespace dmdc

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit tests for the DMDC engine: safe/unsafe classification, checking
+ * windows, end-check management (global vs. local), replay
+ * classification and the coherence extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lsq/dmdc.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+class DmdcTest : public ::testing::Test
+{
+  protected:
+    DynInst *
+    load(SeqNum seq, Addr addr, unsigned size = 8, bool safe = false)
+    {
+        auto inst = std::make_unique<DynInst>();
+        inst->seq = seq;
+        inst->op.cls = OpClass::Load;
+        inst->op.effAddr = addr;
+        inst->op.memSize = static_cast<std::uint8_t>(size);
+        inst->safeLoad = safe;
+        inst->loadIssued = true;
+        insts.push_back(std::move(inst));
+        return insts.back().get();
+    }
+
+    DynInst *
+    store(SeqNum seq, Addr addr, unsigned size = 8)
+    {
+        auto inst = std::make_unique<DynInst>();
+        inst->seq = seq;
+        inst->op.cls = OpClass::Store;
+        inst->op.effAddr = addr;
+        inst->op.memSize = static_cast<std::uint8_t>(size);
+        insts.push_back(std::move(inst));
+        return insts.back().get();
+    }
+
+    DynInst *
+    alu(SeqNum seq)
+    {
+        auto inst = std::make_unique<DynInst>();
+        inst->seq = seq;
+        inst->op.cls = OpClass::IntAlu;
+        insts.push_back(std::move(inst));
+        return insts.back().get();
+    }
+
+    std::vector<std::unique_ptr<DynInst>> insts;
+};
+
+TEST_F(DmdcTest, StoreWithNoYoungerLoadIsSafe)
+{
+    DmdcEngine eng{DmdcParams{}};
+    eng.loadIssued(0x1000, 5);
+    DynInst *st = store(10, 0x1000);
+    eng.storeResolved(st, 1);
+    EXPECT_TRUE(st->safeStore);
+    EXPECT_EQ(eng.stats().safeStores.value(), 1u);
+}
+
+TEST_F(DmdcTest, StoreWithYoungerLoadInBankIsUnsafe)
+{
+    DmdcEngine eng{DmdcParams{}};
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    eng.storeResolved(st, 1);
+    EXPECT_FALSE(st->safeStore);
+    EXPECT_EQ(st->capturedWindowEnd, 50u);
+    EXPECT_EQ(eng.endCheck(), 50u);   // global variant pushes at issue
+}
+
+TEST_F(DmdcTest, BankingMakesDistantAddressSafe)
+{
+    DmdcEngine eng{DmdcParams{}};   // 8 quad-word banks
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1008);   // next quad word, other bank
+    eng.storeResolved(st, 1);
+    EXPECT_TRUE(st->safeStore);
+}
+
+TEST_F(DmdcTest, WindowLifecycleAndReplay)
+{
+    DmdcEngine eng{DmdcParams{}};
+    // Premature load at seq 50 to 0x1000, store seq 10 resolves late.
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    st->doneCycle = 5;
+    eng.storeResolved(st, 5);
+    ASSERT_FALSE(st->safeStore);
+
+    // Store commits: checking mode opens.
+    EXPECT_FALSE(eng.checkingActive());
+    ReplayClass rc = eng.commit(st, 10);
+    EXPECT_FALSE(rc.replay);
+    EXPECT_TRUE(eng.checkingActive());
+
+    // Unrelated load passes.
+    DynInst *ok = load(20, 0x2000);
+    ok->memIssueCycle = 8;
+    EXPECT_FALSE(eng.commit(ok, 11).replay);
+    EXPECT_TRUE(eng.checkingActive());
+
+    // The premature load replays.
+    DynInst *victim = load(50, 0x1000);
+    victim->memIssueCycle = 3;        // issued before store resolved
+    victim->ghostViolation = true;    // ground truth agrees
+    ReplayClass vrc = eng.commit(victim, 12);
+    EXPECT_TRUE(vrc.replay);
+    EXPECT_TRUE(vrc.trueViolation);
+
+    // After a (re-executed, now safe) instruction at/past end-check
+    // commits, the window closes.
+    DynInst *past = alu(51);
+    EXPECT_FALSE(eng.commit(past, 13).replay);
+    EXPECT_FALSE(eng.checkingActive());
+    EXPECT_EQ(eng.stats().windows.value(), 1u);
+}
+
+TEST_F(DmdcTest, SafeLoadSkipsChecking)
+{
+    DmdcEngine eng{DmdcParams{}};
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    st->doneCycle = 5;
+    eng.storeResolved(st, 5);
+    eng.commit(st, 10);
+
+    DynInst *safe_load = load(50, 0x1000, 8, /*safe=*/true);
+    ReplayClass rc = eng.commit(safe_load, 11);
+    EXPECT_FALSE(rc.replay);
+    EXPECT_EQ(eng.stats().safeLoadsMarked.value(), 1u);
+    EXPECT_EQ(eng.stats().tableReads.value(), 0u);
+}
+
+TEST_F(DmdcTest, SafeLoadCheckedWhenDetectionDisabled)
+{
+    DmdcParams params;
+    params.safeLoads = false;
+    DmdcEngine eng{params};
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    st->doneCycle = 5;
+    eng.storeResolved(st, 5);
+    eng.commit(st, 10);
+
+    DynInst *safe_load = load(50, 0x1000, 8, /*safe=*/true);
+    ReplayClass rc = eng.commit(safe_load, 11);
+    EXPECT_TRUE(rc.replay);   // the ablation pays with false replays
+}
+
+TEST_F(DmdcTest, SuppressReplayCommitsCleanly)
+{
+    DmdcEngine eng{DmdcParams{}};
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    st->doneCycle = 5;
+    eng.storeResolved(st, 5);
+    eng.commit(st, 10);
+
+    DynInst *victim = load(50, 0x1000);
+    victim->memIssueCycle = 3;
+    EXPECT_FALSE(eng.commit(victim, 12, true).replay);
+}
+
+TEST_F(DmdcTest, FalseReplayClassifiedAsHashConflict)
+{
+    DmdcParams params;
+    params.tableEntries = 16;   // force aliasing
+    DmdcEngine eng{params};
+
+    // Find two quad words that alias in a 16-entry fold-XOR table.
+    CheckingTable probe(16);
+    GhostStoreRecord g;
+    g.addr = 0x1000;
+    g.size = 8;
+    probe.markStore(0x1000, 8, g);
+    Addr alias = 0;
+    for (Addr a = 0x2000; a < 0x40000; a += 8) {
+        if (probe.checkLoad(a, 8).wrtHit) {
+            alias = a;
+            break;
+        }
+    }
+    ASSERT_NE(alias, 0u);
+
+    eng.loadIssued(0x1000, 50);
+    eng.loadIssued(alias, 60);
+    DynInst *st = store(10, 0x1000);
+    st->doneCycle = 5;
+    eng.storeResolved(st, 5);
+    eng.commit(st, 10);
+
+    DynInst *aliased = load(60, alias);
+    aliased->memIssueCycle = 3;
+    ReplayClass rc = eng.commit(aliased, 12);
+    EXPECT_TRUE(rc.replay);
+    EXPECT_FALSE(rc.trueViolation);
+    EXPECT_FALSE(rc.addrMatch);
+    EXPECT_EQ(eng.stats().falseHashBefore.value() +
+                  eng.stats().falseHashX.value() +
+                  eng.stats().falseHashY.value(),
+              1u);
+}
+
+TEST_F(DmdcTest, TimingFalseReplayClassifiedAddrMatch)
+{
+    DmdcEngine eng{DmdcParams{}};
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    st->doneCycle = 5;
+    eng.storeResolved(st, 5);
+    eng.commit(st, 10);
+
+    // Same address, but the load issued AFTER the store resolved: the
+    // timing approximation causes a false replay (column X).
+    DynInst *late = load(40, 0x1000);
+    late->memIssueCycle = 9;
+    ReplayClass rc = eng.commit(late, 12);
+    EXPECT_TRUE(rc.replay);
+    EXPECT_FALSE(rc.trueViolation);
+    EXPECT_TRUE(rc.addrMatch);
+    EXPECT_EQ(rc.timing, ReplayClass::Timing::InWindowX);
+    EXPECT_EQ(eng.stats().falseAddrX.value(), 1u);
+}
+
+TEST_F(DmdcTest, LocalVariantDefersEndCheckToCommit)
+{
+    DmdcParams params;
+    params.variant = DmdcVariant::Local;
+    DmdcEngine eng{params};
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    st->doneCycle = 5;
+    eng.storeResolved(st, 5);
+    EXPECT_EQ(eng.endCheck(), invalidSeqNum);   // not pushed at issue
+    eng.commit(st, 10);
+    EXPECT_EQ(eng.endCheck(), 50u);             // armed at commit
+}
+
+TEST_F(DmdcTest, BranchRecoveryClampsEndCheck)
+{
+    DmdcEngine eng{DmdcParams{}};
+    eng.loadIssued(0x1000, 90);   // wrong-path load, very young
+    DynInst *st = store(10, 0x1000);
+    eng.storeResolved(st, 5);
+    EXPECT_EQ(eng.endCheck(), 90u);
+    eng.branchRecovery(60);
+    EXPECT_EQ(eng.endCheck(), 60u);
+}
+
+TEST_F(DmdcTest, CoherenceInvalidationOpensWindowAndReplaysSecondLoad)
+{
+    DmdcParams params;
+    params.coherence = true;
+    DmdcEngine eng{params};
+
+    eng.loadIssued(0x1000, 50);
+    eng.invalidationArrived(0x1000, 5);
+    EXPECT_TRUE(eng.checkingActive());
+
+    // First same-line load: no replay, but promotes INV -> WRT.
+    DynInst *l1 = load(20, 0x1000);
+    l1->memIssueCycle = 2;
+    EXPECT_FALSE(eng.commit(l1, 6).replay);
+    // Second load to the same location replays (write serialization).
+    DynInst *l2 = load(30, 0x1000);
+    l2->memIssueCycle = 3;
+    EXPECT_TRUE(eng.commit(l2, 7).replay);
+}
+
+TEST_F(DmdcTest, InvalidationWithNoCoveringLoadIsIgnored)
+{
+    DmdcParams params;
+    params.coherence = true;
+    DmdcEngine eng{params};
+    eng.invalidationArrived(0x5000, 5);
+    EXPECT_FALSE(eng.checkingActive());
+}
+
+TEST_F(DmdcTest, QueueVariantOverflowForcesReplay)
+{
+    DmdcParams params;
+    params.useQueue = true;
+    params.queueEntries = 1;
+    DmdcEngine eng{params};
+
+    eng.loadIssued(0x1000, 50);
+    eng.loadIssued(0x2000, 51);
+    DynInst *s1 = store(10, 0x1000);
+    DynInst *s2 = store(11, 0x2000);
+    eng.storeResolved(s1, 5);
+    eng.storeResolved(s2, 5);
+    eng.commit(s1, 10);
+    eng.commit(s2, 10);   // overflows the 1-entry queue
+
+    DynInst *innocent = load(20, 0x7000);
+    innocent->memIssueCycle = 9;
+    ReplayClass rc = eng.commit(innocent, 11);
+    EXPECT_TRUE(rc.replay);
+    EXPECT_TRUE(rc.queueOverflow);
+    EXPECT_EQ(eng.stats().falseOverflow.value(), 1u);
+}
+
+TEST_F(DmdcTest, WindowStatsAccumulate)
+{
+    DmdcEngine eng{DmdcParams{}};
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    st->doneCycle = 5;
+    eng.storeResolved(st, 5);
+    eng.commit(st, 10);
+    eng.commit(alu(11), 11);
+    DynInst *in_window = load(12, 0x4000);
+    in_window->memIssueCycle = 9;
+    eng.commit(in_window, 12);
+    eng.commit(alu(51), 13);   // closes window (past end-check 50)
+
+    const auto &s = eng.stats();
+    EXPECT_EQ(s.windows.value(), 1u);
+    EXPECT_EQ(s.windowsSingleStore.value(), 1u);
+    // store + alu + load + closer = 4 committed in window.
+    EXPECT_DOUBLE_EQ(s.windowInstrs.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.windowLoads.mean(), 1.0);
+}
+
+TEST_F(DmdcTest, CheckingCyclesCounted)
+{
+    DmdcEngine eng{DmdcParams{}};
+    eng.tick();
+    EXPECT_EQ(eng.stats().checkingCycles.value(), 0u);
+    eng.loadIssued(0x1000, 50);
+    DynInst *st = store(10, 0x1000);
+    eng.storeResolved(st, 5);
+    eng.commit(st, 10);
+    eng.tick();
+    eng.tick();
+    EXPECT_EQ(eng.stats().checkingCycles.value(), 2u);
+}
+
+} // namespace
+} // namespace dmdc

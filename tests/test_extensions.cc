@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of the extensions beyond the paper's evaluated design: the
+ * Sec. 3 SQ-side age filter (implemented here although the paper left
+ * it as future work) and the Sec. 7 related-work age-table scheme
+ * (Garg et al.), plus the age-table unit itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "lsq/age_table.hh"
+#include "sim/simulator.hh"
+#include "trace/spec_suite.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+TEST(AgeTableUnit, TracksYoungestPerEntry)
+{
+    AgeTable t(1024);
+    EXPECT_FALSE(t.storeNeedsReplay(0x1000, 50));
+    t.loadIssued(0x1000, 100);
+    EXPECT_TRUE(t.storeNeedsReplay(0x1000, 50));
+    EXPECT_FALSE(t.storeNeedsReplay(0x1000, 150));
+    // Older loads never regress an entry.
+    t.loadIssued(0x1000, 30);
+    EXPECT_EQ(t.lookup(0x1000), 100u);
+}
+
+TEST(AgeTableUnit, AliasingIsConservative)
+{
+    AgeTable t(16);
+    t.loadIssued(0x1000, 100);
+    // Some other quad word must alias in a 16-entry table; the check
+    // for it is conservative (replay), never unsafe.
+    bool found = false;
+    for (Addr a = 0x2000; a < 0x40000 && !found; a += 8)
+        found = t.storeNeedsReplay(a, 50);
+    EXPECT_TRUE(found);
+}
+
+TEST(AgeTableUnit, BranchRecoveryClamps)
+{
+    AgeTable t(64);
+    t.loadIssued(0x1000, 200);
+    t.branchRecovery(120);
+    EXPECT_EQ(t.lookup(0x1000), 120u);
+    t.reset();
+    EXPECT_EQ(t.lookup(0x1000), invalidSeqNum);
+}
+
+TEST(AgeTableScheme, RunsCleanAndDetectsViolations)
+{
+    SimOptions opt;
+    opt.benchmark = "gcc";
+    opt.scheme = Scheme::AgeTable;
+    opt.warmupInsts = 5000;
+    opt.runInsts = 50000;
+    const SimResult r = runSimulation(opt);
+    EXPECT_GE(r.instructions, 50000u);
+    // Every true violation must trigger a replay (superset property);
+    // the built-in safety panic already guards the other direction.
+    EXPECT_GE(r.ageTableReplays, r.trueViolations);
+}
+
+TEST(AgeTableScheme, MoreReplaysThanDmdc)
+{
+    // The paper's Sec. 7 claim: DMDC's decoupled design replays less
+    // than the fused age table at the same entry count.
+    double age_replays = 0;
+    double dmdc_replays = 0;
+    for (const char *bench : {"gcc", "vortex", "swim"}) {
+        SimOptions opt;
+        opt.benchmark = bench;
+        opt.warmupInsts = 5000;
+        opt.runInsts = 60000;
+        opt.scheme = Scheme::AgeTable;
+        age_replays += static_cast<double>(
+            runSimulation(opt).ageTableReplays);
+        opt.scheme = Scheme::DmdcGlobal;
+        dmdc_replays +=
+            static_cast<double>(runSimulation(opt).dmdcReplays);
+    }
+    EXPECT_GE(age_replays, dmdc_replays);
+}
+
+TEST(SqFilter, ExactAndTimingNeutralWhenDisabled)
+{
+    SimOptions opt;
+    opt.benchmark = "crafty";
+    opt.scheme = Scheme::Baseline;
+    opt.warmupInsts = 5000;
+    opt.runInsts = 50000;
+    const SimResult off = runSimulation(opt);
+    opt.sqFilter = true;
+    const SimResult on = runSimulation(opt);
+
+    // The filter only skips searches that provably have no older
+    // store: identical timing.
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_GT(on.sqSearchesFiltered, 0u);
+    EXPECT_EQ(off.sqSearches,
+              on.sqSearches + on.sqSearchesFiltered);
+    // Energy strictly improves in the SQ component.
+    EXPECT_LT(on.energy.sq, off.energy.sq);
+}
+
+TEST(SqFilter, ComposesWithDmdc)
+{
+    SimOptions opt;
+    opt.benchmark = "swim";
+    opt.scheme = Scheme::DmdcGlobal;
+    opt.sqFilter = true;
+    opt.warmupInsts = 5000;
+    opt.runInsts = 50000;
+    const SimResult r = runSimulation(opt);
+    EXPECT_GE(r.instructions, 50000u);
+    // Filtered loads are trivially safe loads.
+    EXPECT_GT(r.safeLoadFrac, 0.3);
+}
+
+} // namespace
+} // namespace dmdc

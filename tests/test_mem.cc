@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the cache and memory-hierarchy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+CacheParams
+smallCache()
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeBytes = 1024;   // 16 lines
+    p.assoc = 2;          // 8 sets
+    p.lineBytes = 64;
+    p.latency = 2;
+    return p;
+}
+
+TEST(Cache, MissThenHitSameLine)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1030, false));   // same 64B line
+    EXPECT_FALSE(c.access(0x1040, false));  // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruReplacementWithinSet)
+{
+    Cache c(smallCache());
+    // Three addresses in the same set (set stride = 8 sets * 64B).
+    const Addr a = 0x0;
+    const Addr b = a + 8 * 64;
+    const Addr d = b + 8 * 64;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);        // a most recent
+    c.access(d, false);        // evicts b
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_TRUE(c.probe(d));
+    EXPECT_FALSE(c.probe(b));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    Cache c(smallCache());
+    const Addr a = 0x0;
+    const Addr b = a + 8 * 64;
+    const Addr d = b + 8 * 64;
+    c.access(a, true);         // dirty
+    c.access(b, false);
+    c.access(d, false);        // evicts a (LRU), dirty
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(smallCache());
+    c.access(0x2000, false);
+    EXPECT_TRUE(c.probe(0x2000));
+    EXPECT_TRUE(c.invalidate(0x2000));
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.invalidate(0x2000));   // already gone
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.probe(0x3000));
+    EXPECT_FALSE(c.probe(0x3000));
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Hierarchy, LatenciesCompose)
+{
+    HierarchyParams p;   // table-1 defaults: 2 / 15 / 120
+    MemoryHierarchy mem(p);
+    // Cold: L1 miss + L2 miss + memory.
+    EXPECT_EQ(mem.accessData(0x5000, false), 2u + 15u + 120u);
+    // Now in both caches.
+    EXPECT_EQ(mem.accessData(0x5000, false), 2u);
+    // Evicted from nothing: another line, same behaviour for ifetch.
+    EXPECT_EQ(mem.accessInst(0x400000), 2u + 15u + 120u);
+    EXPECT_EQ(mem.accessInst(0x400000), 2u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Invalidate)
+{
+    HierarchyParams p;
+    MemoryHierarchy mem(p);
+    (void)mem.accessData(0x6000, false);
+    // Drop only the L1 copy via a direct L1-sized conflict sweep is
+    // complex; use invalidateLine (drops L1 + L2) then refill L2 only.
+    mem.invalidateLine(0x6000);
+    EXPECT_EQ(mem.accessData(0x6000, false), 2u + 15u + 120u);
+    EXPECT_EQ(mem.accessData(0x6000, false), 2u);
+}
+
+TEST(Hierarchy, InvalidationDropsBothLevels)
+{
+    HierarchyParams p;
+    MemoryHierarchy mem(p);
+    (void)mem.accessData(0x7000, true);
+    mem.invalidateLine(0x7000);
+    EXPECT_FALSE(mem.l1d().probe(0x7000));
+    EXPECT_FALSE(mem.l2().probe(0x7000));
+}
+
+TEST(Hierarchy, Table1GeometryDefaults)
+{
+    HierarchyParams p;
+    EXPECT_EQ(p.l1i.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.l1i.assoc, 1u);
+    EXPECT_EQ(p.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(p.l1d.assoc, 2u);
+    EXPECT_EQ(p.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(p.l2.assoc, 8u);
+    EXPECT_EQ(p.l2.lineBytes, 128u);
+    EXPECT_EQ(p.memLatency, 120u);
+}
+
+} // namespace
+} // namespace dmdc

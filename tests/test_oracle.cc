@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Randomized differential tests: the optimized LSQ structures are
+ * checked operation-by-operation against naive reference
+ * implementations under long random operation streams. This is the
+ * strongest guard against subtle CAM-search or age-ordering bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "lsq/load_queue.hh"
+#include "lsq/store_queue.hh"
+#include "lsq/yla.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+/** Naive reference of the store queue's load check. */
+struct RefStore
+{
+    SeqNum seq;
+    Addr addr;
+    unsigned size;
+    bool addrReady;
+    bool dataReady;
+};
+
+SqCheck
+refCheckLoad(const std::vector<RefStore> &stores, SeqNum load_seq,
+             Addr addr, unsigned size, bool *unresolved_older)
+{
+    *unresolved_older = false;
+    // Youngest-first among older stores.
+    const RefStore *best = nullptr;
+    for (const RefStore &s : stores) {
+        if (s.seq >= load_seq)
+            continue;
+        if (!s.addrReady) {
+            *unresolved_older = true;
+            continue;
+        }
+        if (!rangesOverlap(addr, size, s.addr, s.size))
+            continue;
+        if (!best || s.seq > best->seq)
+            best = &s;
+    }
+    if (!best)
+        return SqCheck::NoMatch;
+    const bool contains =
+        best->addr <= addr && addr + size <= best->addr + best->size;
+    return (contains && best->dataReady) ? SqCheck::Forward
+                                         : SqCheck::Reject;
+}
+
+TEST(Oracle, StoreQueueMatchesReferenceUnderRandomStreams)
+{
+    Rng rng(2024);
+    for (int round = 0; round < 20; ++round) {
+        StoreQueue sq(16);
+        std::vector<std::unique_ptr<DynInst>> owned;
+        std::vector<RefStore> ref;
+        SeqNum seq = 0;
+
+        for (int op = 0; op < 2000; ++op) {
+            const double r = rng.uniform();
+            if (r < 0.35 && !sq.full()) {
+                // Allocate a store.
+                auto inst = std::make_unique<DynInst>();
+                inst->seq = ++seq;
+                inst->op.cls = OpClass::Store;
+                const unsigned size = 1u << rng.range(4);
+                inst->op.memSize =
+                    static_cast<std::uint8_t>(size);
+                inst->op.effAddr =
+                    (rng.range(1 << 10)) & ~Addr{size - 1};
+                sq.allocate(inst.get());
+                ref.push_back(RefStore{inst->seq, inst->op.effAddr,
+                                       size, false, false});
+                owned.push_back(std::move(inst));
+            } else if (r < 0.50) {
+                // Resolve a random unresolved store.
+                for (auto &s : ref) {
+                    if (!s.addrReady && rng.chance(0.5)) {
+                        s.addrReady = true;
+                        for (auto &inst : owned) {
+                            if (inst->seq == s.seq)
+                                sq.setAddress(inst.get());
+                        }
+                        break;
+                    }
+                }
+            } else if (r < 0.62) {
+                // Data-ready a random store.
+                for (auto &s : ref) {
+                    if (s.addrReady && !s.dataReady &&
+                        rng.chance(0.5)) {
+                        s.dataReady = true;
+                        for (auto &inst : owned) {
+                            if (inst->seq == s.seq)
+                                inst->sqDataReady = true;
+                        }
+                        break;
+                    }
+                }
+            } else if (r < 0.72 && !ref.empty()) {
+                // Commit the head store if fully ready.
+                if (ref.front().addrReady && ref.front().dataReady) {
+                    for (auto &inst : owned) {
+                        if (inst->seq == ref.front().seq)
+                            sq.releaseHead(inst.get());
+                    }
+                    ref.erase(ref.begin());
+                }
+            } else if (r < 0.78 && !ref.empty()) {
+                // Squash a random young suffix.
+                const SeqNum from =
+                    ref[rng.range(ref.size())].seq;
+                sq.squashFrom(from);
+                std::erase_if(ref, [from](const RefStore &s) {
+                    return s.seq >= from;
+                });
+            } else {
+                // Random load check: compare against the reference.
+                const SeqNum load_seq = seq + 1 + rng.range(4);
+                const unsigned size = 1u << rng.range(4);
+                const Addr addr =
+                    (rng.range(1 << 10)) & ~Addr{size - 1};
+                bool ref_unresolved = false;
+                const SqCheck expect = refCheckLoad(
+                    ref, load_seq, addr, size, &ref_unresolved);
+                const SqCheckResult got =
+                    sq.checkLoad(load_seq, addr, size);
+                ASSERT_EQ(static_cast<int>(got.outcome),
+                          static_cast<int>(expect))
+                    << "round " << round << " op " << op;
+                if (got.outcome == SqCheck::NoMatch) {
+                    ASSERT_EQ(got.sawUnresolvedOlder, ref_unresolved);
+                }
+            }
+        }
+    }
+}
+
+/** Naive reference of the LQ violation search. */
+struct RefLoad
+{
+    SeqNum seq;
+    Addr addr;
+    unsigned size;
+    bool issued;
+    SeqNum fwd;
+};
+
+const RefLoad *
+refViolation(const std::vector<RefLoad> &loads, SeqNum store_seq,
+             Addr addr, unsigned size)
+{
+    const RefLoad *oldest = nullptr;
+    for (const RefLoad &l : loads) {
+        if (l.seq <= store_seq || !l.issued)
+            continue;
+        if (!rangesOverlap(addr, size, l.addr, l.size))
+            continue;
+        if (l.fwd != invalidSeqNum && l.fwd > store_seq)
+            continue;
+        if (!oldest || l.seq < oldest->seq)
+            oldest = &l;
+    }
+    return oldest;
+}
+
+TEST(Oracle, LoadQueueViolationSearchMatchesReference)
+{
+    Rng rng(777);
+    for (int round = 0; round < 20; ++round) {
+        LoadQueue lq(24);
+        std::vector<std::unique_ptr<DynInst>> owned;
+        std::vector<RefLoad> ref;
+        SeqNum seq = 0;
+
+        for (int op = 0; op < 2000; ++op) {
+            const double r = rng.uniform();
+            if (r < 0.4 && !lq.full()) {
+                auto inst = std::make_unique<DynInst>();
+                inst->seq = ++seq;
+                inst->op.cls = OpClass::Load;
+                const unsigned size = 1u << rng.range(4);
+                inst->op.memSize =
+                    static_cast<std::uint8_t>(size);
+                inst->op.effAddr =
+                    (rng.range(1 << 10)) & ~Addr{size - 1};
+                lq.allocate(inst.get());
+                ref.push_back(RefLoad{inst->seq, inst->op.effAddr,
+                                      size, false, invalidSeqNum});
+                owned.push_back(std::move(inst));
+            } else if (r < 0.60 && !ref.empty()) {
+                // Issue a random unissued load, sometimes forwarded.
+                for (std::size_t k = 0; k < ref.size(); ++k) {
+                    auto &l = ref[k];
+                    if (!l.issued && rng.chance(0.5)) {
+                        l.issued = true;
+                        if (rng.chance(0.3))
+                            l.fwd = l.seq > 4 ? l.seq - rng.range(4)
+                                              : invalidSeqNum;
+                        for (auto &inst : owned) {
+                            if (inst->seq == l.seq) {
+                                inst->loadIssued = true;
+                                inst->forwardedFrom = l.fwd;
+                            }
+                        }
+                        break;
+                    }
+                }
+            } else if (r < 0.70 && !ref.empty()) {
+                // Commit the head load (only if issued).
+                if (ref.front().issued) {
+                    for (auto &inst : owned) {
+                        if (inst->seq == ref.front().seq)
+                            lq.releaseHead(inst.get());
+                    }
+                    ref.erase(ref.begin());
+                }
+            } else if (r < 0.76 && !ref.empty()) {
+                const SeqNum from = ref[rng.range(ref.size())].seq;
+                lq.squashFrom(from);
+                std::erase_if(ref, [from](const RefLoad &l) {
+                    return l.seq >= from;
+                });
+            } else {
+                // Store-side violation search vs. reference.
+                const SeqNum store_seq =
+                    seq > 8 ? seq - rng.range(8) : 0;
+                const unsigned size = 1u << rng.range(4);
+                const Addr addr =
+                    (rng.range(1 << 10)) & ~Addr{size - 1};
+                const RefLoad *expect =
+                    refViolation(ref, store_seq, addr, size);
+                DynInst *got =
+                    lq.searchViolation(store_seq, addr, size);
+                if (expect == nullptr) {
+                    ASSERT_EQ(got, nullptr)
+                        << "round " << round << " op " << op;
+                } else {
+                    ASSERT_NE(got, nullptr);
+                    ASSERT_EQ(got->seq, expect->seq)
+                        << "round " << round << " op " << op;
+                }
+            }
+        }
+    }
+}
+
+TEST(Oracle, YlaAgreesWithExhaustiveTracking)
+{
+    // YLA banks must always record exactly the max issued-load seq of
+    // their bank.
+    Rng rng(31);
+    for (unsigned regs : {1u, 4u, 16u}) {
+        YlaFile yla(regs, quadWordBytes);
+        std::vector<SeqNum> expect(regs, invalidSeqNum);
+        SeqNum seq = 0;
+        for (int op = 0; op < 30000; ++op) {
+            if (rng.chance(0.7)) {
+                const Addr addr = rng.range(1 << 12) & ~Addr{7};
+                ++seq;
+                yla.loadIssued(addr, seq);
+                const unsigned bank =
+                    static_cast<unsigned>((addr / 8) % regs);
+                expect[bank] = std::max(expect[bank], seq);
+            } else if (rng.chance(0.1)) {
+                const SeqNum clamp = seq > 20 ? seq - 20 : 0;
+                yla.branchRecovery(clamp);
+                for (auto &e : expect)
+                    e = std::min(e, clamp);
+            } else {
+                const Addr addr = rng.range(1 << 12) & ~Addr{7};
+                const unsigned bank =
+                    static_cast<unsigned>((addr / 8) % regs);
+                ASSERT_EQ(yla.lookup(addr), expect[bank]);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace dmdc

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests of the top-level simulation API, machine configurations, the
+ * energy model and the invalidation injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/array_model.hh"
+#include "sim/campaign.hh"
+#include "sim/invalidation.hh"
+#include "sim/simulator.hh"
+#include "trace/spec_suite.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+SimOptions
+quickOptions(const std::string &bench, Scheme scheme)
+{
+    SimOptions opt;
+    opt.benchmark = bench;
+    opt.scheme = scheme;
+    opt.warmupInsts = 5000;
+    opt.runInsts = 40000;
+    return opt;
+}
+
+TEST(MachineConfig, Table1Presets)
+{
+    const CoreParams c1 = makeMachineConfig(1);
+    const CoreParams c2 = makeMachineConfig(2);
+    const CoreParams c3 = makeMachineConfig(3);
+    EXPECT_EQ(c1.robSize, 128u);
+    EXPECT_EQ(c2.robSize, 256u);
+    EXPECT_EQ(c3.robSize, 512u);
+    EXPECT_EQ(c1.lsq.lqSize, 48u);
+    EXPECT_EQ(c2.lsq.lqSize, 96u);
+    EXPECT_EQ(c3.lsq.lqSize, 192u);
+    EXPECT_EQ(c1.lsq.sqSize, 32u);
+    EXPECT_EQ(c3.lsq.sqSize, 64u);
+    EXPECT_EQ(c1.lsq.dmdc.tableEntries, 1024u);
+    EXPECT_EQ(c2.lsq.dmdc.tableEntries, 2048u);
+    EXPECT_EQ(c3.lsq.dmdc.tableEntries, 4096u);
+    EXPECT_EQ(c2.intRegs, 200u);
+    EXPECT_EQ(c2.fetchWidth, 8u);
+}
+
+TEST(MachineConfig, InvalidLevelIsFatal)
+{
+    EXPECT_EXIT((void)makeMachineConfig(4),
+                ::testing::ExitedWithCode(1), ".*");
+}
+
+TEST(MachineConfig, SchemeApplication)
+{
+    CoreParams p = makeMachineConfig(2);
+    applyScheme(p, Scheme::DmdcLocal);
+    EXPECT_EQ(p.lsq.scheme, LsqScheme::Dmdc);
+    EXPECT_EQ(p.lsq.dmdc.variant, DmdcVariant::Local);
+    applyScheme(p, Scheme::DmdcQueue);
+    EXPECT_TRUE(p.lsq.dmdc.useQueue);
+    applyScheme(p, Scheme::YlaOnly);
+    EXPECT_EQ(p.lsq.scheme, LsqScheme::YlaFiltered);
+}
+
+TEST(Simulator, RunProducesConsistentResult)
+{
+    const SimResult r =
+        runSimulation(quickOptions("gzip", Scheme::DmdcGlobal));
+    EXPECT_GE(r.instructions, 40000u);
+    EXPECT_GT(r.cycles, r.instructions / 8);
+    EXPECT_GT(r.safeStoreFrac, 0.3);
+    EXPECT_LT(r.safeStoreFrac, 1.0);
+    EXPECT_GT(r.safeLoadFrac, 0.3);
+    EXPECT_LE(r.windowSingleStoreFrac, 1.0);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_GT(r.energy.lqFunction(), 0.0);
+}
+
+TEST(Simulator, DeterministicResults)
+{
+    const SimResult a =
+        runSimulation(quickOptions("crafty", Scheme::Baseline));
+    const SimResult b =
+        runSimulation(quickOptions("crafty", Scheme::Baseline));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.lqSearches, b.lqSearches);
+    EXPECT_EQ(a.baselineReplays, b.baselineReplays);
+}
+
+TEST(Simulator, DmdcSavesLqEnergyAtSmallSlowdown)
+{
+    // The paper's headline claim, as a coarse sanity bound.
+    const SimResult base =
+        runSimulation(quickOptions("gzip", Scheme::Baseline));
+    const SimResult dm =
+        runSimulation(quickOptions("gzip", Scheme::DmdcGlobal));
+    EXPECT_LT(dm.energy.lqFunction(), base.energy.lqFunction() * 0.5);
+    const double slowdown =
+        (static_cast<double>(dm.cycles) / dm.instructions) /
+            (static_cast<double>(base.cycles) / base.instructions) -
+        1.0;
+    EXPECT_LT(slowdown, 0.08);
+}
+
+TEST(Simulator, YlaOnlyNeverSlowsDown)
+{
+    const SimResult base =
+        runSimulation(quickOptions("vpr", Scheme::Baseline));
+    const SimResult yla =
+        runSimulation(quickOptions("vpr", Scheme::YlaOnly));
+    // Filtering is timing-neutral: identical cycle counts.
+    EXPECT_EQ(base.cycles, yla.cycles);
+    EXPECT_GT(yla.lqSearchesFiltered, 0u);
+    EXPECT_LT(yla.energy.lqFunction(), base.energy.lqFunction());
+}
+
+TEST(Simulator, ObserversAttachAndCount)
+{
+    YlaObserver obs("qw-8", 8, quadWordBytes);
+    SimOptions opt = quickOptions("gzip", Scheme::Baseline);
+    opt.observers.push_back(&obs);
+    (void)runSimulation(opt);
+    EXPECT_GT(obs.storesObserved(), 1000u);
+    EXPECT_GT(obs.filteredFraction(), 0.4);
+    EXPECT_LE(obs.filteredFraction(), 1.0);
+}
+
+TEST(Simulator, TweakHookOverridesParams)
+{
+    SimOptions opt = quickOptions("gzip", Scheme::Baseline);
+    opt.tweak = [](CoreParams &p) { p.robSize = 32; };
+    Simulator sim(opt);
+    EXPECT_EQ(sim.coreParams().robSize, 32u);
+    const SimResult r = sim.run();
+    EXPECT_GE(r.instructions, opt.runInsts);
+}
+
+TEST(Results, RangeAggregation)
+{
+    const Range r = makeRange({1.0, 5.0, 3.0});
+    EXPECT_DOUBLE_EQ(r.min, 1.0);
+    EXPECT_DOUBLE_EQ(r.max, 5.0);
+    EXPECT_DOUBLE_EQ(r.mean, 3.0);
+    EXPECT_EQ(r.n, 3u);
+    const Range empty = makeRange({});
+    EXPECT_EQ(empty.n, 0u);
+}
+
+TEST(Energy, ArrayModelScalesSanely)
+{
+    using namespace array_model;
+    // CAM search grows with rows and tag width.
+    EXPECT_GT(camSearch(96, 40), camSearch(48, 40));
+    EXPECT_GT(camSearch(96, 40), camSearch(96, 15));
+    // RAM reads grow with geometry and are far cheaper than CAM
+    // searches of the same entry count.
+    EXPECT_GT(ramRead(2048, 8), ramRead(256, 8));
+    EXPECT_LT(ramRead(96, 15), camSearch(96, 40));
+    EXPECT_GT(registerAccess(16), 0.0);
+}
+
+TEST(Energy, LqShareGrowsWithMachineSize)
+{
+    // The LQ's share of core energy must grow from config 1 to 3 (the
+    // premise behind the paper's 3-8% net-savings span).
+    double shares[2];
+    int i = 0;
+    for (unsigned level : {1u, 3u}) {
+        SimOptions opt = quickOptions("gzip", Scheme::Baseline);
+        opt.configLevel = level;
+        const SimResult r = runSimulation(opt);
+        shares[i++] =
+            r.energy.lqFunction() / r.energy.total();
+    }
+    EXPECT_GT(shares[1], shares[0]);
+}
+
+TEST(Invalidation, InjectorRateIsApproximatelyRespected)
+{
+    auto w = makeSpecWorkload("swim");
+    CoreParams params = makeMachineConfig(1);
+    applyScheme(params, Scheme::DmdcGlobal, /*coherence=*/true);
+    Pipeline pipe(params, *w);
+    InvalidationInjector inj(10.0, 0x10000000, 1 << 20, 64, 7);
+    for (int i = 0; i < 20000; ++i) {
+        pipe.tick();
+        inj.tick(pipe);
+    }
+    // 10 per 1000 cycles over 20000 cycles ~ 200.
+    EXPECT_NEAR(static_cast<double>(inj.injected()), 200.0, 60.0);
+}
+
+TEST(Invalidation, ZeroRateInjectsNothing)
+{
+    auto w = makeSpecWorkload("swim");
+    CoreParams params = makeMachineConfig(1);
+    applyScheme(params, Scheme::DmdcGlobal, true);
+    Pipeline pipe(params, *w);
+    InvalidationInjector inj(0.0, 0x10000000, 1 << 20, 64, 7);
+    for (int i = 0; i < 5000; ++i) {
+        pipe.tick();
+        inj.tick(pipe);
+    }
+    EXPECT_EQ(inj.injected(), 0u);
+}
+
+TEST(Invalidation, CoherentDmdcSlowsGracefullyUnderTraffic)
+{
+    SimOptions base = quickOptions("swim", Scheme::DmdcGlobal);
+    base.coherence = true;
+    const SimResult quiet = runSimulation(base);
+    base.invalidationsPer1kCycles = 100.0;
+    const SimResult noisy = runSimulation(base);
+    // More invalidations -> more checking. Cycle counts can jitter a
+    // little at this run length; allow small slack.
+    EXPECT_GE(noisy.checkingCycleFrac, quiet.checkingCycleFrac);
+    EXPECT_GE(static_cast<double>(noisy.cycles),
+              static_cast<double>(quiet.cycles) * 0.97);
+}
+
+// Parameterized sweep over YLA counts: monotone filtering.
+class YlaCountSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(YlaCountSweep, MoreRegistersFilterMore)
+{
+    const unsigned regs = GetParam();
+    YlaObserver small("small", regs, quadWordBytes);
+    YlaObserver big("big", regs * 2, quadWordBytes);
+    SimOptions opt = quickOptions("gcc", Scheme::Baseline);
+    opt.observers = {&small, &big};
+    (void)runSimulation(opt);
+    EXPECT_GE(big.filteredFraction() + 0.005,
+              small.filteredFraction());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, YlaCountSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// Parameterized sweep over checking-table sizes: larger tables never
+// produce more hashing-conflict false replays.
+class TableSizeSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TableSizeSweep, RunsCleanlyAndBoundsFalseReplays)
+{
+    SimOptions opt = quickOptions("gcc", Scheme::DmdcGlobal);
+    opt.tableEntriesOverride = GetParam();
+    const SimResult r = runSimulation(opt);
+    EXPECT_GE(r.instructions, opt.runInsts);
+    // False replays are bounded (well under 1% of instructions).
+    EXPECT_LT(r.falseReplays(),
+              static_cast<double>(r.instructions) / 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TableSizeSweep,
+                         ::testing::Values(64u, 256u, 1024u, 4096u));
+
+} // namespace
+} // namespace dmdc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Parameterized sweep over all 26 SPEC stand-ins: every benchmark must
+ * run cleanly under baseline and DMDC, preserve the safety property
+ * (built-in panic) and land within broad plausibility bounds. This is
+ * the coverage test that catches workload-generator regressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "trace/spec_suite.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+class SuiteSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteSweep, BaselineAndDmdcRunClean)
+{
+    const std::string bench = GetParam();
+
+    SimOptions opt;
+    opt.benchmark = bench;
+    opt.warmupInsts = 4000;
+    opt.runInsts = 30000;
+
+    opt.scheme = Scheme::Baseline;
+    const SimResult base = runSimulation(opt);
+    EXPECT_GE(base.instructions, opt.runInsts);
+    EXPECT_GT(base.ipc, 0.02);
+    EXPECT_LT(base.ipc, 8.0);
+    // Memory instructions present in sane proportions.
+    const double load_frac = static_cast<double>(base.committedLoads) /
+        static_cast<double>(base.instructions);
+    EXPECT_GT(load_frac, 0.08) << bench;
+    EXPECT_LT(load_frac, 0.45) << bench;
+
+    opt.scheme = Scheme::DmdcGlobal;
+    const SimResult dm = runSimulation(opt);
+    EXPECT_GE(dm.instructions, opt.runInsts);
+
+    // YLA filtering effective on every benchmark (8 registers).
+    EXPECT_GT(dm.safeStoreFrac, 0.55) << bench;
+    // Safe loads are the common case.
+    EXPECT_GT(dm.safeLoadFrac, 0.4) << bench;
+    // False replays stay rare (well below 0.5% of instructions).
+    EXPECT_LT(dm.perMInst(dm.falseReplays()), 5000.0) << bench;
+
+    // Slowdown within a loose band (can be negative).
+    const double base_cpi = static_cast<double>(base.cycles) /
+        static_cast<double>(base.instructions);
+    const double dm_cpi = static_cast<double>(dm.cycles) /
+        static_cast<double>(dm.instructions);
+    EXPECT_LT((dm_cpi - base_cpi) / base_cpi, 0.10) << bench;
+
+    // Energy: DMDC always reduces LQ-function energy.
+    EXPECT_LT(dm.energy.lqFunction(), base.energy.lqFunction())
+        << bench;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All26, SuiteSweep, ::testing::ValuesIn(specAllNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace dmdc

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * dmdc_sim — command-line driver for single simulations.
+ *
+ * Usage:
+ *   dmdc_sim [options]
+ *     --bench=<name>        benchmark (default gzip; --list for all)
+ *     --scheme=<s>          baseline | yla | dmdc-global | dmdc-local
+ *                           | dmdc-queue | age-table
+ *     --config=<1|2|3>      paper Table 1 configuration (default 2)
+ *     --insts=<n>           measured instructions (default 500000)
+ *     --warmup=<n>          warm-up instructions (default 50000)
+ *     --yla=<n>             quad-word YLA registers (default 8)
+ *     --table=<n>           checking-table entries (default per config)
+ *     --queue=<n>           checking-queue entries (default 16)
+ *     --inv=<rate>          invalidations per 1000 cycles
+ *     --coherence           enable the coherence extension
+ *     --no-safe-loads       disable safe-load detection (ablation)
+ *     --sq-filter           enable the Sec. 3 SQ-side age filter
+ *     --stats               dump the full statistics tree
+ *     --energy              dump the energy breakdown
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "energy/energy_model.hh"
+#include "sim/simulator.hh"
+#include "trace/spec_suite.hh"
+
+using namespace dmdc;
+
+namespace
+{
+
+Scheme
+parseScheme(const std::string &name)
+{
+    if (name == "baseline")
+        return Scheme::Baseline;
+    if (name == "yla")
+        return Scheme::YlaOnly;
+    if (name == "dmdc-global" || name == "dmdc")
+        return Scheme::DmdcGlobal;
+    if (name == "dmdc-local")
+        return Scheme::DmdcLocal;
+    if (name == "dmdc-queue")
+        return Scheme::DmdcQueue;
+    if (name == "age-table")
+        return Scheme::AgeTable;
+    fatal("unknown scheme '%s'", name.c_str());
+}
+
+void
+printEnergy(const EnergyBreakdown &e)
+{
+    auto row = [total = e.total()](const char *name, double v) {
+        std::printf("  %-12s %14.0f  (%5.2f%%)\n", name, v,
+                    total > 0 ? v / total * 100.0 : 0.0);
+    };
+    std::printf("\nenergy breakdown (arbitrary units):\n");
+    row("fetch", e.fetch);
+    row("bpred", e.bpred);
+    row("rename", e.rename);
+    row("rob", e.rob);
+    row("issue_queue", e.issueQueue);
+    row("regfile", e.regfile);
+    row("fu", e.fu);
+    row("l1d", e.l1d);
+    row("l2", e.l2);
+    row("clock", e.clock);
+    row("lq_cam", e.lqCam);
+    row("sq", e.sq);
+    row("yla", e.yla);
+    row("checking", e.checking);
+    std::printf("  %-12s %14.0f\n", "TOTAL", e.total());
+    std::printf("  LQ-function share: %.2f%%\n",
+                e.total() > 0 ? e.lqFunction() / e.total() * 100.0
+                              : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opt;
+    opt.warmupInsts = 50000;
+    opt.runInsts = 500000;
+    bool dump_stats = false;
+    bool dump_energy = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto val = [&a](const char *prefix) {
+            return a.substr(std::strlen(prefix));
+        };
+        if (a == "--list") {
+            for (const auto &n : specAllNames())
+                std::printf("%s%s\n", n.c_str(),
+                            specIsFp(n) ? " (FP)" : " (INT)");
+            return 0;
+        } else if (a.rfind("--bench=", 0) == 0) {
+            opt.benchmark = val("--bench=");
+        } else if (a.rfind("--scheme=", 0) == 0) {
+            opt.scheme = parseScheme(val("--scheme="));
+        } else if (a.rfind("--config=", 0) == 0) {
+            opt.configLevel =
+                static_cast<unsigned>(std::stoul(val("--config=")));
+        } else if (a.rfind("--insts=", 0) == 0) {
+            opt.runInsts = std::stoull(val("--insts="));
+        } else if (a.rfind("--warmup=", 0) == 0) {
+            opt.warmupInsts = std::stoull(val("--warmup="));
+        } else if (a.rfind("--yla=", 0) == 0) {
+            opt.numYlaQw =
+                static_cast<unsigned>(std::stoul(val("--yla=")));
+        } else if (a.rfind("--table=", 0) == 0) {
+            opt.tableEntriesOverride =
+                static_cast<unsigned>(std::stoul(val("--table=")));
+        } else if (a.rfind("--queue=", 0) == 0) {
+            opt.queueEntries =
+                static_cast<unsigned>(std::stoul(val("--queue=")));
+        } else if (a.rfind("--inv=", 0) == 0) {
+            opt.invalidationsPer1kCycles = std::stod(val("--inv="));
+            opt.coherence = true;
+        } else if (a == "--coherence") {
+            opt.coherence = true;
+        } else if (a == "--no-safe-loads") {
+            opt.safeLoads = false;
+        } else if (a == "--sq-filter") {
+            opt.sqFilter = true;
+        } else if (a == "--stats") {
+            dump_stats = true;
+        } else if (a == "--energy") {
+            dump_energy = true;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("see the file header of tools/dmdc_sim.cc "
+                        "for options\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return 1;
+        }
+    }
+
+    Simulator sim(opt);
+    const SimResult r = sim.run();
+
+    std::printf("benchmark=%s (%s) scheme=%s config=%u\n",
+                r.benchmark.c_str(), r.fp ? "FP" : "INT",
+                schemeName(r.scheme), r.configLevel);
+    std::printf("instructions=%llu cycles=%llu ipc=%.3f\n",
+                static_cast<unsigned long long>(r.instructions),
+                static_cast<unsigned long long>(r.cycles), r.ipc);
+    if (r.scheme == Scheme::YlaOnly) {
+        const double all = static_cast<double>(r.lqSearches +
+                                               r.lqSearchesFiltered);
+        std::printf("lq searches filtered: %.1f%%\n",
+                    all > 0 ? r.lqSearchesFiltered / all * 100 : 0.0);
+    }
+    if (sim.pipeline().lsq().dmdc()) {
+        std::printf("safe stores=%.1f%% safe loads=%.1f%% "
+                    "checking cycles=%.1f%%\n",
+                    r.safeStoreFrac * 100, r.safeLoadFrac * 100,
+                    r.checkingCycleFrac * 100);
+        std::printf("replays: %llu total, %.1f false per M-inst\n",
+                    static_cast<unsigned long long>(r.dmdcReplays),
+                    r.perMInst(r.falseReplays()));
+    }
+    if (r.scheme == Scheme::AgeTable) {
+        std::printf("age-table replays: %llu (%.1f per M-inst), "
+                    "true violations %llu\n",
+                    static_cast<unsigned long long>(r.ageTableReplays),
+                    r.perMInst(static_cast<double>(r.ageTableReplays)),
+                    static_cast<unsigned long long>(r.trueViolations));
+    }
+    if (opt.sqFilter) {
+        const double all = static_cast<double>(r.sqSearches +
+                                               r.sqSearchesFiltered);
+        std::printf("sq searches filtered: %.1f%%\n",
+                    all > 0 ? r.sqSearchesFiltered / all * 100 : 0.0);
+    }
+
+    if (dump_stats)
+        sim.pipeline().statRoot().dump(std::cout);
+    if (dump_energy)
+        printEnergy(r.energy);
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * workload_stats — characterize the architectural instruction stream
+ * of one (or every) synthetic benchmark, without running the pipeline:
+ * instruction mix, branch statistics, memory footprint and quad-word
+ * reuse. Useful when calibrating or adding workloads.
+ *
+ * Usage: workload_stats [benchmark|--all] [--insts=N]
+ */
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "trace/spec_suite.hh"
+
+using namespace dmdc;
+
+namespace
+{
+
+struct TraceStats
+{
+    std::uint64_t insts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t taken = 0;
+    std::uint64_t fpOps = 0;
+    std::uint64_t smallAccesses = 0;   ///< < 4 bytes
+    std::set<Addr> lines;              ///< 64B data lines touched
+    std::set<Addr> codePcs;
+    std::map<Addr, std::uint64_t> qwLastUse;
+    double reuseSum = 0;
+    std::uint64_t reuseCount = 0;
+};
+
+TraceStats
+characterize(const std::string &name, std::uint64_t n)
+{
+    auto w = makeSpecWorkload(name);
+    TraceStats t;
+    t.insts = n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const MicroOp &op = w->op(i);
+        t.codePcs.insert(op.pc);
+        if (op.isFp())
+            ++t.fpOps;
+        if (op.isBranch()) {
+            ++t.branches;
+            t.taken += op.taken;
+        }
+        if (op.isMem()) {
+            if (op.isLoad())
+                ++t.loads;
+            else
+                ++t.stores;
+            if (op.memSize < 4)
+                ++t.smallAccesses;
+            t.lines.insert(op.effAddr / 64);
+            const Addr qw = op.effAddr / 8;
+            auto it = t.qwLastUse.find(qw);
+            if (it != t.qwLastUse.end()) {
+                t.reuseSum += static_cast<double>(i - it->second);
+                ++t.reuseCount;
+            }
+            t.qwLastUse[qw] = i;
+        }
+        if (i % 50000 == 0)
+            w->discardBefore(i > 1000 ? i - 1000 : 0);
+    }
+    return t;
+}
+
+void
+report(const std::string &name, const TraceStats &t)
+{
+    const double n = static_cast<double>(t.insts);
+    std::printf("%-10s %s\n", name.c_str(),
+                specIsFp(name) ? "(FP)" : "(INT)");
+    std::printf("  loads %5.1f%%  stores %5.1f%%  branches %5.1f%% "
+                "(taken %4.1f%%)  fp-ops %5.1f%%\n",
+                t.loads / n * 100, t.stores / n * 100,
+                t.branches / n * 100,
+                t.branches
+                    ? static_cast<double>(t.taken) / t.branches * 100
+                    : 0.0,
+                t.fpOps / n * 100);
+    std::printf("  sub-word accesses %4.1f%% of mem ops\n",
+                t.loads + t.stores
+                    ? static_cast<double>(t.smallAccesses) /
+                          (t.loads + t.stores) * 100
+                    : 0.0);
+    std::printf("  data lines touched: %zu (~%zu KB); static code: "
+                "%zu PCs\n",
+                t.lines.size(), t.lines.size() * 64 / 1024,
+                t.codePcs.size());
+    std::printf("  mean quad-word reuse distance: %.0f instructions "
+                "(%llu reuses)\n\n",
+                t.reuseCount ? t.reuseSum / t.reuseCount : 0.0,
+                static_cast<unsigned long long>(t.reuseCount));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = 200000;
+    std::vector<std::string> names{"gzip"};
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--all")
+            names = specAllNames();
+        else if (a.rfind("--insts=", 0) == 0)
+            insts = std::stoull(a.substr(8));
+        else
+            names = {a};
+    }
+    for (const auto &name : names)
+        report(name, characterize(name, insts));
+    return 0;
+}
