@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_yla_filtering.dir/fig2_yla_filtering.cc.o"
+  "CMakeFiles/fig2_yla_filtering.dir/fig2_yla_filtering.cc.o.d"
+  "fig2_yla_filtering"
+  "fig2_yla_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_yla_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

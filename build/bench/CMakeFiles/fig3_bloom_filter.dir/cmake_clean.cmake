@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bloom_filter.dir/fig3_bloom_filter.cc.o"
+  "CMakeFiles/fig3_bloom_filter.dir/fig3_bloom_filter.cc.o.d"
+  "fig3_bloom_filter"
+  "fig3_bloom_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bloom_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dmdc_main.dir/fig4_dmdc_main.cc.o"
+  "CMakeFiles/fig4_dmdc_main.dir/fig4_dmdc_main.cc.o.d"
+  "fig4_dmdc_main"
+  "fig4_dmdc_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dmdc_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_local_vs_global.dir/fig5_local_vs_global.cc.o"
+  "CMakeFiles/fig5_local_vs_global.dir/fig5_local_vs_global.cc.o.d"
+  "fig5_local_vs_global"
+  "fig5_local_vs_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_local_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_agetable.dir/related_agetable.cc.o"
+  "CMakeFiles/related_agetable.dir/related_agetable.cc.o.d"
+  "related_agetable"
+  "related_agetable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_agetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

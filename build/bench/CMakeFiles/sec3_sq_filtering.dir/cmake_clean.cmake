@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_sq_filtering.dir/sec3_sq_filtering.cc.o"
+  "CMakeFiles/sec3_sq_filtering.dir/sec3_sq_filtering.cc.o.d"
+  "sec3_sq_filtering"
+  "sec3_sq_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_sq_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_yla_energy.dir/sec61_yla_energy.cc.o"
+  "CMakeFiles/sec61_yla_energy.dir/sec61_yla_energy.cc.o.d"
+  "sec61_yla_energy"
+  "sec61_yla_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_yla_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

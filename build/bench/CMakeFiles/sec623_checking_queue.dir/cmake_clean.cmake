@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec623_checking_queue.dir/sec623_checking_queue.cc.o"
+  "CMakeFiles/sec623_checking_queue.dir/sec623_checking_queue.cc.o.d"
+  "sec623_checking_queue"
+  "sec623_checking_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec623_checking_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec623_checking_queue.
+# This may be replaced when dependencies are built.

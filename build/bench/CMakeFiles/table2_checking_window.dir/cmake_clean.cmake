@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_checking_window.dir/table2_checking_window.cc.o"
+  "CMakeFiles/table2_checking_window.dir/table2_checking_window.cc.o.d"
+  "table2_checking_window"
+  "table2_checking_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_checking_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

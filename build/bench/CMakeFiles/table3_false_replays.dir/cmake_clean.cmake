@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_false_replays.dir/table3_false_replays.cc.o"
+  "CMakeFiles/table3_false_replays.dir/table3_false_replays.cc.o.d"
+  "table3_false_replays"
+  "table3_false_replays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_false_replays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

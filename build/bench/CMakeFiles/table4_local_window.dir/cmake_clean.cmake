@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_local_window.dir/table4_local_window.cc.o"
+  "CMakeFiles/table4_local_window.dir/table4_local_window.cc.o.d"
+  "table4_local_window"
+  "table4_local_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_local_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

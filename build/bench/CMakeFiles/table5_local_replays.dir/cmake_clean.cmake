@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_local_replays.dir/table5_local_replays.cc.o"
+  "CMakeFiles/table5_local_replays.dir/table5_local_replays.cc.o.d"
+  "table5_local_replays"
+  "table5_local_replays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_local_replays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

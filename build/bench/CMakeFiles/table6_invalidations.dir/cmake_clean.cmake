@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_invalidations.dir/table6_invalidations.cc.o"
+  "CMakeFiles/table6_invalidations.dir/table6_invalidations.cc.o.d"
+  "table6_invalidations"
+  "table6_invalidations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_invalidations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_traffic.dir/coherence_traffic.cpp.o"
+  "CMakeFiles/coherence_traffic.dir/coherence_traffic.cpp.o.d"
+  "coherence_traffic"
+  "coherence_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/bimodal.cc" "src/CMakeFiles/dmdc.dir/branch/bimodal.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/branch/bimodal.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/dmdc.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/CMakeFiles/dmdc.dir/branch/gshare.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/branch/gshare.cc.o.d"
+  "/root/repo/src/branch/predictor.cc" "src/CMakeFiles/dmdc.dir/branch/predictor.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/branch/predictor.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/CMakeFiles/dmdc.dir/branch/ras.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/branch/ras.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dmdc.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/dmdc.dir/common/random.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/dmdc.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/fetch.cc" "src/CMakeFiles/dmdc.dir/core/fetch.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/core/fetch.cc.o.d"
+  "/root/repo/src/core/fu_pool.cc" "src/CMakeFiles/dmdc.dir/core/fu_pool.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/core/fu_pool.cc.o.d"
+  "/root/repo/src/core/issue_queue.cc" "src/CMakeFiles/dmdc.dir/core/issue_queue.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/core/issue_queue.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/dmdc.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/regfile.cc" "src/CMakeFiles/dmdc.dir/core/regfile.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/core/regfile.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/CMakeFiles/dmdc.dir/core/rename.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/core/rename.cc.o.d"
+  "/root/repo/src/core/rob.cc" "src/CMakeFiles/dmdc.dir/core/rob.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/core/rob.cc.o.d"
+  "/root/repo/src/energy/array_model.cc" "src/CMakeFiles/dmdc.dir/energy/array_model.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/energy/array_model.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/dmdc.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/lsq/age_table.cc" "src/CMakeFiles/dmdc.dir/lsq/age_table.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/age_table.cc.o.d"
+  "/root/repo/src/lsq/bloom.cc" "src/CMakeFiles/dmdc.dir/lsq/bloom.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/bloom.cc.o.d"
+  "/root/repo/src/lsq/checking_queue.cc" "src/CMakeFiles/dmdc.dir/lsq/checking_queue.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/checking_queue.cc.o.d"
+  "/root/repo/src/lsq/checking_table.cc" "src/CMakeFiles/dmdc.dir/lsq/checking_table.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/checking_table.cc.o.d"
+  "/root/repo/src/lsq/dmdc.cc" "src/CMakeFiles/dmdc.dir/lsq/dmdc.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/dmdc.cc.o.d"
+  "/root/repo/src/lsq/load_queue.cc" "src/CMakeFiles/dmdc.dir/lsq/load_queue.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/load_queue.cc.o.d"
+  "/root/repo/src/lsq/lsq_unit.cc" "src/CMakeFiles/dmdc.dir/lsq/lsq_unit.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/lsq_unit.cc.o.d"
+  "/root/repo/src/lsq/store_queue.cc" "src/CMakeFiles/dmdc.dir/lsq/store_queue.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/store_queue.cc.o.d"
+  "/root/repo/src/lsq/yla.cc" "src/CMakeFiles/dmdc.dir/lsq/yla.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/lsq/yla.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/dmdc.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/dmdc.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/sim/campaign.cc" "src/CMakeFiles/dmdc.dir/sim/campaign.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/sim/campaign.cc.o.d"
+  "/root/repo/src/sim/invalidation.cc" "src/CMakeFiles/dmdc.dir/sim/invalidation.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/sim/invalidation.cc.o.d"
+  "/root/repo/src/sim/machine_config.cc" "src/CMakeFiles/dmdc.dir/sim/machine_config.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/sim/machine_config.cc.o.d"
+  "/root/repo/src/sim/results.cc" "src/CMakeFiles/dmdc.dir/sim/results.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/sim/results.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/dmdc.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/trace/address_stream.cc" "src/CMakeFiles/dmdc.dir/trace/address_stream.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/trace/address_stream.cc.o.d"
+  "/root/repo/src/trace/branch_model.cc" "src/CMakeFiles/dmdc.dir/trace/branch_model.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/trace/branch_model.cc.o.d"
+  "/root/repo/src/trace/spec_suite.cc" "src/CMakeFiles/dmdc.dir/trace/spec_suite.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/trace/spec_suite.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/dmdc.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/dmdc.dir/trace/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

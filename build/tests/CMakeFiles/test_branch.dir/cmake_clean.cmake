@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch.dir/test_branch.cc.o"
+  "CMakeFiles/test_branch.dir/test_branch.cc.o.d"
+  "test_branch"
+  "test_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmdc.dir/test_dmdc.cc.o"
+  "CMakeFiles/test_dmdc.dir/test_dmdc.cc.o.d"
+  "test_dmdc"
+  "test_dmdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmdc_sim.dir/dmdc_sim.cc.o"
+  "CMakeFiles/dmdc_sim.dir/dmdc_sim.cc.o.d"
+  "dmdc_sim"
+  "dmdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmdc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

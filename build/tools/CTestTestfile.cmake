@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_dmdc_sim "/root/repo/build/tools/dmdc_sim" "--bench=gzip" "--insts=20000" "--warmup=2000" "--energy")
+set_tests_properties(tool_dmdc_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_dmdc_sim_agetable "/root/repo/build/tools/dmdc_sim" "--bench=swim" "--scheme=age-table" "--insts=20000" "--warmup=2000")
+set_tests_properties(tool_dmdc_sim_agetable PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_workload_stats "/root/repo/build/tools/workload_stats" "gzip" "--insts=30000")
+set_tests_properties(tool_workload_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
