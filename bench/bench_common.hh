@@ -2,7 +2,8 @@
  * @file
  * Shared helpers for the benchmark harnesses: standard run lengths and
  * command-line handling (--quick for smoke runs, --insts=N,
- * --bench=name to restrict the suite).
+ * --bench=name to restrict the suite, --jobs=N / --no-cache for the
+ * campaign engine, --json=path for machine-readable results).
  */
 
 #ifndef DMDC_BENCH_BENCH_COMMON_HH
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "sim/campaign.hh"
+#include "sim/campaign_runner.hh"
 #include "trace/spec_suite.hh"
 
 namespace dmdc
@@ -26,7 +28,14 @@ struct BenchArgs
     std::uint64_t runInsts = 200000;
     std::vector<std::string> benchmarks;   ///< suite subset (or all)
     bool verbose = false;
+    unsigned jobs = 0;                     ///< 0 = all cores
+    bool noCache = false;
+    std::string jsonPath;                  ///< "" = no journal
 
+    /**
+     * Parse argv and configure the process-wide CampaignRunner and
+     * journal accordingly (benches call this before any runSuite()).
+     */
     static BenchArgs
     parse(int argc, char **argv)
     {
@@ -44,8 +53,27 @@ struct BenchArgs
                 args.benchmarks = {a.substr(8)};
             } else if (a == "--verbose") {
                 args.verbose = true;
+            } else if (a.rfind("--jobs=", 0) == 0) {
+                args.jobs =
+                    static_cast<unsigned>(std::stoul(a.substr(7)));
+            } else if (a == "--jobs" && i + 1 < argc) {
+                args.jobs =
+                    static_cast<unsigned>(std::stoul(argv[++i]));
+            } else if (a == "--no-cache") {
+                args.noCache = true;
+            } else if (a.rfind("--json=", 0) == 0) {
+                args.jsonPath = a.substr(7);
+            } else if (a == "--json" && i + 1 < argc) {
+                args.jsonPath = argv[++i];
             }
         }
+
+        CampaignConfig cfg;
+        cfg.jobs = args.jobs;
+        cfg.useCache = !args.noCache;
+        CampaignRunner::configureGlobal(cfg);
+        if (!args.jsonPath.empty())
+            setCampaignJournal(args.jsonPath);
         return args;
     }
 

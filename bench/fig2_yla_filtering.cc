@@ -43,30 +43,36 @@ main(int argc, char **argv)
     for (unsigned c : counts)
         series.push_back({"line-" + std::to_string(c), {}, {}});
 
+    // One run per benchmark, each with its own private shadow
+    // filters; observer runs bypass the cache but still fan out
+    // across cores via the campaign engine.
+    std::vector<std::vector<std::unique_ptr<YlaObserver>>> observers;
+    std::vector<SimOptions> runs;
     for (const std::string &bench : args.benchmarks) {
-        std::vector<std::unique_ptr<YlaObserver>> observers;
+        auto &obs = observers.emplace_back();
         for (unsigned c : counts) {
-            observers.push_back(std::make_unique<YlaObserver>(
+            obs.push_back(std::make_unique<YlaObserver>(
                 "qw-" + std::to_string(c), c, quadWordBytes));
         }
         for (unsigned c : counts) {
-            observers.push_back(std::make_unique<YlaObserver>(
+            obs.push_back(std::make_unique<YlaObserver>(
                 "line-" + std::to_string(c), c, line_bytes));
         }
 
         SimOptions opt = args.baseOptions();
         opt.benchmark = bench;
         opt.scheme = Scheme::Baseline;
-        for (auto &obs : observers)
-            opt.observers.push_back(obs.get());
+        for (auto &o : obs)
+            opt.observers.push_back(o.get());
+        runs.push_back(std::move(opt));
+    }
 
-        const SimResult r = runSimulation(opt);
-        if (args.verbose)
-            inform("  %-10s ipc=%.2f", bench.c_str(), r.ipc);
+    CampaignRunner::global().run(runs, args.verbose);
 
-        const bool fp = specIsFp(bench);
-        for (std::size_t i = 0; i < observers.size(); ++i) {
-            const double frac = observers[i]->filteredFraction();
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        const bool fp = specIsFp(args.benchmarks[b]);
+        for (std::size_t i = 0; i < observers[b].size(); ++i) {
+            const double frac = observers[b][i]->filteredFraction();
             (fp ? series[i].fpVals : series[i].intVals).push_back(frac);
         }
     }

@@ -39,30 +39,36 @@ main(int argc, char **argv)
     for (unsigned b : bloom_sizes)
         series.push_back({"BF-" + std::to_string(b), {}, {}});
 
+    // One run per benchmark with private shadow filters; uncacheable
+    // but parallel via the campaign engine.
+    std::vector<std::vector<std::unique_ptr<FilterObserver>>> observers;
+    std::vector<SimOptions> runs;
     for (const std::string &bench : args.benchmarks) {
-        std::vector<std::unique_ptr<FilterObserver>> observers;
-        observers.push_back(
+        auto &obs = observers.emplace_back();
+        obs.push_back(
             std::make_unique<YlaObserver>("YLA-1", 1, quadWordBytes));
-        observers.push_back(
+        obs.push_back(
             std::make_unique<YlaObserver>("YLA-8", 8, quadWordBytes));
         for (unsigned b : bloom_sizes) {
-            observers.push_back(std::make_unique<BloomObserver>(
+            obs.push_back(std::make_unique<BloomObserver>(
                 "BF-" + std::to_string(b), b));
         }
 
         SimOptions opt = args.baseOptions();
         opt.benchmark = bench;
         opt.scheme = Scheme::Baseline;
-        for (auto &obs : observers)
-            opt.observers.push_back(obs.get());
+        for (auto &o : obs)
+            opt.observers.push_back(o.get());
+        runs.push_back(std::move(opt));
+    }
 
-        const SimResult r = runSimulation(opt);
-        if (args.verbose)
-            inform("  %-10s ipc=%.2f", bench.c_str(), r.ipc);
-        const bool fp = specIsFp(bench);
-        for (std::size_t i = 0; i < observers.size(); ++i) {
+    CampaignRunner::global().run(runs, args.verbose);
+
+    for (std::size_t b = 0; b < args.benchmarks.size(); ++b) {
+        const bool fp = specIsFp(args.benchmarks[b]);
+        for (std::size_t i = 0; i < observers[b].size(); ++i) {
             (fp ? series[i].fpVals : series[i].intVals)
-                .push_back(observers[i]->filteredFraction());
+                .push_back(observers[b][i]->filteredFraction());
         }
     }
 

@@ -1,17 +1,26 @@
 #!/bin/bash
 # Regenerate every paper table/figure; output tees to bench_output.txt.
+#
+# Runs go through the parallel campaign engine: pass --jobs=N to bound
+# worker threads and --no-cache to force re-simulation. Repeat
+# invocations reuse .dmdc_cache/ and are near-instant. Per-bench
+# machine-readable results are written to bench_json/BENCH_<name>.json.
 set -u
 cd "$(dirname "$0")"
 : > bench_output.txt
+mkdir -p bench_json
+start=$(date +%s)
 for b in fig2_yla_filtering fig3_bloom_filter fig4_dmdc_main \
          fig5_local_vs_global table2_checking_window \
          table3_false_replays table4_local_window table5_local_replays \
          table6_invalidations sec3_sq_filtering sec61_yla_energy \
          sec623_checking_queue ablation_table_size related_agetable; do
     echo "=== running $b ===" | tee -a bench_output.txt
-    ./build/bench/$b "$@" 2>/dev/null | tee -a bench_output.txt
+    ./build/bench/$b --json=bench_json/BENCH_$b.json "$@" 2>/dev/null \
+        | tee -a bench_output.txt
 done
 echo "=== running micro_structures ===" | tee -a bench_output.txt
 ./build/bench/micro_structures --benchmark_min_time=0.05s 2>/dev/null \
     | tee -a bench_output.txt
-echo "ALL BENCHES DONE" | tee -a bench_output.txt
+elapsed=$(( $(date +%s) - start ))
+echo "ALL BENCHES DONE in ${elapsed}s" | tee -a bench_output.txt

@@ -6,8 +6,10 @@
 #include "common/logging.hh"
 
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace dmdc
 {
@@ -15,7 +17,11 @@ namespace dmdc
 namespace
 {
 
-std::array<std::uint64_t, 4> messageCounts{};
+// Simulations run concurrently under the campaign engine; counts are
+// atomic and each message is formatted into a private buffer and
+// written with one stdio call so lines never interleave across
+// threads (stdio itself locks per call).
+std::array<std::atomic<std::uint64_t>, 4> messageCounts{};
 
 const char *
 levelPrefix(LogLevel level)
@@ -37,14 +43,28 @@ namespace detail
 void
 logMessage(LogLevel level, const char *fmt, ...)
 {
-    ++messageCounts[static_cast<unsigned>(level)];
+    messageCounts[static_cast<unsigned>(level)].fetch_add(
+        1, std::memory_order_relaxed);
 
-    std::fprintf(stderr, "%s: ", levelPrefix(level));
+    char stack_buf[512];
     std::va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, ap);
     va_end(ap);
-    std::fputc('\n', stderr);
+
+    std::string heap_buf;
+    const char *msg = stack_buf;
+    if (n >= static_cast<int>(sizeof(stack_buf))) {
+        heap_buf.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, ap2);
+        msg = heap_buf.c_str();
+    }
+    va_end(ap2);
+
+    std::fprintf(stderr, "%s: %s\n", levelPrefix(level),
+                 n < 0 ? fmt : msg);
 
     if (level == LogLevel::Panic)
         std::abort();
@@ -57,7 +77,8 @@ logMessage(LogLevel level, const char *fmt, ...)
 std::uint64_t
 loggedMessageCount(LogLevel level)
 {
-    return messageCounts[static_cast<unsigned>(level)];
+    return messageCounts[static_cast<unsigned>(level)].load(
+        std::memory_order_relaxed);
 }
 
 } // namespace dmdc

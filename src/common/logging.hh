@@ -5,6 +5,10 @@
  * panic() is for simulator bugs (assert-like, aborts); fatal() is for
  * user errors such as invalid configurations (clean exit); warn() and
  * inform() print to stderr and continue.
+ *
+ * Thread-safety: each message is formatted into a private buffer and
+ * emitted with a single stdio call, so concurrent campaign workers
+ * never interleave partial lines; the message counters are atomic.
  */
 
 #ifndef DMDC_COMMON_LOGGING_HH

@@ -27,6 +27,18 @@ mixHash(std::uint64_t v)
     return splitmix64(state);
 }
 
+std::uint64_t
+hashBytes(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ull ^ seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ull;
+    }
+    return mixHash(h);
+}
+
 namespace
 {
 

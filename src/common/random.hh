@@ -10,6 +10,7 @@
 #ifndef DMDC_COMMON_RANDOM_HH
 #define DMDC_COMMON_RANDOM_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dmdc
@@ -58,6 +59,14 @@ std::uint64_t splitmix64(std::uint64_t &state);
 
 /** Stateless mixing hash of a 64-bit value (for per-PC determinism). */
 std::uint64_t mixHash(std::uint64_t v);
+
+/**
+ * Stateless hash of a byte string (FNV-1a folded through splitmix64).
+ * Used for cache fingerprints; deterministic across platforms and
+ * runs, unlike std::hash.
+ */
+std::uint64_t hashBytes(const void *data, std::size_t len,
+                        std::uint64_t seed = 0);
 
 } // namespace dmdc
 

@@ -5,6 +5,12 @@
  * Statistics are plain counters/histograms registered with a StatGroup
  * so whole subsystems can be dumped or reset uniformly. This mirrors the
  * role of SimpleScalar's stats package at a much smaller scale.
+ *
+ * Thread-safety contract: there is deliberately NO global registry.
+ * Every stat object and StatGroup is owned by exactly one Simulator's
+ * component tree, so concurrent simulations under the campaign engine
+ * never share a counter and need no locks on the simulation hot path.
+ * Do not register one stat object with groups of two simulators.
  */
 
 #ifndef DMDC_COMMON_STATS_HH

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "sim/campaign_runner.hh"
 
 namespace dmdc
 {
@@ -16,30 +17,27 @@ std::vector<SimResult>
 runSuite(const SimOptions &base, const std::vector<std::string> &names,
          bool verbose)
 {
-    std::vector<SimResult> results;
-    results.reserve(names.size());
+    std::vector<SimOptions> runs;
+    runs.reserve(names.size());
     for (const std::string &name : names) {
         SimOptions opt = base;
         opt.benchmark = name;
-        results.push_back(runSimulation(opt));
-        if (verbose) {
-            inform("  %-10s %-12s config%u  ipc=%.2f", name.c_str(),
-                   schemeName(opt.scheme), opt.configLevel,
-                   results.back().ipc);
-        }
+        runs.push_back(std::move(opt));
     }
-    return results;
+    return CampaignRunner::global().run(runs, verbose);
 }
 
 Range
 slowdownRange(const std::vector<SimResult> &baseline,
               const std::vector<SimResult> &test, bool fp_group)
 {
+    const ResultLookup lookup(test);
     std::vector<double> v;
+    v.reserve(baseline.size());
     for (const SimResult &b : baseline) {
         if (b.fp != fp_group)
             continue;
-        const SimResult &t = findResult(test, b.benchmark);
+        const SimResult &t = lookup.at(b.benchmark);
         // Compare cycles per instruction; runs commit the same
         // instruction budget.
         const double base_cpi = static_cast<double>(b.cycles) /

@@ -19,6 +19,9 @@ namespace dmdc
 /**
  * Run @p base once per benchmark in @p benchmarks (the template's
  * .benchmark field is overwritten). Progress is reported via inform().
+ * Runs execute on CampaignRunner::global() — parallel across
+ * benchmarks and memoized — with results in suite order, element-wise
+ * identical to a serial loop over runSimulation().
  */
 std::vector<SimResult> runSuite(const SimOptions &base,
                                 const std::vector<std::string> &names,
@@ -40,11 +43,13 @@ Range
 savingRange(const std::vector<SimResult> &baseline,
             const std::vector<SimResult> &test, bool fp_group, Fn &&fn)
 {
+    const ResultLookup lookup(test);
     std::vector<double> v;
+    v.reserve(baseline.size());
     for (const SimResult &b : baseline) {
         if (b.fp != fp_group)
             continue;
-        const SimResult &t = findResult(test, b.benchmark);
+        const SimResult &t = lookup.at(b.benchmark);
         const double base_val = fn(b);
         const double test_val = fn(t);
         if (base_val > 0)

@@ -1,0 +1,709 @@
+/**
+ * @file
+ * Parallel campaign engine implementation: fingerprinting, the
+ * in-process/on-disk run cache, the fan-out loop and the bench
+ * journal.
+ */
+
+#include "sim/campaign_runner.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/thread_pool.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+/** Bump when the key schema or the JSON layout changes. */
+constexpr unsigned kCacheFormatVersion = 1;
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+        Clock::now() - since).count();
+}
+
+/** Shortest decimal form that round-trips an IEEE double exactly. */
+std::string
+doubleToken(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+// ---- JSON writing ----------------------------------------------------
+
+/**
+ * Flat object writer; benchmark names are [a-z0-9_.-] so no string
+ * escaping is required beyond quoting.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void open(const char *key = nullptr)
+    {
+        comma();
+        if (key)
+            os_ << '"' << key << "\":";
+        os_ << '{';
+        first_ = true;
+    }
+
+    void close()
+    {
+        os_ << '}';
+        first_ = false;
+    }
+
+    void field(const char *key, const std::string &v)
+    {
+        comma();
+        os_ << '"' << key << "\":\"" << v << '"';
+    }
+
+    void field(const char *key, bool v)
+    {
+        comma();
+        os_ << '"' << key << "\":" << (v ? "true" : "false");
+    }
+
+    void field(const char *key, std::uint64_t v)
+    {
+        comma();
+        os_ << '"' << key << "\":" << v;
+    }
+
+    void field(const char *key, unsigned v)
+    {
+        field(key, static_cast<std::uint64_t>(v));
+    }
+
+    void field(const char *key, double v)
+    {
+        comma();
+        os_ << '"' << key << "\":" << doubleToken(v);
+    }
+
+  private:
+    void comma()
+    {
+        if (!first_)
+            os_ << ',';
+        first_ = false;
+    }
+
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+// ---- JSON reading ----------------------------------------------------
+
+/**
+ * Minimal parser for the subset this file writes: objects of string /
+ * number / bool values and nested objects. Numbers are kept as raw
+ * tokens so integer fields never take a detour through double.
+ */
+class JsonReader
+{
+  public:
+    /** Flattened "outer.inner" key -> raw value token (unquoted). */
+    using Map = std::unordered_map<std::string, std::string>;
+
+    static bool
+    parse(const std::string &text, Map &out)
+    {
+        JsonReader r(text);
+        r.skipWs();
+        if (!r.object("", out))
+            return false;
+        r.skipWs();
+        return r.pos_ == text.size();
+    }
+
+  private:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    bool
+    object(const std::string &prefix, Map &out)
+    {
+        if (!consume('{'))
+            return false;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            std::string key;
+            if (!quoted(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            skipWs();
+            const std::string path =
+                prefix.empty() ? key : prefix + "." + key;
+            if (peek() == '{') {
+                if (!object(path, out))
+                    return false;
+            } else {
+                std::string value;
+                if (peek() == '"') {
+                    if (!quoted(value))
+                        return false;
+                } else if (!scalar(value)) {
+                    return false;
+                }
+                out[path] = value;
+            }
+            skipWs();
+            if (consume(',')) {
+                skipWs();
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool
+    quoted(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"')
+            out.push_back(text_[pos_++]);
+        return consume('"');
+    }
+
+    bool
+    scalar(std::string &out)
+    {
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ',' || c == '}' || c == ']' ||
+                std::isspace(static_cast<unsigned char>(c))) {
+                break;
+            }
+            out.push_back(c);
+            ++pos_;
+        }
+        return !out.empty();
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : 0; }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+// ---- SimResult <-> JSON ---------------------------------------------
+
+void
+writeResult(JsonWriter &w, const SimResult &r)
+{
+    w.open("result");
+    w.field("benchmark", r.benchmark);
+    w.field("fp", r.fp);
+    w.field("config_level", r.configLevel);
+    w.field("scheme", static_cast<std::uint64_t>(r.scheme));
+    w.field("instructions", r.instructions);
+    w.field("cycles", r.cycles);
+    w.field("ipc", r.ipc);
+    w.field("lq_searches", r.lqSearches);
+    w.field("lq_searches_filtered", r.lqSearchesFiltered);
+    w.field("sq_searches", r.sqSearches);
+    w.field("sq_searches_filtered", r.sqSearchesFiltered);
+    w.field("age_table_replays", r.ageTableReplays);
+    w.field("loads_older_than_all_stores", r.loadsOlderThanAllStores);
+    w.field("committed_loads", r.committedLoads);
+    w.field("committed_stores", r.committedStores);
+    w.field("safe_store_frac", r.safeStoreFrac);
+    w.field("safe_load_frac", r.safeLoadFrac);
+    w.field("checking_cycle_frac", r.checkingCycleFrac);
+    w.field("window_instrs", r.windowInstrs);
+    w.field("window_loads", r.windowLoads);
+    w.field("window_safe_loads", r.windowSafeLoads);
+    w.field("window_single_store_frac", r.windowSingleStoreFrac);
+    w.field("window_marked_entries", r.windowMarkedEntries);
+    w.field("dmdc_replays", r.dmdcReplays);
+    w.field("baseline_replays", r.baselineReplays);
+    w.field("true_violations", r.trueViolations);
+    w.field("true_replays", r.trueReplays);
+    w.field("false_addr_x", r.falseAddrX);
+    w.field("false_addr_y", r.falseAddrY);
+    w.field("false_hash_before", r.falseHashBefore);
+    w.field("false_hash_x", r.falseHashX);
+    w.field("false_hash_y", r.falseHashY);
+    w.field("false_overflow", r.falseOverflow);
+    w.open("energy");
+    w.field("fetch", r.energy.fetch);
+    w.field("bpred", r.energy.bpred);
+    w.field("rename", r.energy.rename);
+    w.field("rob", r.energy.rob);
+    w.field("issue_queue", r.energy.issueQueue);
+    w.field("regfile", r.energy.regfile);
+    w.field("fu", r.energy.fu);
+    w.field("l1d", r.energy.l1d);
+    w.field("l2", r.energy.l2);
+    w.field("clock", r.energy.clock);
+    w.field("lq_cam", r.energy.lqCam);
+    w.field("sq", r.energy.sq);
+    w.field("yla", r.energy.yla);
+    w.field("checking", r.energy.checking);
+    w.close();
+    w.close();
+}
+
+bool
+readResult(const JsonReader::Map &m, SimResult &r)
+{
+    bool ok = true;
+    auto raw = [&](const char *name) -> const std::string & {
+        static const std::string empty;
+        auto it = m.find(std::string("result.") + name);
+        if (it == m.end()) {
+            ok = false;
+            return empty;
+        }
+        return it->second;
+    };
+    auto u64 = [&](const char *name) -> std::uint64_t {
+        const std::string &t = raw(name);
+        return t.empty() ? 0 : std::strtoull(t.c_str(), nullptr, 10);
+    };
+    auto f64 = [&](const char *name) -> double {
+        const std::string &t = raw(name);
+        return t.empty() ? 0.0 : std::strtod(t.c_str(), nullptr);
+    };
+
+    r.benchmark = raw("benchmark");
+    r.fp = raw("fp") == "true";
+    r.configLevel = static_cast<unsigned>(u64("config_level"));
+    r.scheme = static_cast<Scheme>(u64("scheme"));
+    r.instructions = u64("instructions");
+    r.cycles = u64("cycles");
+    r.ipc = f64("ipc");
+    r.lqSearches = u64("lq_searches");
+    r.lqSearchesFiltered = u64("lq_searches_filtered");
+    r.sqSearches = u64("sq_searches");
+    r.sqSearchesFiltered = u64("sq_searches_filtered");
+    r.ageTableReplays = u64("age_table_replays");
+    r.loadsOlderThanAllStores = u64("loads_older_than_all_stores");
+    r.committedLoads = u64("committed_loads");
+    r.committedStores = u64("committed_stores");
+    r.safeStoreFrac = f64("safe_store_frac");
+    r.safeLoadFrac = f64("safe_load_frac");
+    r.checkingCycleFrac = f64("checking_cycle_frac");
+    r.windowInstrs = f64("window_instrs");
+    r.windowLoads = f64("window_loads");
+    r.windowSafeLoads = f64("window_safe_loads");
+    r.windowSingleStoreFrac = f64("window_single_store_frac");
+    r.windowMarkedEntries = f64("window_marked_entries");
+    r.dmdcReplays = u64("dmdc_replays");
+    r.baselineReplays = u64("baseline_replays");
+    r.trueViolations = u64("true_violations");
+    r.trueReplays = u64("true_replays");
+    r.falseAddrX = u64("false_addr_x");
+    r.falseAddrY = u64("false_addr_y");
+    r.falseHashBefore = u64("false_hash_before");
+    r.falseHashX = u64("false_hash_x");
+    r.falseHashY = u64("false_hash_y");
+    r.falseOverflow = u64("false_overflow");
+    r.energy.fetch = f64("energy.fetch");
+    r.energy.bpred = f64("energy.bpred");
+    r.energy.rename = f64("energy.rename");
+    r.energy.rob = f64("energy.rob");
+    r.energy.issueQueue = f64("energy.issue_queue");
+    r.energy.regfile = f64("energy.regfile");
+    r.energy.fu = f64("energy.fu");
+    r.energy.l1d = f64("energy.l1d");
+    r.energy.l2 = f64("energy.l2");
+    r.energy.clock = f64("energy.clock");
+    r.energy.lqCam = f64("energy.lq_cam");
+    r.energy.sq = f64("energy.sq");
+    r.energy.yla = f64("energy.yla");
+    r.energy.checking = f64("energy.checking");
+    return ok;
+}
+
+// ---- bench journal ---------------------------------------------------
+
+struct JournalRecord
+{
+    std::string benchmark;
+    std::string scheme;
+    unsigned configLevel;
+    double ipc;
+    std::uint64_t cycles;
+    double wallMs;
+    bool cached;
+};
+
+struct Journal
+{
+    std::mutex mutex;
+    std::string path;
+    std::vector<JournalRecord> records;
+};
+
+Journal &
+journal()
+{
+    static Journal j;
+    return j;
+}
+
+void
+appendJournal(const SimResult &r, double wall_ms, bool cached)
+{
+    Journal &j = journal();
+    std::lock_guard<std::mutex> lock(j.mutex);
+    if (j.path.empty())
+        return;
+    j.records.push_back({r.benchmark, schemeName(r.scheme),
+                         r.configLevel, r.ipc, r.cycles, wall_ms,
+                         cached});
+}
+
+} // namespace
+
+void
+setCampaignJournal(const std::string &path)
+{
+    Journal &j = journal();
+    {
+        std::lock_guard<std::mutex> lock(j.mutex);
+        j.path = path;
+    }
+    // Benches exit through main()'s return; flush without requiring
+    // every harness to remember a call.
+    static const bool registered = [] {
+        std::atexit(flushCampaignJournal);
+        return true;
+    }();
+    (void)registered;
+}
+
+void
+flushCampaignJournal()
+{
+    Journal &j = journal();
+    std::lock_guard<std::mutex> lock(j.mutex);
+    if (j.path.empty())
+        return;
+    std::ofstream os(j.path);
+    if (!os) {
+        warn("cannot write bench journal '%s'", j.path.c_str());
+        return;
+    }
+    os << "{\"version\":" << kCacheFormatVersion << ",\"results\":[";
+    bool first = true;
+    for (const JournalRecord &rec : j.records) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n  {\"benchmark\":\"" << rec.benchmark
+           << "\",\"scheme\":\"" << rec.scheme
+           << "\",\"config\":" << rec.configLevel
+           << ",\"ipc\":" << doubleToken(rec.ipc)
+           << ",\"cycles\":" << rec.cycles
+           << ",\"wall_ms\":" << doubleToken(rec.wallMs)
+           << ",\"cached\":" << (rec.cached ? "true" : "false") << '}';
+    }
+    os << "\n]}\n";
+    j.records.clear();
+}
+
+// ---- fingerprinting --------------------------------------------------
+
+bool
+cacheableOptions(const SimOptions &opt)
+{
+    return opt.observers.empty() && !opt.tweak;
+}
+
+std::string
+cacheKey(const SimOptions &opt)
+{
+    if (!cacheableOptions(opt))
+        panic("cacheKey() on options with observers/tweak attached");
+    std::ostringstream os;
+    os << "dmdc-cache-v" << kCacheFormatVersion
+       << "|bench=" << opt.benchmark
+       << "|config=" << opt.configLevel
+       << "|scheme=" << static_cast<unsigned>(opt.scheme)
+       << "|warmup=" << opt.warmupInsts
+       << "|insts=" << opt.runInsts
+       << "|inv=" << doubleToken(opt.invalidationsPer1kCycles)
+       << "|coherence=" << opt.coherence
+       << "|safe_loads=" << opt.safeLoads
+       << "|sq_filter=" << opt.sqFilter
+       << "|yla_qw=" << opt.numYlaQw
+       << "|table=" << opt.tableEntriesOverride
+       << "|queue=" << opt.queueEntries;
+    return os.str();
+}
+
+// ---- CampaignRunner --------------------------------------------------
+
+CampaignRunner::CampaignRunner(CampaignConfig config)
+    : config_(std::move(config))
+{
+}
+
+std::string
+CampaignRunner::diskPath(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.json",
+                  static_cast<unsigned long long>(
+                      hashBytes(key.data(), key.size())));
+    return config_.cacheDir + "/" + name;
+}
+
+bool
+CampaignRunner::loadFromDisk(const std::string &key,
+                             SimResult &out) const
+{
+    std::ifstream is(diskPath(key));
+    if (!is)
+        return false;
+    std::stringstream buf;
+    buf << is.rdbuf();
+    JsonReader::Map m;
+    if (!JsonReader::parse(buf.str(), m))
+        return false;
+    // A hash collision or a schema change surfaces as a key mismatch;
+    // treat either as a miss and let the fresh result overwrite it.
+    auto it = m.find("key");
+    if (it == m.end() || it->second != key)
+        return false;
+    return readResult(m, out);
+}
+
+void
+CampaignRunner::storeToDisk(const std::string &key,
+                            const SimResult &r) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(config_.cacheDir, ec);
+    if (ec) {
+        warn("cannot create cache dir '%s': %s",
+             config_.cacheDir.c_str(), ec.message().c_str());
+        return;
+    }
+    const std::string path = diskPath(key);
+    // Write-to-temp + rename so concurrent bench binaries sharing the
+    // cache directory never observe a torn file.
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream os(tmp);
+        if (!os) {
+            warn("cannot write cache file '%s'", tmp.c_str());
+            return;
+        }
+        JsonWriter w(os);
+        w.open();
+        w.field("version",
+                static_cast<std::uint64_t>(kCacheFormatVersion));
+        w.field("key", key);
+        writeResult(w, r);
+        w.close();
+        os << '\n';
+    }
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+std::vector<SimResult>
+CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
+{
+    const auto t0 = Clock::now();
+    CampaignStats stats;
+    stats.runs = runs.size();
+
+    std::vector<SimResult> results(runs.size());
+
+    struct Pending
+    {
+        std::size_t index;
+        std::string key;        ///< empty for uncacheable runs
+    };
+    std::vector<Pending> pending;
+    pending.reserve(runs.size());
+    // key -> index of the run that will simulate it; duplicate keys
+    // within one campaign simulate once and copy.
+    std::unordered_map<std::string, std::size_t> leaders;
+    std::vector<std::pair<std::size_t, std::size_t>> followers;
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const SimOptions &opt = runs[i];
+        if (!cacheableOptions(opt)) {
+            ++stats.uncacheable;
+            pending.push_back({i, ""});
+            continue;
+        }
+        const std::string key = cacheKey(opt);
+        if (config_.useCache) {
+            {
+                std::lock_guard<std::mutex> lock(memMutex_);
+                auto it = memCache_.find(key);
+                if (it != memCache_.end()) {
+                    results[i] = it->second;
+                    ++stats.memoryHits;
+                    appendJournal(results[i], 0.0, true);
+                    continue;
+                }
+            }
+            if (loadFromDisk(key, results[i])) {
+                ++stats.diskHits;
+                std::lock_guard<std::mutex> lock(memMutex_);
+                memCache_.emplace(key, results[i]);
+                appendJournal(results[i], 0.0, true);
+                continue;
+            }
+        }
+        auto [it, fresh] = leaders.try_emplace(key, i);
+        if (!fresh) {
+            followers.emplace_back(i, it->second);
+            continue;
+        }
+        pending.push_back({i, key});
+    }
+
+    stats.simulated = pending.size();
+    if (!pending.empty()) {
+        unsigned jobs = config_.jobs
+            ? config_.jobs : ThreadPool::defaultConcurrency();
+        jobs = std::min<std::size_t>(jobs, pending.size());
+        ThreadPool pool(jobs);
+        for (const Pending &p : pending) {
+            pool.submit([this, &runs, &results, &p, verbose] {
+                const auto run_t0 = Clock::now();
+                results[p.index] = runSimulation(runs[p.index]);
+                const double run_ms = elapsedMs(run_t0);
+                const SimResult &r = results[p.index];
+                if (!p.key.empty() && config_.useCache) {
+                    {
+                        std::lock_guard<std::mutex> lock(memMutex_);
+                        memCache_.emplace(p.key, r);
+                    }
+                    storeToDisk(p.key, r);
+                }
+                appendJournal(r, run_ms, false);
+                if (verbose) {
+                    inform("  %-10s %-12s config%u  ipc=%.2f"
+                           "  (%.0f ms)",
+                           r.benchmark.c_str(), schemeName(r.scheme),
+                           r.configLevel, r.ipc, run_ms);
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (const auto &[dst, src] : followers) {
+        results[dst] = results[src];
+        appendJournal(results[dst], 0.0, true);
+    }
+
+    stats.wallMs = elapsedMs(t0);
+    totalSimulated_ += stats.simulated;
+    lastStats_ = stats;
+
+    if (verbose || runs.size() > 1) {
+        inform("campaign: %zu runs in %.2fs (%.1f sims/s; "
+               "%zu simulated, %zu mem hits, %zu disk hits, "
+               "%zu uncacheable)",
+               stats.runs, stats.wallMs / 1000.0, stats.simsPerSec(),
+               stats.simulated, stats.memoryHits, stats.diskHits,
+               stats.uncacheable);
+    }
+    return results;
+}
+
+SimResult
+CampaignRunner::runOne(const SimOptions &options, bool verbose)
+{
+    return run(std::vector<SimOptions>{options}, verbose).front();
+}
+
+namespace
+{
+
+struct GlobalRunner
+{
+    std::mutex mutex;
+    CampaignConfig config;
+    std::unique_ptr<CampaignRunner> runner;
+};
+
+GlobalRunner &
+globalRunner()
+{
+    static GlobalRunner g;
+    return g;
+}
+
+} // namespace
+
+CampaignRunner &
+CampaignRunner::global()
+{
+    GlobalRunner &g = globalRunner();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    if (!g.runner)
+        g.runner = std::make_unique<CampaignRunner>(g.config);
+    return *g.runner;
+}
+
+void
+CampaignRunner::configureGlobal(const CampaignConfig &config)
+{
+    GlobalRunner &g = globalRunner();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.config = config;
+    g.runner.reset();
+}
+
+} // namespace dmdc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Parallel campaign engine with a memoizing run cache.
+ *
+ * A campaign is an ordered list of independent (benchmark, config,
+ * scheme) simulation runs. CampaignRunner fans the list out across a
+ * ThreadPool while preserving the serial result ordering and
+ * bit-identical SimResults (each Simulator owns all of its state, so
+ * runs are deterministic functions of their SimOptions).
+ *
+ * Runs whose SimOptions are canonically fingerprintable (no attached
+ * observers, no tweak callback) are additionally memoized in an
+ * in-process map and an on-disk JSON cache (.dmdc_cache/), so the
+ * Baseline campaigns that nearly every bench binary re-simulates are
+ * near-free after the first binary computes them.
+ */
+
+#ifndef DMDC_SIM_CAMPAIGN_RUNNER_HH
+#define DMDC_SIM_CAMPAIGN_RUNNER_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace dmdc
+{
+
+/** Knobs of a CampaignRunner (see also bench --jobs / --no-cache). */
+struct CampaignConfig
+{
+    /** Worker threads; 0 selects ThreadPool::defaultConcurrency(). */
+    unsigned jobs = 0;
+    /** Enable the in-process + on-disk run cache. */
+    bool useCache = true;
+    /** On-disk cache directory (created on demand). */
+    std::string cacheDir = ".dmdc_cache";
+};
+
+/** Execution accounting of the most recent campaign. */
+struct CampaignStats
+{
+    std::size_t runs = 0;        ///< total runs requested
+    std::size_t simulated = 0;   ///< actually executed simulations
+    std::size_t memoryHits = 0;  ///< served from the in-process map
+    std::size_t diskHits = 0;    ///< served from .dmdc_cache/ JSON
+    std::size_t uncacheable = 0; ///< observers/tweak runs (always run)
+    double wallMs = 0.0;         ///< campaign wall-clock, milliseconds
+
+    double
+    simsPerSec() const
+    {
+        return wallMs > 0.0
+            ? static_cast<double>(runs) / (wallMs / 1000.0) : 0.0;
+    }
+};
+
+/**
+ * Runs campaigns. Instances are independent (each has its own
+ * in-process memo map); the process-wide instance behind runSuite()
+ * is reachable via global().
+ */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(CampaignConfig config = {});
+
+    /**
+     * Execute every run in @p runs and return results in the same
+     * order. Identical to running runSimulation() serially per
+     * element, but parallel and memoized. @p verbose prints one
+     * inform() line per completed run plus a campaign summary line.
+     */
+    std::vector<SimResult> run(const std::vector<SimOptions> &runs,
+                               bool verbose = false);
+
+    /** Single-run convenience wrapper (still cache-aware). */
+    SimResult runOne(const SimOptions &options, bool verbose = false);
+
+    const CampaignConfig &config() const { return config_; }
+
+    /** Accounting of the most recent run() call. */
+    const CampaignStats &lastStats() const { return lastStats_; }
+
+    /** Simulations actually executed over this runner's lifetime. */
+    std::uint64_t totalSimulated() const { return totalSimulated_; }
+
+    /** The process-wide runner used by runSuite(). */
+    static CampaignRunner &global();
+
+    /**
+     * Replace the process-wide runner's configuration. Call before
+     * the first runSuite() (benches do this while parsing argv).
+     */
+    static void configureGlobal(const CampaignConfig &config);
+
+  private:
+    bool loadFromDisk(const std::string &key, SimResult &out) const;
+    void storeToDisk(const std::string &key, const SimResult &r) const;
+    std::string diskPath(const std::string &key) const;
+
+    CampaignConfig config_;
+    CampaignStats lastStats_;
+    std::uint64_t totalSimulated_ = 0;
+
+    std::mutex memMutex_;
+    std::unordered_map<std::string, SimResult> memCache_;
+};
+
+/**
+ * True if @p opt can be fingerprinted: runs carrying observers or a
+ * tweak callback have effects/inputs outside SimOptions and are never
+ * cached.
+ */
+bool cacheableOptions(const SimOptions &opt);
+
+/**
+ * Canonical fingerprint of every behavior-affecting SimOptions field
+ * (plus a cache format version). Two runs with equal keys produce
+ * bit-identical SimResults. Precondition: cacheableOptions(opt).
+ */
+std::string cacheKey(const SimOptions &opt);
+
+// ---- machine-readable campaign journal (bench --json) ----
+
+/**
+ * Record every subsequent campaign run into an in-process journal
+ * flushed to @p path (JSON) at flushCampaignJournal() / process exit.
+ */
+void setCampaignJournal(const std::string &path);
+
+/** Write the journal now (no-op when no path is set). */
+void flushCampaignJournal();
+
+} // namespace dmdc
+
+#endif // DMDC_SIM_CAMPAIGN_RUNNER_HH

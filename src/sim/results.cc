@@ -39,4 +39,26 @@ findResult(const std::vector<SimResult> &results,
     fatal("no result recorded for benchmark '%s'", benchmark.c_str());
 }
 
+ResultLookup::ResultLookup(const std::vector<SimResult> &results)
+    : results_(results)
+{
+    if (results.size() <= kIndexThreshold)
+        return;
+    index_.reserve(results.size());
+    for (const SimResult &r : results)
+        index_.emplace(r.benchmark, &r);
+}
+
+const SimResult &
+ResultLookup::at(const std::string &benchmark) const
+{
+    if (index_.empty())
+        return findResult(results_, benchmark);
+    auto it = index_.find(benchmark);
+    if (it == index_.end())
+        fatal("no result recorded for benchmark '%s'",
+              benchmark.c_str());
+    return *it->second;
+}
+
 } // namespace dmdc

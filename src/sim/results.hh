@@ -8,6 +8,7 @@
 #define DMDC_SIM_RESULTS_HH
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "energy/energy_model.hh"
@@ -110,6 +111,28 @@ rangeOver(const std::vector<SimResult> &results, bool fp_group, Fn &&fn)
 /** Find the result for @p benchmark; fatal() if absent. */
 const SimResult &findResult(const std::vector<SimResult> &results,
                             const std::string &benchmark);
+
+/**
+ * Repeated-lookup view over a result vector. Small campaigns keep the
+ * linear scan (cheaper than building a map); past
+ * kIndexThreshold results a name index is built once, turning the
+ * per-benchmark comparison loops from O(n^2) into O(n).
+ * The referenced vector must outlive the lookup and not be resized.
+ */
+class ResultLookup
+{
+  public:
+    static constexpr std::size_t kIndexThreshold = 16;
+
+    explicit ResultLookup(const std::vector<SimResult> &results);
+
+    /** The result for @p benchmark; fatal() if absent. */
+    const SimResult &at(const std::string &benchmark) const;
+
+  private:
+    const std::vector<SimResult> &results_;
+    std::unordered_map<std::string, const SimResult *> index_;
+};
 
 } // namespace dmdc
 

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool for fanning independent simulation
+ * runs out across cores.
+ *
+ * Deliberately simple: a shared FIFO of std::function tasks drained by
+ * N workers, plus wait() as a completion barrier. No work stealing, no
+ * futures — campaign runs are coarse-grained (milliseconds to seconds
+ * each), so queue contention is irrelevant and determinism concerns
+ * stay with the caller (tasks must not share mutable state).
+ */
+
+#ifndef DMDC_SIM_THREAD_POOL_HH
+#define DMDC_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmdc
+{
+
+/** Fixed set of worker threads draining a shared task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p num_threads workers (0 selects defaultConcurrency()).
+     * With one worker the pool degenerates to deferred serial
+     * execution, which keeps the jobs=1 path on the exact same code
+     * path as parallel runs.
+     */
+    explicit ThreadPool(unsigned num_threads = 0);
+
+    /** Joins all workers; pending tasks are drained first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Safe from any thread, including workers. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished executing. */
+    void wait();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** hardware_concurrency(), clamped to at least 1. */
+    static unsigned defaultConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allIdle_;
+    unsigned running_ = 0;     ///< tasks currently executing
+    bool stopping_ = false;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_SIM_THREAD_POOL_HH

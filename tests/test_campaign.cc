@@ -7,12 +7,22 @@
 #include <gtest/gtest.h>
 
 #include "sim/campaign.hh"
+#include "sim/campaign_runner.hh"
 #include "trace/spec_suite.hh"
 
 namespace dmdc
 {
 namespace
 {
+
+// Keep these tests hermetic: never serve suite runs from a cache
+// left in the working directory by an earlier build.
+const bool disableCache = [] {
+    CampaignConfig cfg;
+    cfg.useCache = false;
+    CampaignRunner::configureGlobal(cfg);
+    return true;
+}();
 
 TEST(Campaign, RunSuiteProducesOneResultPerBenchmark)
 {

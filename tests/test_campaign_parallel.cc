@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests of the parallel campaign engine: determinism of parallel
+ * execution versus serial, memoized run-cache behavior (in-process
+ * and on-disk), and the cache-bypass rules for observer/tweak runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "lsq/lsq_unit.hh"
+#include "sim/campaign.hh"
+#include "sim/campaign_runner.hh"
+#include "sim/thread_pool.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh on-disk cache directory per test, removed on teardown. */
+class CampaignParallel : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cacheDir_ = fs::path(::testing::TempDir()) /
+            ("dmdc_cache_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+        fs::remove_all(cacheDir_);
+    }
+
+    void TearDown() override { fs::remove_all(cacheDir_); }
+
+    CampaignConfig
+    config(unsigned jobs, bool use_cache) const
+    {
+        CampaignConfig cfg;
+        cfg.jobs = jobs;
+        cfg.useCache = use_cache;
+        cfg.cacheDir = cacheDir_.string();
+        return cfg;
+    }
+
+    fs::path cacheDir_;
+};
+
+/** The 6-benchmark x 3-scheme matrix the determinism tests run. */
+std::vector<SimOptions>
+matrix()
+{
+    const std::vector<std::string> benches{"gzip", "mcf",    "crafty",
+                                           "swim", "ammp", "art"};
+    const std::vector<Scheme> schemes{Scheme::Baseline,
+                                      Scheme::DmdcGlobal,
+                                      Scheme::AgeTable};
+    std::vector<SimOptions> runs;
+    for (Scheme s : schemes) {
+        for (const std::string &b : benches) {
+            SimOptions opt;
+            opt.benchmark = b;
+            opt.scheme = s;
+            opt.warmupInsts = 2000;
+            opt.runInsts = 12000;
+            runs.push_back(opt);
+        }
+    }
+    return runs;
+}
+
+/** Every field the benches consume must match bit-for-bit. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.fp, b.fp);
+    EXPECT_EQ(a.configLevel, b.configLevel);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.lqSearches, b.lqSearches);
+    EXPECT_EQ(a.lqSearchesFiltered, b.lqSearchesFiltered);
+    EXPECT_EQ(a.sqSearches, b.sqSearches);
+    EXPECT_EQ(a.sqSearchesFiltered, b.sqSearchesFiltered);
+    EXPECT_EQ(a.ageTableReplays, b.ageTableReplays);
+    EXPECT_EQ(a.loadsOlderThanAllStores, b.loadsOlderThanAllStores);
+    EXPECT_EQ(a.committedLoads, b.committedLoads);
+    EXPECT_EQ(a.committedStores, b.committedStores);
+    EXPECT_EQ(a.safeStoreFrac, b.safeStoreFrac);
+    EXPECT_EQ(a.safeLoadFrac, b.safeLoadFrac);
+    EXPECT_EQ(a.checkingCycleFrac, b.checkingCycleFrac);
+    EXPECT_EQ(a.windowInstrs, b.windowInstrs);
+    EXPECT_EQ(a.windowLoads, b.windowLoads);
+    EXPECT_EQ(a.windowSafeLoads, b.windowSafeLoads);
+    EXPECT_EQ(a.windowSingleStoreFrac, b.windowSingleStoreFrac);
+    EXPECT_EQ(a.windowMarkedEntries, b.windowMarkedEntries);
+    EXPECT_EQ(a.dmdcReplays, b.dmdcReplays);
+    EXPECT_EQ(a.baselineReplays, b.baselineReplays);
+    EXPECT_EQ(a.trueViolations, b.trueViolations);
+    EXPECT_EQ(a.trueReplays, b.trueReplays);
+    EXPECT_EQ(a.falseAddrX, b.falseAddrX);
+    EXPECT_EQ(a.falseAddrY, b.falseAddrY);
+    EXPECT_EQ(a.falseHashBefore, b.falseHashBefore);
+    EXPECT_EQ(a.falseHashX, b.falseHashX);
+    EXPECT_EQ(a.falseHashY, b.falseHashY);
+    EXPECT_EQ(a.falseOverflow, b.falseOverflow);
+    EXPECT_EQ(a.energy.fetch, b.energy.fetch);
+    EXPECT_EQ(a.energy.bpred, b.energy.bpred);
+    EXPECT_EQ(a.energy.rename, b.energy.rename);
+    EXPECT_EQ(a.energy.rob, b.energy.rob);
+    EXPECT_EQ(a.energy.issueQueue, b.energy.issueQueue);
+    EXPECT_EQ(a.energy.regfile, b.energy.regfile);
+    EXPECT_EQ(a.energy.fu, b.energy.fu);
+    EXPECT_EQ(a.energy.l1d, b.energy.l1d);
+    EXPECT_EQ(a.energy.l2, b.energy.l2);
+    EXPECT_EQ(a.energy.clock, b.energy.clock);
+    EXPECT_EQ(a.energy.lqCam, b.energy.lqCam);
+    EXPECT_EQ(a.energy.sq, b.energy.sq);
+    EXPECT_EQ(a.energy.yla, b.energy.yla);
+    EXPECT_EQ(a.energy.checking, b.energy.checking);
+}
+
+TEST_F(CampaignParallel, ParallelMatchesSerialElementwise)
+{
+    const std::vector<SimOptions> runs = matrix();
+
+    CampaignRunner serial(config(/*jobs=*/1, /*use_cache=*/false));
+    CampaignRunner parallel(
+        config(ThreadPool::defaultConcurrency(), false));
+
+    const auto serial_res = serial.run(runs);
+    const auto parallel_res = parallel.run(runs);
+
+    ASSERT_EQ(serial_res.size(), runs.size());
+    ASSERT_EQ(parallel_res.size(), runs.size());
+    EXPECT_EQ(serial.lastStats().simulated, runs.size());
+    EXPECT_EQ(parallel.lastStats().simulated, runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        SCOPED_TRACE(runs[i].benchmark + "/" +
+                     schemeName(runs[i].scheme));
+        // Order must be preserved exactly.
+        EXPECT_EQ(parallel_res[i].benchmark, runs[i].benchmark);
+        expectIdentical(serial_res[i], parallel_res[i]);
+    }
+}
+
+TEST_F(CampaignParallel, CacheHitsSkipSimulationAndMatch)
+{
+    const std::vector<SimOptions> runs = matrix();
+
+    CampaignRunner runner(config(0, /*use_cache=*/true));
+    const auto cold = runner.run(runs);
+    EXPECT_EQ(runner.lastStats().simulated, runs.size());
+    EXPECT_EQ(runner.totalSimulated(), runs.size());
+
+    // Second pass: served from the in-process map, zero simulations.
+    const auto warm = runner.run(runs);
+    EXPECT_EQ(runner.lastStats().simulated, 0u);
+    EXPECT_EQ(runner.lastStats().memoryHits, runs.size());
+    EXPECT_EQ(runner.totalSimulated(), runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        expectIdentical(cold[i], warm[i]);
+
+    // Fresh runner, same cache dir: served from disk (JSON
+    // round-trip), still zero simulations and bit-identical.
+    CampaignRunner fresh(config(0, true));
+    const auto disk = fresh.run(runs);
+    EXPECT_EQ(fresh.lastStats().simulated, 0u);
+    EXPECT_EQ(fresh.lastStats().diskHits, runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        SCOPED_TRACE(runs[i].benchmark + "/" +
+                     schemeName(runs[i].scheme));
+        expectIdentical(cold[i], disk[i]);
+    }
+}
+
+TEST_F(CampaignParallel, DuplicateRunsSimulateOnce)
+{
+    SimOptions opt;
+    opt.warmupInsts = 2000;
+    opt.runInsts = 12000;
+    std::vector<SimOptions> runs{opt, opt, opt};
+
+    CampaignRunner runner(config(0, true));
+    const auto res = runner.run(runs);
+    EXPECT_EQ(runner.lastStats().simulated, 1u);
+    expectIdentical(res[0], res[1]);
+    expectIdentical(res[0], res[2]);
+}
+
+TEST_F(CampaignParallel, TweakRunsBypassCache)
+{
+    SimOptions opt;
+    opt.warmupInsts = 2000;
+    opt.runInsts = 12000;
+    opt.tweak = [](CoreParams &) {};
+
+    EXPECT_FALSE(cacheableOptions(opt));
+
+    CampaignRunner runner(config(0, true));
+    runner.runOne(opt);
+    EXPECT_EQ(runner.lastStats().simulated, 1u);
+    EXPECT_EQ(runner.lastStats().uncacheable, 1u);
+    runner.runOne(opt);
+    // Re-simulated, never served from cache.
+    EXPECT_EQ(runner.lastStats().simulated, 1u);
+    EXPECT_EQ(runner.totalSimulated(), 2u);
+    EXPECT_TRUE(!fs::exists(cacheDir_) || fs::is_empty(cacheDir_));
+}
+
+TEST_F(CampaignParallel, ObserverRunsBypassCache)
+{
+    YlaObserver obs("yla-8", 8, quadWordBytes);
+    SimOptions opt;
+    opt.warmupInsts = 2000;
+    opt.runInsts = 12000;
+    opt.observers.push_back(&obs);
+
+    EXPECT_FALSE(cacheableOptions(opt));
+
+    CampaignRunner runner(config(0, true));
+    runner.runOne(opt);
+    const std::uint64_t stores_first = obs.storesObserved();
+    EXPECT_GT(stores_first, 0u);
+    EXPECT_EQ(runner.lastStats().uncacheable, 1u);
+
+    runner.runOne(opt);
+    EXPECT_EQ(runner.lastStats().simulated, 1u);
+    EXPECT_EQ(runner.totalSimulated(), 2u);
+    // The observer really saw the second simulation too.
+    EXPECT_EQ(obs.storesObserved(), 2 * stores_first);
+}
+
+TEST_F(CampaignParallel, CacheKeyCoversKnobs)
+{
+    SimOptions a;
+    SimOptions b = a;
+    EXPECT_EQ(cacheKey(a), cacheKey(b));
+
+    b.numYlaQw = 4;
+    EXPECT_NE(cacheKey(a), cacheKey(b));
+    b = a;
+    b.scheme = Scheme::DmdcLocal;
+    EXPECT_NE(cacheKey(a), cacheKey(b));
+    b = a;
+    b.runInsts += 1;
+    EXPECT_NE(cacheKey(a), cacheKey(b));
+    b = a;
+    b.invalidationsPer1kCycles = 0.5;
+    EXPECT_NE(cacheKey(a), cacheKey(b));
+    b = a;
+    b.safeLoads = !b.safeLoads;
+    EXPECT_NE(cacheKey(a), cacheKey(b));
+}
+
+TEST_F(CampaignParallel, RunSuiteOrderingMatchesNames)
+{
+    // runSuite() goes through the global runner; make sure its
+    // configuration hooks work and ordering follows the name list.
+    CampaignConfig cfg = config(0, false);
+    CampaignRunner::configureGlobal(cfg);
+
+    SimOptions base;
+    base.warmupInsts = 2000;
+    base.runInsts = 12000;
+    const std::vector<std::string> names{"swim", "gzip", "art"};
+    const auto results = runSuite(base, names, /*verbose=*/false);
+    ASSERT_EQ(results.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(results[i].benchmark, names[i]);
+
+    // Restore defaults for any test running after us in-process.
+    CampaignRunner::configureGlobal(CampaignConfig{});
+}
+
+} // namespace
+} // namespace dmdc

@@ -19,15 +19,24 @@
  *     --sq-filter           enable the Sec. 3 SQ-side age filter
  *     --stats               dump the full statistics tree
  *     --energy              dump the energy breakdown
+ *     --jobs=<n>            campaign worker threads (0 = all cores)
+ *     --no-cache            bypass the memoized run cache
+ *     --cache-dir=<path>    run-cache directory (default .dmdc_cache)
+ *
+ * Repeat invocations with identical options are served from the run
+ * cache (near-instant); --stats always re-simulates because the full
+ * statistics tree only exists on a live pipeline.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/logging.hh"
 #include "energy/energy_model.hh"
+#include "sim/campaign_runner.hh"
 #include "sim/simulator.hh"
 #include "trace/spec_suite.hh"
 
@@ -92,6 +101,7 @@ main(int argc, char **argv)
     opt.runInsts = 500000;
     bool dump_stats = false;
     bool dump_energy = false;
+    CampaignConfig campaign_cfg;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -136,6 +146,13 @@ main(int argc, char **argv)
             dump_stats = true;
         } else if (a == "--energy") {
             dump_energy = true;
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            campaign_cfg.jobs =
+                static_cast<unsigned>(std::stoul(val("--jobs=")));
+        } else if (a == "--no-cache") {
+            campaign_cfg.useCache = false;
+        } else if (a.rfind("--cache-dir=", 0) == 0) {
+            campaign_cfg.cacheDir = val("--cache-dir=");
         } else if (a == "--help" || a == "-h") {
             std::printf("see the file header of tools/dmdc_sim.cc "
                         "for options\n");
@@ -146,8 +163,27 @@ main(int argc, char **argv)
         }
     }
 
-    Simulator sim(opt);
-    const SimResult r = sim.run();
+    CampaignRunner::configureGlobal(campaign_cfg);
+
+    // --stats needs the live pipeline's statistics tree, so that mode
+    // always simulates in-process; everything else goes through the
+    // cache-aware campaign runner.
+    std::unique_ptr<Simulator> sim;
+    SimResult r;
+    if (dump_stats) {
+        sim = std::make_unique<Simulator>(opt);
+        r = sim->run();
+    } else {
+        r = CampaignRunner::global().runOne(opt);
+        const CampaignStats &cs = CampaignRunner::global().lastStats();
+        if (cs.memoryHits + cs.diskHits > 0)
+            inform("run served from cache (%.1f ms)", cs.wallMs);
+        else
+            inform("simulated in %.1f ms", cs.wallMs);
+    }
+    const bool has_dmdc = opt.scheme == Scheme::DmdcGlobal ||
+        opt.scheme == Scheme::DmdcLocal ||
+        opt.scheme == Scheme::DmdcQueue;
 
     std::printf("benchmark=%s (%s) scheme=%s config=%u\n",
                 r.benchmark.c_str(), r.fp ? "FP" : "INT",
@@ -161,7 +197,7 @@ main(int argc, char **argv)
         std::printf("lq searches filtered: %.1f%%\n",
                     all > 0 ? r.lqSearchesFiltered / all * 100 : 0.0);
     }
-    if (sim.pipeline().lsq().dmdc()) {
+    if (has_dmdc) {
         std::printf("safe stores=%.1f%% safe loads=%.1f%% "
                     "checking cycles=%.1f%%\n",
                     r.safeStoreFrac * 100, r.safeLoadFrac * 100,
@@ -185,7 +221,7 @@ main(int argc, char **argv)
     }
 
     if (dump_stats)
-        sim.pipeline().statRoot().dump(std::cout);
+        sim->pipeline().statRoot().dump(std::cout);
     if (dump_energy)
         printEnergy(r.energy);
     return 0;
