@@ -23,7 +23,7 @@ main(int argc, char **argv)
 
     SimOptions base = args.baseOptions();
     base.configLevel = 2;
-    base.scheme = Scheme::DmdcGlobal;
+    base.scheme = "dmdc-global";
 
     std::printf("\n  %-8s %16s %16s %22s\n", "entries",
                 "INT false/M", "FP false/M", "hash-conflict share");

@@ -61,7 +61,7 @@ main(int argc, char **argv)
 
         SimOptions opt = args.baseOptions();
         opt.benchmark = bench;
-        opt.scheme = Scheme::Baseline;
+        opt.scheme = "baseline";
         for (auto &o : obs)
             opt.observers.push_back(o.get());
         runs.push_back(std::move(opt));

@@ -27,10 +27,10 @@ main(int argc, char **argv)
         SimOptions base = args.baseOptions();
         base.configLevel = level;
 
-        base.scheme = Scheme::Baseline;
+        base.scheme = "baseline";
         const auto baseline =
             runSuite(base, args.benchmarks, args.verbose);
-        base.scheme = Scheme::DmdcGlobal;
+        base.scheme = "dmdc-global";
         const auto dmdc_res =
             runSuite(base, args.benchmarks, args.verbose);
 

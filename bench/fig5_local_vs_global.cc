@@ -23,13 +23,13 @@ main(int argc, char **argv)
         SimOptions base = args.baseOptions();
         base.configLevel = level;
 
-        base.scheme = Scheme::Baseline;
+        base.scheme = "baseline";
         const auto baseline =
             runSuite(base, args.benchmarks, args.verbose);
-        base.scheme = Scheme::DmdcGlobal;
+        base.scheme = "dmdc-global";
         const auto global_res =
             runSuite(base, args.benchmarks, args.verbose);
-        base.scheme = Scheme::DmdcLocal;
+        base.scheme = "dmdc-local";
         const auto local_res =
             runSuite(base, args.benchmarks, args.verbose);
 

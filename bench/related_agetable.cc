@@ -28,11 +28,11 @@ main(int argc, char **argv)
     SimOptions base = args.baseOptions();
     base.configLevel = 2;
 
-    base.scheme = Scheme::Baseline;
+    base.scheme = "baseline";
     const auto baseline = runSuite(base, args.benchmarks, args.verbose);
-    base.scheme = Scheme::DmdcGlobal;
+    base.scheme = "dmdc-global";
     const auto dmdc_res = runSuite(base, args.benchmarks, args.verbose);
-    base.scheme = Scheme::AgeTable;
+    base.scheme = "age-table";
     const auto age_res = runSuite(base, args.benchmarks, args.verbose);
 
     std::printf("\n  %-8s %-12s %16s %14s %22s\n", "group", "scheme",

@@ -23,7 +23,7 @@ main(int argc, char **argv)
 
     SimOptions base = args.baseOptions();
     base.configLevel = 2;
-    base.scheme = Scheme::Baseline;
+    base.scheme = "baseline";
     const auto results = runSuite(base, args.benchmarks, args.verbose);
 
     std::printf("\n  %-6s %34s\n", "group",

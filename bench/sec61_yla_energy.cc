@@ -24,9 +24,9 @@ main(int argc, char **argv)
     SimOptions base = args.baseOptions();
     base.configLevel = 2;
 
-    base.scheme = Scheme::Baseline;
+    base.scheme = "baseline";
     const auto baseline = runSuite(base, args.benchmarks, args.verbose);
-    base.scheme = Scheme::YlaOnly;
+    base.scheme = "yla";
     const auto yla = runSuite(base, args.benchmarks, args.verbose);
 
     std::printf("\n  %-6s %22s %24s %14s %18s\n", "group",

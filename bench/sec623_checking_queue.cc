@@ -24,7 +24,7 @@ main(int argc, char **argv)
     SimOptions base = args.baseOptions();
     base.configLevel = 2;
 
-    base.scheme = Scheme::DmdcGlobal;
+    base.scheme = "dmdc-global";
     const auto table_res = runSuite(base, args.benchmarks,
                                     args.verbose);
 
@@ -45,7 +45,7 @@ main(int argc, char **argv)
     };
     report("hash table (2K)", table_res);
 
-    base.scheme = Scheme::DmdcQueue;
+    base.scheme = "dmdc-queue";
     for (unsigned entries : {4u, 8u, 16u, 32u}) {
         base.queueEntries = entries;
         const auto q_res = runSuite(base, args.benchmarks,

@@ -25,7 +25,7 @@ main(int argc, char **argv)
 
     SimOptions base = args.baseOptions();
     base.configLevel = 2;
-    base.scheme = Scheme::DmdcGlobal;
+    base.scheme = "dmdc-global";
     const auto results = runSuite(base, args.benchmarks, args.verbose);
 
     printWindowTable(results);

@@ -27,7 +27,7 @@ main(int argc, char **argv)
 
     SimOptions base = args.baseOptions();
     base.configLevel = 2;
-    base.scheme = Scheme::DmdcGlobal;
+    base.scheme = "dmdc-global";
     const auto with_safe = runSuite(base, args.benchmarks,
                                     args.verbose);
 

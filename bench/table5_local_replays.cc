@@ -25,13 +25,13 @@ main(int argc, char **argv)
     SimOptions base = args.baseOptions();
     base.configLevel = 2;
 
-    base.scheme = Scheme::DmdcLocal;
+    base.scheme = "dmdc-local";
     const auto local_res = runSuite(base, args.benchmarks,
                                     args.verbose);
     std::printf("\nLocal DMDC:");
     printReplayBreakdown(local_res);
 
-    base.scheme = Scheme::DmdcGlobal;
+    base.scheme = "dmdc-global";
     const auto global_res =
         runSuite(base, args.benchmarks, args.verbose);
 

@@ -30,7 +30,7 @@ main(int argc, char **argv)
     base.coherence = true;
 
     // Baseline (conventional LQ, no invalidations) for slowdown.
-    base.scheme = Scheme::Baseline;
+    base.scheme = "baseline";
     const auto baseline = runSuite(base, args.benchmarks, args.verbose);
 
     struct Row
@@ -43,7 +43,7 @@ main(int argc, char **argv)
     std::map<double, Row> rows_int;
     std::map<double, Row> rows_fp;
 
-    base.scheme = Scheme::DmdcGlobal;
+    base.scheme = "dmdc-global";
     std::map<double, std::vector<SimResult>> sweeps;
     for (double rate : rates) {
         base.invalidationsPer1kCycles = rate;

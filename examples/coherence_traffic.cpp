@@ -23,7 +23,7 @@ main(int argc, char **argv)
     SimOptions opt;
     opt.benchmark = bench;
     opt.configLevel = 2;
-    opt.scheme = Scheme::DmdcGlobal;
+    opt.scheme = "dmdc-global";
     opt.coherence = true;
     opt.warmupInsts = 30000;
     opt.runInsts = 200000;

@@ -33,7 +33,7 @@ evaluate(const WorkloadParams &wp)
 {
     Outcome out;
 
-    auto run_one = [&wp](Scheme scheme, Pipeline **out_pipe,
+    auto run_one = [&wp](const std::string &scheme, Pipeline **out_pipe,
                          SyntheticWorkload **out_wl) {
         CoreParams params = makeMachineConfig(2);
         applyScheme(params, scheme);
@@ -48,11 +48,11 @@ evaluate(const WorkloadParams &wp)
 
     Pipeline *base_pipe = nullptr;
     SyntheticWorkload *base_wl = nullptr;
-    run_one(Scheme::Baseline, &base_pipe, &base_wl);
+    run_one("baseline", &base_pipe, &base_wl);
 
     Pipeline *dmdc_pipe = nullptr;
     SyntheticWorkload *dmdc_wl = nullptr;
-    run_one(Scheme::DmdcGlobal, &dmdc_pipe, &dmdc_wl);
+    run_one("dmdc-global", &dmdc_pipe, &dmdc_wl);
 
     out.ipc = dmdc_pipe->ipc();
 

@@ -27,7 +27,7 @@ main(int argc, char **argv)
     opt.warmupInsts = 30000;
     opt.runInsts = 200000;
 
-    opt.scheme = Scheme::Baseline;
+    opt.scheme = "baseline";
     const SimResult base = runSimulation(opt);
     const double base_cpi =
         static_cast<double>(base.cycles) / base.instructions;
@@ -37,7 +37,7 @@ main(int argc, char **argv)
     std::printf("--- YLA register sweep (table fixed at 2K) ---\n");
     std::printf("%8s %14s %18s %12s\n", "#YLA", "safe stores",
                 "false replays/M", "slowdown");
-    opt.scheme = Scheme::DmdcGlobal;
+    opt.scheme = "dmdc-global";
     for (unsigned regs : {1u, 2u, 4u, 8u, 16u, 32u}) {
         opt.numYlaQw = regs;
         const SimResult r = runSimulation(opt);

@@ -20,18 +20,18 @@ main(int argc, char **argv)
 
     SimOptions opt;
     opt.benchmark = "gzip";
-    opt.scheme = Scheme::Baseline;
+    opt.scheme = "baseline";
     opt.warmupInsts = 50000;
     opt.runInsts = 300000;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--dmdc")
-            opt.scheme = Scheme::DmdcGlobal;
+            opt.scheme = "dmdc-global";
         else if (a == "--dmdc-local")
-            opt.scheme = Scheme::DmdcLocal;
+            opt.scheme = "dmdc-local";
         else if (a == "--yla")
-            opt.scheme = Scheme::YlaOnly;
+            opt.scheme = "yla";
         else if (a.rfind("--config=", 0) == 0)
             opt.configLevel = std::stoul(a.substr(9));
         else if (a.rfind("--insts=", 0) == 0)
@@ -44,7 +44,7 @@ main(int argc, char **argv)
     const SimResult r = sim.run();
 
     std::printf("benchmark=%s scheme=%s config=%u\n",
-                r.benchmark.c_str(), schemeName(r.scheme),
+                r.benchmark.c_str(), r.scheme.c_str(),
                 r.configLevel);
     std::printf("insts=%llu cycles=%llu ipc=%.3f\n",
                 static_cast<unsigned long long>(r.instructions),

@@ -42,10 +42,10 @@ main(int argc, char **argv)
                 bench.c_str(),
                 static_cast<unsigned long long>(opt.runInsts));
 
-    opt.scheme = Scheme::Baseline;
+    opt.scheme = "baseline";
     const SimResult base = runSimulation(opt);
 
-    opt.scheme = Scheme::DmdcGlobal;
+    opt.scheme = "dmdc-global";
     const SimResult dmdc_result = runSimulation(opt);
 
     const double base_cpi =

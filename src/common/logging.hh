@@ -1,10 +1,15 @@
 /**
  * @file
- * gem5-style status/error reporting: panic(), fatal(), warn(), inform().
+ * gem5-style status/error reporting: panic(), fatal(), warn(),
+ * inform(), and the channelled trace() facility.
  *
  * panic() is for simulator bugs (assert-like, aborts); fatal() is for
  * user errors such as invalid configurations (clean exit); warn() and
- * inform() print to stderr and continue.
+ * inform() print to stderr and continue. trace() emits high-volume
+ * debug events gated by named channels: set DMDC_TRACE to a
+ * comma-separated channel list (or "all") to enable. The legacy
+ * DMDC_DEBUG_VIOLATIONS variable still enables the "violations"
+ * channel.
  *
  * Thread-safety: each message is formatted into a private buffer and
  * emitted with a single stdio call, so concurrent campaign workers
@@ -22,14 +27,25 @@ namespace dmdc
 {
 
 /** Severity of a log message. */
-enum class LogLevel { Inform, Warn, Fatal, Panic };
+enum class LogLevel { Inform, Warn, Fatal, Panic, Trace };
 
 namespace detail
 {
 /** Format and dispatch one message; exits/aborts for Fatal/Panic. */
 [[gnu::format(printf, 2, 3)]]
 void logMessage(LogLevel level, const char *fmt, ...);
+
+/** Format and emit one trace line for an already-enabled channel. */
+[[gnu::format(printf, 2, 3)]]
+void traceMessage(const char *channel, const char *fmt, ...);
 } // namespace detail
+
+/**
+ * Whether @p channel is enabled via DMDC_TRACE (comma-separated
+ * channel names, or "all"); DMDC_DEBUG_VIOLATIONS also enables the
+ * "violations" channel. The environment is read once per process.
+ */
+bool traceEnabled(const char *channel);
 
 /** Report a simulator bug and abort. */
 template <typename... Args>
@@ -63,6 +79,20 @@ void
 inform(const char *fmt, Args... args)
 {
     detail::logMessage(LogLevel::Inform, fmt, args...);
+}
+
+/**
+ * Emit a per-event trace line on @p channel when the channel is
+ * enabled (see traceEnabled()); no-cost no-op otherwise. Each line is
+ * written with a single stdio call, like every other message.
+ */
+template <typename... Args>
+void
+trace(const char *channel, const char *fmt, Args... args)
+{
+    if (!traceEnabled(channel))
+        return;
+    detail::traceMessage(channel, fmt, args...);
 }
 
 /**

@@ -477,11 +477,11 @@ Pipeline::doCommit()
         if (head->isLoad() && head->ghostViolation && !rc.replay &&
             !replay_guard) {
             panic("true memory-order violation escaped replay "
-                  "(load seq %llu, store seq %llu, scheme %d)",
+                  "(load seq %llu, store seq %llu, scheme %s)",
                   static_cast<unsigned long long>(head->seq),
                   static_cast<unsigned long long>(
                       head->ghostViolatingStore),
-                  static_cast<int>(lsq_.params().scheme));
+                  lsq_.params().policy.c_str());
         }
 
         if (rc.replay) {

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Calibrated coefficients shared by the core energy model and the
+ * per-policy LQ-energy accounting (see energy_model.cc for the
+ * calibration rationale). Keeping them in one header guarantees every
+ * dependence policy prices its arrays on the same scale.
+ */
+
+#ifndef DMDC_ENERGY_ENERGY_CONSTANTS_HH
+#define DMDC_ENERGY_ENERGY_CONSTANTS_HH
+
+namespace dmdc
+{
+namespace energy_constants
+{
+
+constexpr unsigned addrTagBits = 40;   ///< CAM tag width (phys addr)
+constexpr unsigned lqEntryBits = 48;   ///< address + flags
+constexpr unsigned sqEntryBits = 88;   ///< address + data + flags
+constexpr unsigned seqBits = 16;       ///< YLA / age register width
+constexpr unsigned checkEntryBits = 8; ///< WRT + INV bitmaps
+
+// Static/standby cost per cell per cycle. CAM cells cost much more
+// than small RAM cells: wider cells plus per-cycle match-line
+// precharge even on idle cycles.
+constexpr double camLeakUnit = 0.0025;
+constexpr double ramLeakUnit = 0.0005;
+
+// A FIFO needs no address decoder and drives one short wordline;
+// its per-access dynamic energy is a fraction of a random-access RAM
+// of the same geometry.
+constexpr double fifoDynFactor = 0.35;
+
+// Clock tree + global overhead per cycle, per tracked "cell".
+constexpr double clockUnit = 0.0045;
+
+// Flat per-op functional-unit energies.
+constexpr double fuIntEnergy = 10.0;
+constexpr double fuFpEnergy = 22.0;
+
+} // namespace energy_constants
+} // namespace dmdc
+
+#endif // DMDC_ENERGY_ENERGY_CONSTANTS_HH

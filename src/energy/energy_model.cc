@@ -3,17 +3,25 @@
  * Energy model implementation.
  *
  * The per-event costs come from array_model; the leakage/clock
- * coefficients below were calibrated once so that, on the synthetic
- * suite, (a) associative searches account for roughly a third of the
- * conventional LQ's energy (so that filtering ~97% of searches yields
- * the paper's ~32% LQ-energy saving, Sec. 6.1) and (b) the LQ is a few
- * percent of core energy, growing with machine size (configs 1-3), as
- * the paper's 3-8% net-savings range implies.
+ * coefficients (see energy/energy_constants.hh) were calibrated once
+ * so that, on the synthetic suite, (a) associative searches account
+ * for roughly a third of the conventional LQ's energy (so that
+ * filtering ~97% of searches yields the paper's ~32% LQ-energy saving,
+ * Sec. 6.1) and (b) the LQ is a few percent of core energy, growing
+ * with machine size (configs 1-3), as the paper's 3-8% net-savings
+ * range implies.
+ *
+ * The model prices only the scheme-independent structures; everything
+ * the active dependence-checking scheme uses to implement the LQ
+ * function (CAM, checking table, hash FIFO, bloom array, ...) is
+ * accounted by the policy itself via accountEnergy().
  */
 
 #include "energy/energy_model.hh"
 
 #include "energy/array_model.hh"
+#include "energy/energy_constants.hh"
+#include "lsq/policy/dependence_policy.hh"
 
 namespace dmdc
 {
@@ -22,30 +30,7 @@ namespace
 {
 
 using namespace array_model;
-
-constexpr unsigned addrTagBits = 40;   ///< CAM tag width (phys addr)
-constexpr unsigned lqEntryBits = 48;   ///< address + flags
-constexpr unsigned sqEntryBits = 88;   ///< address + data + flags
-constexpr unsigned seqBits = 16;       ///< YLA / age register width
-constexpr unsigned checkEntryBits = 8; ///< WRT + INV bitmaps
-
-// Static/standby cost per cell per cycle. CAM cells cost much more
-// than small RAM cells: wider cells plus per-cycle match-line
-// precharge even on idle cycles.
-constexpr double camLeakUnit = 0.0025;
-constexpr double ramLeakUnit = 0.0005;
-
-// A FIFO needs no address decoder and drives one short wordline;
-// its per-access dynamic energy is a fraction of a random-access RAM
-// of the same geometry.
-constexpr double fifoDynFactor = 0.35;
-
-// Clock tree + global overhead per cycle, per tracked "cell".
-constexpr double clockUnit = 0.0045;
-
-// Flat per-op functional-unit energies.
-constexpr double fuIntEnergy = 10.0;
-constexpr double fuFpEnergy = 22.0;
+using namespace energy_constants;
 
 /** Simplified cache access energy from geometry. */
 double
@@ -79,7 +64,6 @@ EnergyModel::compute(const Pipeline &pipe) const
     const double issued = static_cast<double>(ps.issued.value());
     const double committed =
         static_cast<double>(ps.committedInsts.value());
-    const LsqScheme scheme = pipe.lsq().params().scheme;
 
     // ---- front end ----
     const double l1i_acc = static_cast<double>(
@@ -129,42 +113,7 @@ EnergyModel::compute(const Pipeline &pipe) const
             ramWrite(sq_size, sqEntryBits) +
         cycles * camLeakUnit * sq_size * sqEntryBits * 0.5;
 
-    // ---- load-queue functionality: the quantity under study ----
-    const unsigned lq_size = params_.lsq.lqSize;
-    if (scheme == LsqScheme::AgeTable) {
-        // Fused age/address table (Garg et al.): one read per store
-        // resolve, one write per load issue; entries hold full ages
-        // (wider than DMDC's 1-bit-per-chunk checking table).
-        const unsigned tbl = params_.lsq.ageTableEntries;
-        const unsigned age_bits = 20;
-        e.checking +=
-            static_cast<double>(act.ageTableReads.value()) *
-                ramRead(tbl, age_bits) +
-            static_cast<double>(act.ageTableWrites.value()) *
-                ramWrite(tbl, age_bits) +
-            cycles * ramLeakUnit * tbl * age_bits * 0.10;
-    } else if (scheme == LsqScheme::Dmdc) {
-        // FIFO of hash keys replaces the CAM: narrow entries, no
-        // decoder, RAM-cell standby cost only.
-        const unsigned key_bits = 15;
-        e.checking +=
-            static_cast<double>(act.lqInserts.value()) *
-                ramWrite(lq_size, key_bits) * fifoDynFactor +
-            static_cast<double>(ps.committedLoads.value()) *
-                ramRead(lq_size, key_bits) * fifoDynFactor +
-            cycles * ramLeakUnit * lq_size * key_bits;
-    } else {
-        e.lqCam = static_cast<double>(act.lqSearches.value() +
-                                      act.lqInvSearches.value()) *
-                camSearch(lq_size, addrTagBits) +
-            static_cast<double>(act.lqInserts.value()) *
-                ramWrite(lq_size, lqEntryBits) +
-            static_cast<double>(ps.committedLoads.value()) *
-                ramRead(lq_size, lqEntryBits) +
-            cycles * camLeakUnit * lq_size * lqEntryBits;
-    }
-
-    // ---- YLA registers and checking structures ----
+    // ---- YLA registers (shared across filtering schemes) ----
     const unsigned yla_regs = params_.lsq.dmdc.numYlaQw +
         (params_.lsq.dmdc.coherence ? params_.lsq.dmdc.numYlaLine : 0);
     e.yla = static_cast<double>(act.ylaReads.value() +
@@ -172,26 +121,14 @@ EnergyModel::compute(const Pipeline &pipe) const
             registerAccess(seqBits) +
         cycles * ramLeakUnit * yla_regs * seqBits;
 
-    if (const DmdcEngine *engine = pipe.lsq().dmdc()) {
-        const auto &ds = engine->stats();
-        const unsigned tbl = engine->params().useQueue
-            ? engine->params().queueEntries
-            : engine->params().tableEntries;
-        const double read_e = engine->params().useQueue
-            ? camSearch(tbl, addrTagBits)
-            : ramRead(tbl, checkEntryBits);
-        const double write_e = engine->params().useQueue
-            ? ramWrite(tbl, addrTagBits + 8)
-            : ramWrite(tbl, checkEntryBits);
-        // The checking table is idle outside checking mode; clock-gate
-        // it (small standby factor).
-        e.checking +=
-            static_cast<double>(ds.tableReads.value()) * read_e +
-            static_cast<double>(ds.tableWrites.value()) * write_e +
-            cycles * ramLeakUnit * tbl * checkEntryBits * 0.05;
-    }
+    // ---- load-queue functionality: the quantity under study ----
+    const PolicyEnergyContext ctx{
+        params_, cycles,
+        static_cast<double>(ps.committedLoads.value())};
+    pipe.lsq().policy().accountEnergy(ctx, e);
 
     // ---- clock / global ----
+    const unsigned lq_size = params_.lsq.lqSize;
     const double cells =
         params_.robSize * 128.0 + iq_entries * 80.0 +
         (params_.intRegs + params_.fpRegs) * 64.0 +

@@ -10,46 +10,10 @@
 #define DMDC_ENERGY_ENERGY_MODEL_HH
 
 #include "core/pipeline.hh"
+#include "energy/energy_breakdown.hh"
 
 namespace dmdc
 {
-
-/** Per-structure energy totals for one run. */
-struct EnergyBreakdown
-{
-    double fetch = 0;      ///< fetch/decode incl. I-cache
-    double bpred = 0;
-    double rename = 0;
-    double rob = 0;
-    double issueQueue = 0; ///< insert + wakeup broadcast + select
-    double regfile = 0;
-    double fu = 0;
-    double l1d = 0;
-    double l2 = 0;
-    double clock = 0;      ///< clock tree + idle overhead, per cycle
-
-    // LQ-functionality energy: the quantity the paper's Figs. 4 and
-    // Sec. 6.1 report savings on.
-    double lqCam = 0;      ///< associative LQ searches + entries
-    double sq = 0;         ///< SQ CAM + entries (same in all schemes)
-    double yla = 0;        ///< YLA register file accesses
-    double checking = 0;   ///< checking table/queue + hash-key FIFO
-
-    /** Energy of implementing the LQ function (paper's "LQ energy"). */
-    double
-    lqFunction() const
-    {
-        return lqCam + yla + checking;
-    }
-
-    /** Whole-processor energy. */
-    double
-    total() const
-    {
-        return fetch + bpred + rename + rob + issueQueue + regfile +
-            fu + l1d + l2 + clock + lqCam + sq + yla + checking;
-    }
-};
 
 /** The energy model. */
 class EnergyModel

@@ -1,14 +1,13 @@
 /**
  * @file
- * LSQ unit implementation.
+ * LSQ unit implementation. Scheme-agnostic: all dependence-checking
+ * decisions are delegated to the DependencePolicy resolved by name
+ * through the DependencePolicyRegistry.
  */
 
 #include "lsq/lsq_unit.hh"
 
-#include <cstdio>
-#include <cstdlib>
-
-#include "common/logging.hh"
+#include "lsq/policy/registry.hh"
 
 namespace dmdc
 {
@@ -76,21 +75,22 @@ LsqUnit::LsqUnit(const LsqParams &params)
     : params_(params), sq_(params.sqSize), lq_(params.lqSize),
       statGroup_("lsq")
 {
-    switch (params_.scheme) {
-      case LsqScheme::Conventional:
-        break;
-      case LsqScheme::YlaFiltered:
-        yla_ = std::make_unique<YlaFile>(params_.dmdc.numYlaQw,
-                                         quadWordBytes);
-        break;
-      case LsqScheme::Dmdc:
-        dmdc_ = std::make_unique<DmdcEngine>(params_.dmdc);
-        break;
-      case LsqScheme::AgeTable:
-        ageTable_ = std::make_unique<AgeTable>(
-            params_.ageTableEntries);
-        break;
-    }
+    policy_ = DependencePolicyRegistry::instance().create(
+        params_.policy, params_, PolicyServices{&lq_, &activity_});
+}
+
+LsqUnit::~LsqUnit() = default;
+
+DmdcEngine *
+LsqUnit::dmdc()
+{
+    return policy_->dmdcEngine();
+}
+
+const DmdcEngine *
+LsqUnit::dmdc() const
+{
+    return policy_->dmdcEngine();
 }
 
 void
@@ -115,11 +115,12 @@ LsqUnit::regStats(StatGroup &parent)
                           &activity_.ageTableWrites);
     statGroup_.regCounter("age_table_replays",
                           &activity_.ageTableReplays);
+    statGroup_.regCounter("bloom_checks", &activity_.bloomChecks);
+    statGroup_.regCounter("bloom_updates", &activity_.bloomUpdates);
     statGroup_.regCounter("true_violations",
                           &activity_.trueViolationsDetected);
     parent.addChild(&statGroup_);
-    if (dmdc_)
-        dmdc_->regStats(parent);
+    policy_->regStats(parent);
 }
 
 void
@@ -127,6 +128,7 @@ LsqUnit::dispatchLoad(DynInst *inst)
 {
     lq_.allocate(inst);
     ++activity_.lqInserts;
+    policy_->loadDispatched(inst);
     for (FilterObserver *obs : observers_)
         obs->loadDispatched(inst->op.effAddr);
 }
@@ -175,122 +177,20 @@ LsqUnit::loadComplete(DynInst *inst, Cycle now, SeqNum forwarded_from)
     inst->memIssueCycle = now;
     inst->forwardedFrom = forwarded_from;
 
-    const Addr addr = inst->op.effAddr;
-    if (yla_) {
-        yla_->loadIssued(addr, inst->seq);
-        ++activity_.ylaWrites;
-    }
-    if (dmdc_) {
-        dmdc_->loadIssued(addr, inst->seq);
-        ++activity_.ylaWrites;
-    }
-    if (ageTable_) {
-        ageTable_->loadIssued(addr, inst->seq);
-        ++activity_.ageTableWrites;
-    }
+    policy_->loadIssued(inst);
     for (FilterObserver *obs : observers_)
-        obs->loadIssued(addr, inst->seq);
-}
-
-void
-LsqUnit::ghostCheck(DynInst *store)
-{
-    DynInst *victim = lq_.searchViolation(store->seq, store->op.effAddr,
-                                          store->op.memSize);
-    if (victim && !victim->ghostViolation) {
-        victim->ghostViolation = true;
-        victim->ghostViolatingStore = store->seq;
-        if (!store->wrongPath && !victim->wrongPath)
-            ++activity_.trueViolationsDetected;
-    }
+        obs->loadIssued(inst->op.effAddr, inst->seq);
 }
 
 StoreResolveResult
 LsqUnit::storeResolve(DynInst *inst, Cycle now)
 {
-    StoreResolveResult result;
     sq_.setAddress(inst);
 
     for (FilterObserver *obs : observers_)
         obs->storeResolved(inst->op.effAddr, inst->seq);
 
-    switch (params_.scheme) {
-      case LsqScheme::Conventional:
-        ++activity_.lqSearches;
-        result.violatingLoad = lq_.searchViolation(
-            inst->seq, inst->op.effAddr, inst->op.memSize);
-        if (result.violatingLoad && !inst->wrongPath &&
-            !result.violatingLoad->wrongPath) {
-            ++activity_.trueViolationsDetected;
-            if (std::getenv("DMDC_DEBUG_VIOLATIONS")) {
-                std::fprintf(stderr,
-                             "viol: st seq=%llu a=%llx sz=%u ic=%llu | "
-                             "ld seq=%llu a=%llx sz=%u fwd=%llu "
-                             "mic=%llu rej=%d safe=%d\n",
-                             (unsigned long long)inst->seq,
-                             (unsigned long long)inst->op.effAddr,
-                             inst->op.memSize,
-                             (unsigned long long)inst->issueCycle,
-                             (unsigned long long)
-                                 result.violatingLoad->seq,
-                             (unsigned long long)
-                                 result.violatingLoad->op.effAddr,
-                             result.violatingLoad->op.memSize,
-                             (unsigned long long)
-                                 result.violatingLoad->forwardedFrom,
-                             (unsigned long long)
-                                 result.violatingLoad->memIssueCycle,
-                             (int)result.violatingLoad->rejected,
-                             (int)result.violatingLoad->safeLoad);
-            }
-        }
-        break;
-
-      case LsqScheme::YlaFiltered: {
-        ++activity_.ylaReads;
-        if (yla_->storeSafe(inst->op.effAddr, inst->seq)) {
-            inst->safeStore = true;
-            ++activity_.lqSearchesFiltered;
-            // Safety invariant: a YLA-safe store can have no younger
-            // issued load at all in its bank, hence no violation.
-            DynInst *ghost = lq_.searchViolation(
-                inst->seq, inst->op.effAddr, inst->op.memSize);
-            if (ghost)
-                panic("YLA filtered a store with a real violation "
-                      "(store seq %llu, load seq %llu)",
-                      static_cast<unsigned long long>(inst->seq),
-                      static_cast<unsigned long long>(ghost->seq));
-        } else {
-            ++activity_.lqSearches;
-            result.violatingLoad = lq_.searchViolation(
-                inst->seq, inst->op.effAddr, inst->op.memSize);
-            if (result.violatingLoad && !inst->wrongPath &&
-                !result.violatingLoad->wrongPath) {
-                ++activity_.trueViolationsDetected;
-            }
-        }
-        break;
-      }
-
-      case LsqScheme::Dmdc:
-        ++activity_.ylaReads;
-        dmdc_->storeResolved(inst, now);
-        // Ground truth for false-replay classification and the safety
-        // property; architecturally no LQ search happens.
-        ghostCheck(inst);
-        break;
-
-      case LsqScheme::AgeTable:
-        ++activity_.ageTableReads;
-        if (ageTable_->storeNeedsReplay(inst->op.effAddr,
-                                        inst->seq)) {
-            result.replayAllYounger = true;
-            ++activity_.ageTableReplays;
-        }
-        ghostCheck(inst);
-        break;
-    }
-    return result;
+    return policy_->storeResolved(inst, now);
 }
 
 void
@@ -302,9 +202,7 @@ LsqUnit::storeDataReady(DynInst *inst)
 ReplayClass
 LsqUnit::commit(DynInst *inst, Cycle now, bool suppress_replay)
 {
-    ReplayClass rc;
-    if (dmdc_)
-        rc = dmdc_->commit(inst, now, suppress_replay);
+    ReplayClass rc = policy_->commit(inst, now, suppress_replay);
 
     if (rc.replay) {
         // The load will be squashed and re-executed; do not release
@@ -313,6 +211,7 @@ LsqUnit::commit(DynInst *inst, Cycle now, bool suppress_replay)
     }
 
     if (inst->isLoad()) {
+        policy_->loadRemoved(inst);
         for (FilterObserver *obs : observers_)
             obs->loadRemoved(inst->op.effAddr);
         lq_.releaseHead(inst);
@@ -325,9 +224,11 @@ LsqUnit::commit(DynInst *inst, Cycle now, bool suppress_replay)
 void
 LsqUnit::squashFrom(SeqNum from_seq)
 {
-    // Bloom-style observers must see every in-flight load leave.
+    // Bloom-style policies and observers must see every in-flight
+    // load leave.
     lq_.forEach([this, from_seq](DynInst *load) {
         if (load->seq >= from_seq) {
+            policy_->loadRemoved(load);
             for (FilterObserver *obs : observers_)
                 obs->loadRemoved(load->op.effAddr);
         }
@@ -339,12 +240,7 @@ LsqUnit::squashFrom(SeqNum from_seq)
 void
 LsqUnit::branchRecovery(SeqNum branch_seq)
 {
-    if (yla_)
-        yla_->branchRecovery(branch_seq);
-    if (dmdc_)
-        dmdc_->branchRecovery(branch_seq);
-    if (ageTable_)
-        ageTable_->branchRecovery(branch_seq);
+    policy_->branchRecovery(branch_seq);
     for (FilterObserver *obs : observers_)
         obs->branchRecovery(branch_seq);
 }
@@ -353,26 +249,13 @@ void
 LsqUnit::invalidationArrived(Addr addr, Cycle now,
                              SeqNum oldest_active)
 {
-    switch (params_.scheme) {
-      case LsqScheme::Conventional:
-      case LsqScheme::YlaFiltered:
-      case LsqScheme::AgeTable:
-        // Conventional coherence support searches the LQ on every
-        // external invalidation (Sec. 2); the age-table design would
-        // need an analogous lookup.
-        ++activity_.lqInvSearches;
-        break;
-      case LsqScheme::Dmdc:
-        dmdc_->invalidationArrived(addr, now, oldest_active);
-        break;
-    }
+    policy_->invalidationArrived(addr, now, oldest_active);
 }
 
 void
 LsqUnit::tick()
 {
-    if (dmdc_)
-        dmdc_->tick();
+    policy_->tick();
 }
 
 } // namespace dmdc

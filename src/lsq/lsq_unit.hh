@@ -1,9 +1,15 @@
 /**
  * @file
- * LSQ unit facade: owns the store queue, load queue and (scheme-
- * dependent) the YLA filter / DMDC engine, and exposes the hooks the
- * pipeline calls. Also hosts the shadow-filter observer interface used
- * to measure many filter configurations in a single run (Figs. 2/3).
+ * LSQ unit facade: owns the store queue, load queue and the pluggable
+ * dependence-checking policy (see lsq/policy/), and exposes the hooks
+ * the pipeline calls. Also hosts the shadow-filter observer interface
+ * used to measure many filter configurations in a single run
+ * (Figs. 2/3).
+ *
+ * The LSQ itself is scheme-agnostic: every scheme-specific decision
+ * (filtering, searching, commit-time checking, recovery, energy) lives
+ * in the DependencePolicy selected by LsqParams::policy through the
+ * DependencePolicyRegistry.
  */
 
 #ifndef DMDC_LSQ_LSQ_UNIT_HH
@@ -14,7 +20,6 @@
 #include <vector>
 
 #include "common/stats.hh"
-#include "lsq/age_table.hh"
 #include "lsq/bloom.hh"
 #include "lsq/dmdc.hh"
 #include "lsq/load_queue.hh"
@@ -24,22 +29,21 @@
 namespace dmdc
 {
 
-/** Memory-dependence enforcement scheme under evaluation. */
-enum class LsqScheme : std::uint8_t
-{
-    Conventional,  ///< associative LQ searched by every store
-    YlaFiltered,   ///< associative LQ + YLA filter (Sec. 3)
-    Dmdc,          ///< DMDC replaces the associative LQ (Sec. 4)
-    AgeTable,      ///< Garg et al. fused age/address hash table
-};
+class DependencePolicy;
 
 /** LSQ configuration. */
 struct LsqParams
 {
-    LsqScheme scheme = LsqScheme::Conventional;
+    /**
+     * Dependence-checking scheme, by registry name (see
+     * DependencePolicyRegistry / --list-schemes): "baseline", "yla",
+     * "dmdc-global", "dmdc-local", "dmdc-queue", "age-table",
+     * "bloom-yla", or any extension registered at runtime.
+     */
+    std::string policy = "baseline";
     unsigned lqSize = 96;
     unsigned sqSize = 48;
-    DmdcParams dmdc;   ///< used by YlaFiltered (YLA geometry) and Dmdc
+    DmdcParams dmdc;   ///< used by yla (YLA geometry) and the dmdc-*s
     /**
      * SQ-side age filter (paper Sec. 3 "filtering for stores", left
      * as future work there): a load older than every in-flight store
@@ -47,7 +51,8 @@ struct LsqParams
      * with no older store there is nothing to forward or reject.
      */
     bool sqFilter = false;
-    unsigned ageTableEntries = 2048;   ///< AgeTable scheme size
+    unsigned ageTableEntries = 2048;   ///< age-table scheme size
+    unsigned bloomBuckets = 1024;      ///< bloom-yla scheme counters
 };
 
 /**
@@ -90,7 +95,7 @@ class YlaObserver : public FilterObserver
                 unsigned grain_bytes);
 
     void loadIssued(Addr addr, SeqNum seq) override;
-    void loadRemoved(Addr addr) override {}
+    void loadRemoved(Addr /*addr*/) override {}
     void storeResolved(Addr addr, SeqNum seq) override;
     void branchRecovery(SeqNum branch_seq) override;
 
@@ -120,7 +125,7 @@ class BloomObserver : public FilterObserver
     void loadIssued(Addr addr, SeqNum seq) override;
     void loadRemoved(Addr addr) override;
     void storeResolved(Addr addr, SeqNum seq) override;
-    void branchRecovery(SeqNum branch_seq) override {}
+    void branchRecovery(SeqNum /*branch_seq*/) override {}
 
     const std::string &name() const override { return name_; }
     std::uint64_t storesObserved() const override { return observed_; }
@@ -138,7 +143,7 @@ struct StoreResolveResult
 {
     DynInst *violatingLoad = nullptr;  ///< replay target (baseline/YLA)
     /**
-     * AgeTable scheme: the table cannot name the offending load, so
+     * Age-table scheme: the table cannot name the offending load, so
      * everything younger than the store must be squashed.
      */
     bool replayAllYounger = false;
@@ -149,6 +154,7 @@ class LsqUnit
 {
   public:
     explicit LsqUnit(const LsqParams &params);
+    ~LsqUnit();
 
     bool canDispatchLoad() const { return !lq_.full(); }
     bool canDispatchStore() const { return !sq_.full(); }
@@ -164,20 +170,21 @@ class LsqUnit
 
     /**
      * The load obtained its value (from cache or forwarding): record
-     * it in the LQ, update YLA/DMDC and shadow filters.
+     * it in the LQ, update the policy and shadow filters.
      */
     void loadComplete(DynInst *inst, Cycle now,
                       SeqNum forwarded_from);
 
-    /** A store's address resolved: filter and/or search the LQ. */
+    /** A store's address resolved: the policy filters/searches. */
     StoreResolveResult storeResolve(DynInst *inst, Cycle now);
 
     /** A store's data became ready. */
     void storeDataReady(DynInst *inst);
 
     /**
-     * Commit an instruction (any type). For DMDC this may request a
-     * replay of the committing load unless @p suppress_replay.
+     * Commit an instruction (any type). Commit-time checking policies
+     * may request a replay of the committing load unless
+     * @p suppress_replay.
      */
     ReplayClass commit(DynInst *inst, Cycle now,
                        bool suppress_replay = false);
@@ -185,7 +192,7 @@ class LsqUnit
     /** Squash all LSQ state with seq >= @p from_seq. */
     void squashFrom(SeqNum from_seq);
 
-    /** Branch misprediction recovery (YLA clamping). */
+    /** Branch misprediction recovery (age clamping). */
     void branchRecovery(SeqNum branch_seq);
 
     /** External invalidation of the line containing @p addr. */
@@ -200,8 +207,14 @@ class LsqUnit
     const StoreQueue &storeQueue() const { return sq_; }
     const LoadQueue &loadQueue() const { return lq_; }
     const LsqParams &params() const { return params_; }
-    DmdcEngine *dmdc() { return dmdc_.get(); }
-    const DmdcEngine *dmdc() const { return dmdc_.get(); }
+
+    /** The active dependence-checking policy. */
+    DependencePolicy &policy() { return *policy_; }
+    const DependencePolicy &policy() const { return *policy_; }
+
+    /** The DMDC engine when the policy has one (else nullptr). */
+    DmdcEngine *dmdc();
+    const DmdcEngine *dmdc() const;
 
     void regStats(StatGroup &parent);
 
@@ -210,7 +223,7 @@ class LsqUnit
     {
         Counter lqInserts;
         Counter lqSearches;        ///< associative searches performed
-        Counter lqSearchesFiltered;///< searches avoided by YLA
+        Counter lqSearchesFiltered;///< searches avoided by a filter
         Counter lqInvSearches;     ///< invalidation-triggered searches
         Counter sqInserts;
         Counter sqSearches;
@@ -221,20 +234,17 @@ class LsqUnit
         Counter ageTableReads;
         Counter ageTableWrites;
         Counter ageTableReplays;
+        Counter bloomChecks;             ///< bloom-yla array probes
+        Counter bloomUpdates;            ///< bloom-yla array updates
         Counter trueViolationsDetected;  ///< ground truth occurrences
     };
     const Activity &activity() const { return activity_; }
 
   private:
-    /** Ground-truth premature-load detection (ghost, energy-free). */
-    void ghostCheck(DynInst *store);
-
     LsqParams params_;
     StoreQueue sq_;
     LoadQueue lq_;
-    std::unique_ptr<YlaFile> yla_;       ///< YlaFiltered scheme
-    std::unique_ptr<DmdcEngine> dmdc_;   ///< Dmdc scheme
-    std::unique_ptr<AgeTable> ageTable_; ///< AgeTable scheme
+    std::unique_ptr<DependencePolicy> policy_;
     std::vector<FilterObserver *> observers_;
     Activity activity_;
     StatGroup statGroup_;

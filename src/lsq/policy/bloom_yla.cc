@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Bloom-filtered hybrid scheme ("bloom-yla"): the YLA age filter OR-ed
+ * with a counting Bloom filter over in-flight load addresses
+ * (Sethumadhavan et al.), promoted from the shadow-only BloomObserver
+ * into a real timing scheme.
+ *
+ * Both predicates are individually conservative — YLA-safe means no
+ * younger load has issued in the store's bank; a zero Bloom bucket
+ * means no load whose address hashes there is in flight at all — so
+ * their disjunction is conservative too: the LQ search is skipped only
+ * when provably no premature younger load exists. The ghost search
+ * asserts exactly that on every filtered store.
+ *
+ * Registered purely through the policy layer: no LSQ-unit or
+ * energy-model edits were needed to add this scheme.
+ */
+
+#include "core/pipeline.hh"
+#include "energy/array_model.hh"
+#include "energy/energy_breakdown.hh"
+#include "energy/energy_constants.hh"
+#include "lsq/policy/builtin.hh"
+#include "lsq/policy/registry.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "lsq/bloom.hh"
+#include "lsq/yla.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+class BloomYlaPolicy : public DependencePolicy
+{
+  public:
+    explicit BloomYlaPolicy(const LsqParams &params)
+        : DependencePolicy("bloom-yla"),
+          yla_(params.dmdc.numYlaQw, quadWordBytes),
+          bloom_(params.bloomBuckets)
+    {
+    }
+
+    void
+    loadDispatched(DynInst *load) override
+    {
+        // Membership covers dispatch to commit/squash: the filter
+        // cannot know whether a load has issued, only that it is in
+        // flight (exactly the shadow BloomObserver's contract).
+        bloom_.loadIssued(load->op.effAddr);
+        ++activity().bloomUpdates;
+    }
+
+    void
+    loadIssued(DynInst *load) override
+    {
+        yla_.loadIssued(load->op.effAddr, load->seq);
+        ++activity().ylaWrites;
+    }
+
+    void
+    loadRemoved(DynInst *load) override
+    {
+        bloom_.loadRemoved(load->op.effAddr);
+        ++activity().bloomUpdates;
+    }
+
+    StoreResolveResult
+    storeResolved(DynInst *store, Cycle now) override
+    {
+        (void)now;
+        StoreResolveResult result;
+        // Hardware probes both predicates in parallel.
+        ++activity().ylaReads;
+        ++activity().bloomChecks;
+        const bool yla_safe =
+            yla_.storeSafe(store->op.effAddr, store->seq);
+        const bool bloom_safe = bloom_.storeFiltered(store->op.effAddr);
+        if (yla_safe || bloom_safe) {
+            store->safeStore = true;
+            ++activity().lqSearchesFiltered;
+            // Safety invariant: either predicate alone proves no
+            // premature younger load exists.
+            DynInst *ghost = loadQueue().searchViolation(
+                store->seq, store->op.effAddr, store->op.memSize);
+            if (ghost)
+                panic("bloom-yla filtered a store with a real "
+                      "violation (store seq %llu, load seq %llu)",
+                      static_cast<unsigned long long>(store->seq),
+                      static_cast<unsigned long long>(ghost->seq));
+        } else {
+            ++activity().lqSearches;
+            result.violatingLoad = loadQueue().searchViolation(
+                store->seq, store->op.effAddr, store->op.memSize);
+            if (result.violatingLoad && !store->wrongPath &&
+                !result.violatingLoad->wrongPath) {
+                ++activity().trueViolationsDetected;
+            }
+        }
+        return result;
+    }
+
+    void
+    branchRecovery(SeqNum branch_seq) override
+    {
+        // The Bloom side needs no recovery action: squashed loads are
+        // removed one by one through loadRemoved().
+        yla_.branchRecovery(branch_seq);
+    }
+
+    void
+    accountEnergy(const PolicyEnergyContext &ctx,
+                  EnergyBreakdown &e) const override
+    {
+        using namespace array_model;
+        using namespace energy_constants;
+        const auto &act = activity();
+        const unsigned lq_size = ctx.core.lsq.lqSize;
+        e.lqCam = static_cast<double>(act.lqSearches.value() +
+                                      act.lqInvSearches.value()) *
+                camSearch(lq_size, addrTagBits) +
+            static_cast<double>(act.lqInserts.value()) *
+                ramWrite(lq_size, lqEntryBits) +
+            ctx.committedLoads * ramRead(lq_size, lqEntryBits) +
+            ctx.cycles * camLeakUnit * lq_size * lqEntryBits;
+        // Counting Bloom array: small saturating counters, one probe
+        // per store resolve, two updates per load lifetime.
+        const unsigned buckets = ctx.core.lsq.bloomBuckets;
+        const unsigned counter_bits = 4;
+        e.checking +=
+            static_cast<double>(act.bloomChecks.value()) *
+                ramRead(buckets, counter_bits) +
+            static_cast<double>(act.bloomUpdates.value()) *
+                ramWrite(buckets, counter_bits) +
+            ctx.cycles * ramLeakUnit * buckets * counter_bits * 0.10;
+    }
+
+  private:
+    YlaFile yla_;
+    CountingBloomFilter bloom_;
+};
+
+} // namespace
+
+namespace builtin_policies
+{
+
+void
+registerBloomYla(DependencePolicyRegistry &registry)
+{
+    SchemeInfo info;
+    info.name = "bloom-yla";
+    info.summary =
+        "YLA age filter OR counting Bloom filter before the LQ search";
+    info.hasFilterStats = true;
+    info.make = [](const LsqParams &params) {
+        return std::make_unique<BloomYlaPolicy>(params);
+    };
+    registry.add(std::move(info));
+}
+
+} // namespace builtin_policies
+} // namespace dmdc

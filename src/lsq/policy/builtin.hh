@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Registration entry points of the built-in dependence policies. The
+ * registry constructor calls these explicitly (rather than relying on
+ * static-initializer self-registration, which a static-library link
+ * may silently drop).
+ */
+
+#ifndef DMDC_LSQ_POLICY_BUILTIN_HH
+#define DMDC_LSQ_POLICY_BUILTIN_HH
+
+namespace dmdc
+{
+
+class DependencePolicyRegistry;
+
+namespace builtin_policies
+{
+
+void registerConventional(DependencePolicyRegistry &registry);
+void registerYlaFiltered(DependencePolicyRegistry &registry);
+void registerDmdc(DependencePolicyRegistry &registry);
+void registerAgeTable(DependencePolicyRegistry &registry);
+void registerBloomYla(DependencePolicyRegistry &registry);
+
+} // namespace builtin_policies
+} // namespace dmdc
+
+#endif // DMDC_LSQ_POLICY_BUILTIN_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Conventional scheme ("baseline"): the associative load queue of
+ * every shipping out-of-order core. Each resolving store searches the
+ * whole LQ for a premature younger load; no filtering, no auxiliary
+ * state.
+ */
+
+#include "core/pipeline.hh"
+#include "energy/array_model.hh"
+#include "energy/energy_breakdown.hh"
+#include "energy/energy_constants.hh"
+#include "lsq/policy/builtin.hh"
+#include "lsq/policy/registry.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+class ConventionalPolicy : public DependencePolicy
+{
+  public:
+    ConventionalPolicy() : DependencePolicy("baseline") {}
+
+    StoreResolveResult
+    storeResolved(DynInst *store, Cycle now) override
+    {
+        (void)now;
+        StoreResolveResult result;
+        ++activity().lqSearches;
+        result.violatingLoad = loadQueue().searchViolation(
+            store->seq, store->op.effAddr, store->op.memSize);
+        if (result.violatingLoad && !store->wrongPath &&
+            !result.violatingLoad->wrongPath) {
+            ++activity().trueViolationsDetected;
+            trace("violations",
+                  "viol: st seq=%llu a=%llx sz=%u ic=%llu | "
+                  "ld seq=%llu a=%llx sz=%u fwd=%llu "
+                  "mic=%llu rej=%d safe=%d",
+                  (unsigned long long)store->seq,
+                  (unsigned long long)store->op.effAddr,
+                  store->op.memSize,
+                  (unsigned long long)store->issueCycle,
+                  (unsigned long long)result.violatingLoad->seq,
+                  (unsigned long long)
+                      result.violatingLoad->op.effAddr,
+                  result.violatingLoad->op.memSize,
+                  (unsigned long long)
+                      result.violatingLoad->forwardedFrom,
+                  (unsigned long long)
+                      result.violatingLoad->memIssueCycle,
+                  (int)result.violatingLoad->rejected,
+                  (int)result.violatingLoad->safeLoad);
+        }
+        return result;
+    }
+
+    void
+    accountEnergy(const PolicyEnergyContext &ctx,
+                  EnergyBreakdown &e) const override
+    {
+        using namespace array_model;
+        using namespace energy_constants;
+        const auto &act = activity();
+        const unsigned lq_size = ctx.core.lsq.lqSize;
+        e.lqCam = static_cast<double>(act.lqSearches.value() +
+                                      act.lqInvSearches.value()) *
+                camSearch(lq_size, addrTagBits) +
+            static_cast<double>(act.lqInserts.value()) *
+                ramWrite(lq_size, lqEntryBits) +
+            ctx.committedLoads * ramRead(lq_size, lqEntryBits) +
+            ctx.cycles * camLeakUnit * lq_size * lqEntryBits;
+    }
+};
+
+} // namespace
+
+namespace builtin_policies
+{
+
+void
+registerConventional(DependencePolicyRegistry &registry)
+{
+    SchemeInfo info;
+    info.name = "baseline";
+    info.aliases = {"conventional"};
+    info.summary =
+        "conventional associative LQ search on every store resolve";
+    info.make = [](const LsqParams &) {
+        return std::make_unique<ConventionalPolicy>();
+    };
+    registry.add(std::move(info));
+}
+
+} // namespace builtin_policies
+} // namespace dmdc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * DependencePolicy base implementation: default hook behaviour shared
+ * by every scheme and the ghost ground-truth check.
+ */
+
+#include "lsq/policy/dependence_policy.hh"
+
+#include "common/logging.hh"
+
+namespace dmdc
+{
+
+DependencePolicy::DependencePolicy(std::string name)
+    : name_(std::move(name))
+{
+}
+
+DependencePolicy::~DependencePolicy() = default;
+
+void
+DependencePolicy::attach(const PolicyServices &services)
+{
+    if (services_.loadQueue || services_.activity)
+        panic("policy '%s' attached twice", name_.c_str());
+    if (!services.loadQueue || !services.activity)
+        panic("policy '%s' attached with incomplete services",
+              name_.c_str());
+    services_ = services;
+}
+
+void
+DependencePolicy::regStats(StatGroup &parent)
+{
+    (void)parent;
+}
+
+void
+DependencePolicy::loadDispatched(DynInst *load)
+{
+    (void)load;
+}
+
+void
+DependencePolicy::loadIssued(DynInst *load)
+{
+    (void)load;
+}
+
+void
+DependencePolicy::loadRemoved(DynInst *load)
+{
+    (void)load;
+}
+
+ReplayClass
+DependencePolicy::commit(DynInst *inst, Cycle now, bool suppress_replay)
+{
+    (void)inst;
+    (void)now;
+    (void)suppress_replay;
+    return ReplayClass{};
+}
+
+void
+DependencePolicy::branchRecovery(SeqNum branch_seq)
+{
+    (void)branch_seq;
+}
+
+void
+DependencePolicy::invalidationArrived(Addr addr, Cycle now,
+                                      SeqNum oldest_active)
+{
+    (void)addr;
+    (void)now;
+    (void)oldest_active;
+    // Conventional coherence support searches the LQ on every
+    // external invalidation (Sec. 2).
+    ++activity().lqInvSearches;
+}
+
+void
+DependencePolicy::tick()
+{
+}
+
+DmdcEngine *
+DependencePolicy::dmdcEngine()
+{
+    return nullptr;
+}
+
+DynInst *
+DependencePolicy::ghostCheck(DynInst *store)
+{
+    DynInst *victim = loadQueue().searchViolation(
+        store->seq, store->op.effAddr, store->op.memSize);
+    if (victim && !victim->ghostViolation) {
+        victim->ghostViolation = true;
+        victim->ghostViolatingStore = store->seq;
+        if (!store->wrongPath && !victim->wrongPath)
+            ++activity().trueViolationsDetected;
+    }
+    return victim;
+}
+
+} // namespace dmdc

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * DependencePolicy — the strategy interface behind the LSQ unit.
+ *
+ * Each memory-dependence enforcement scheme (conventional CAM, YLA
+ * filtering, the DMDC variants, the Garg age table, the Bloom-filtered
+ * hybrid, ...) is one self-contained policy object that owns all of
+ * its scheme-specific state and implements the hooks the LSQ calls:
+ * load/store lifecycle events, commit-time checking, branch recovery,
+ * coherence invalidations, per-cycle bookkeeping, statistic
+ * registration, and energy accounting of the structures it uses.
+ *
+ * Policies are created by name through DependencePolicyRegistry (see
+ * registry.hh); neither the LSQ unit nor the energy model contains any
+ * per-scheme dispatch anymore. Adding a scheme means writing one
+ * policy class and registering it — no simulator-core edits.
+ *
+ * Construction is reset: a policy starts empty and is built fresh for
+ * every simulation, so there is no separate reset protocol to get
+ * subtly wrong.
+ */
+
+#ifndef DMDC_LSQ_POLICY_DEPENDENCE_POLICY_HH
+#define DMDC_LSQ_POLICY_DEPENDENCE_POLICY_HH
+
+#include <string>
+
+#include "lsq/lsq_unit.hh"
+
+namespace dmdc
+{
+
+struct CoreParams;
+struct EnergyBreakdown;
+
+/**
+ * Services the owning LSQ unit provides to its policy: the load queue
+ * (for associative and ghost violation searches) and the shared
+ * activity counters that feed statistics and the energy model.
+ * Wired once via DependencePolicy::attach() before any hook runs.
+ */
+struct PolicyServices
+{
+    LoadQueue *loadQueue = nullptr;
+    LsqUnit::Activity *activity = nullptr;
+};
+
+/**
+ * Inputs a policy needs to price its structures after a run. The
+ * activity counters are reachable through the policy's own services.
+ */
+struct PolicyEnergyContext
+{
+    const CoreParams &core;     ///< full machine configuration
+    double cycles;              ///< measured-phase cycle count
+    double committedLoads;      ///< committed load count
+};
+
+/** The dependence-checking strategy interface. */
+class DependencePolicy
+{
+  public:
+    virtual ~DependencePolicy();
+
+    /** Registry name this policy was created under. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Wire the policy to its owning LSQ unit. Called exactly once,
+     * before any other hook.
+     */
+    void attach(const PolicyServices &services);
+
+    /**
+     * Register policy-owned statistics. @p parent is the group the
+     * LSQ unit itself registers under (shared activity counters are
+     * registered by the LSQ; policies add engine-specific groups).
+     */
+    virtual void regStats(StatGroup &parent);
+
+    // ---- load lifecycle ----
+
+    /** A load entered the LQ (dispatch). */
+    virtual void loadDispatched(DynInst *load);
+
+    /** The load obtained its value (cache or forwarding). */
+    virtual void loadIssued(DynInst *load);
+
+    /** A load left the machine: committed or squashed, any state. */
+    virtual void loadRemoved(DynInst *load);
+
+    // ---- store-side checking ----
+
+    /**
+     * A store's address resolved: filter and/or search for premature
+     * younger loads. This is the execute-time checking hook.
+     */
+    virtual StoreResolveResult storeResolved(DynInst *store,
+                                             Cycle now) = 0;
+
+    // ---- commit-time checking ----
+
+    /**
+     * Called for EVERY committing instruction before retirement.
+     * Commit-time checking schemes (DMDC) return a replay request for
+     * loads that must re-execute.
+     * @param suppress_replay treat a hit as clean (the load's
+     *        re-execution is provably correct)
+     */
+    virtual ReplayClass commit(DynInst *inst, Cycle now,
+                               bool suppress_replay);
+
+    // ---- recovery / coherence / time ----
+
+    /** Branch misprediction recovery (age clamping). */
+    virtual void branchRecovery(SeqNum branch_seq);
+
+    /**
+     * External invalidation of the line containing @p addr. The
+     * default models conventional coherence support: one associative
+     * LQ search per invalidation (paper Sec. 2).
+     */
+    virtual void invalidationArrived(Addr addr, Cycle now,
+                                     SeqNum oldest_active);
+
+    /** Per-cycle hook. */
+    virtual void tick();
+
+    // ---- introspection ----
+
+    /**
+     * The DMDC engine, for policies built around one (result
+     * collection and the checking-window statistics); nullptr
+     * otherwise.
+     */
+    virtual DmdcEngine *dmdcEngine();
+    const DmdcEngine *dmdcEngine() const
+    {
+        return const_cast<DependencePolicy *>(this)->dmdcEngine();
+    }
+
+    // ---- energy ----
+
+    /**
+     * Account the energy of every structure this policy uses to
+     * implement the LQ function (CAM, checking table, hash FIFO,
+     * bloom array, ...) into @p e. The shared YLA register-file term
+     * and the SQ are priced by the core energy model.
+     */
+    virtual void accountEnergy(const PolicyEnergyContext &ctx,
+                               EnergyBreakdown &e) const = 0;
+
+  protected:
+    explicit DependencePolicy(std::string name);
+
+    LoadQueue &loadQueue() const { return *services_.loadQueue; }
+    LsqUnit::Activity &activity() const { return *services_.activity; }
+
+    /**
+     * Ground-truth premature-load detection (ghost, energy-free):
+     * marks the victim and counts correct-path true violations.
+     * @return the violating load, or nullptr.
+     */
+    DynInst *ghostCheck(DynInst *store);
+
+  private:
+    std::string name_;
+    PolicyServices services_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_LSQ_POLICY_DEPENDENCE_POLICY_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * DMDC schemes ("dmdc-global", "dmdc-local", "dmdc-queue"): delayed
+ * memory dependence checking. The LQ CAM is replaced by a FIFO of
+ * hash keys; the YLA filter decides at store resolve whether checking
+ * is needed at all, and unsafe epochs are re-checked at commit against
+ * the checking table (or checking queue). One policy class covers all
+ * three variants — the registration fixes the engine configuration.
+ */
+
+#include "core/pipeline.hh"
+#include "energy/array_model.hh"
+#include "energy/energy_breakdown.hh"
+#include "energy/energy_constants.hh"
+#include "lsq/policy/builtin.hh"
+#include "lsq/policy/registry.hh"
+
+#include "lsq/dmdc.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+class DmdcPolicy : public DependencePolicy
+{
+  public:
+    DmdcPolicy(std::string name, const LsqParams &params,
+               DmdcVariant variant, bool use_queue)
+        : DependencePolicy(std::move(name))
+    {
+        // Enforce the variant this scheme name stands for even when
+        // the LsqParams carry another configuration (direct LsqUnit
+        // construction without applyScheme).
+        DmdcParams dp = params.dmdc;
+        dp.variant = variant;
+        dp.useQueue = use_queue;
+        engine_ = std::make_unique<DmdcEngine>(dp);
+    }
+
+    void
+    regStats(StatGroup &parent) override
+    {
+        engine_->regStats(parent);
+    }
+
+    void
+    loadIssued(DynInst *load) override
+    {
+        engine_->loadIssued(load->op.effAddr, load->seq);
+        ++activity().ylaWrites;
+    }
+
+    StoreResolveResult
+    storeResolved(DynInst *store, Cycle now) override
+    {
+        StoreResolveResult result;
+        ++activity().ylaReads;
+        engine_->storeResolved(store, now);
+        // Ground truth for false-replay classification and the safety
+        // property; architecturally no LQ search happens.
+        ghostCheck(store);
+        return result;
+    }
+
+    ReplayClass
+    commit(DynInst *inst, Cycle now, bool suppress_replay) override
+    {
+        return engine_->commit(inst, now, suppress_replay);
+    }
+
+    void
+    branchRecovery(SeqNum branch_seq) override
+    {
+        engine_->branchRecovery(branch_seq);
+    }
+
+    void
+    invalidationArrived(Addr addr, Cycle now,
+                        SeqNum oldest_active) override
+    {
+        engine_->invalidationArrived(addr, now, oldest_active);
+    }
+
+    void
+    tick() override
+    {
+        engine_->tick();
+    }
+
+    DmdcEngine *
+    dmdcEngine() override
+    {
+        return engine_.get();
+    }
+
+    void
+    accountEnergy(const PolicyEnergyContext &ctx,
+                  EnergyBreakdown &e) const override
+    {
+        using namespace array_model;
+        using namespace energy_constants;
+        const auto &act = activity();
+        const unsigned lq_size = ctx.core.lsq.lqSize;
+        // FIFO of hash keys replaces the CAM: narrow entries, no
+        // decoder, RAM-cell standby cost only.
+        const unsigned key_bits = 15;
+        e.checking +=
+            static_cast<double>(act.lqInserts.value()) *
+                ramWrite(lq_size, key_bits) * fifoDynFactor +
+            ctx.committedLoads *
+                ramRead(lq_size, key_bits) * fifoDynFactor +
+            ctx.cycles * ramLeakUnit * lq_size * key_bits;
+
+        const auto &ds = engine_->stats();
+        const unsigned tbl = engine_->params().useQueue
+            ? engine_->params().queueEntries
+            : engine_->params().tableEntries;
+        const double read_e = engine_->params().useQueue
+            ? camSearch(tbl, addrTagBits)
+            : ramRead(tbl, checkEntryBits);
+        const double write_e = engine_->params().useQueue
+            ? ramWrite(tbl, addrTagBits + 8)
+            : ramWrite(tbl, checkEntryBits);
+        // The checking table is idle outside checking mode; clock-gate
+        // it (small standby factor).
+        e.checking +=
+            static_cast<double>(ds.tableReads.value()) * read_e +
+            static_cast<double>(ds.tableWrites.value()) * write_e +
+            ctx.cycles * ramLeakUnit * tbl * checkEntryBits * 0.05;
+    }
+
+  private:
+    std::unique_ptr<DmdcEngine> engine_;
+};
+
+void
+registerVariant(DependencePolicyRegistry &registry, std::string name,
+                std::vector<std::string> aliases, std::string summary,
+                DmdcVariant variant, bool use_queue)
+{
+    SchemeInfo info;
+    info.name = name;
+    info.aliases = std::move(aliases);
+    info.summary = std::move(summary);
+    info.hasDmdcStats = true;
+    info.configure = [variant, use_queue](CoreParams &params) {
+        params.lsq.dmdc.variant = variant;
+        params.lsq.dmdc.useQueue = use_queue;
+    };
+    info.make = [name, variant, use_queue](const LsqParams &params) {
+        return std::make_unique<DmdcPolicy>(name, params, variant,
+                                            use_queue);
+    };
+    registry.add(std::move(info));
+}
+
+} // namespace
+
+namespace builtin_policies
+{
+
+void
+registerDmdc(DependencePolicyRegistry &registry)
+{
+    registerVariant(
+        registry, "dmdc-global", {"dmdc"},
+        "delayed checking, global epochs + checking table",
+        DmdcVariant::Global, false);
+    registerVariant(
+        registry, "dmdc-local", {},
+        "delayed checking, per-store epochs + checking table",
+        DmdcVariant::Local, false);
+    registerVariant(
+        registry, "dmdc-queue", {},
+        "delayed checking, global epochs + associative checking queue",
+        DmdcVariant::Global, true);
+}
+
+} // namespace builtin_policies
+} // namespace dmdc

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * DependencePolicyRegistry implementation.
+ */
+
+#include "lsq/policy/registry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "lsq/policy/builtin.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+std::string
+joinNames(const std::vector<SchemeInfo> &schemes)
+{
+    std::string out;
+    for (const SchemeInfo &info : schemes) {
+        if (!out.empty())
+            out += ", ";
+        out += info.name;
+    }
+    return out;
+}
+
+} // namespace
+
+DependencePolicyRegistry::DependencePolicyRegistry()
+{
+    using namespace builtin_policies;
+    registerConventional(*this);
+    registerYlaFiltered(*this);
+    registerDmdc(*this);
+    registerAgeTable(*this);
+    registerBloomYla(*this);
+}
+
+DependencePolicyRegistry &
+DependencePolicyRegistry::instance()
+{
+    static DependencePolicyRegistry registry;
+    return registry;
+}
+
+void
+DependencePolicyRegistry::add(SchemeInfo info)
+{
+    if (info.name.empty())
+        fatal("cannot register a dependence policy without a name");
+    if (!info.make)
+        fatal("dependence policy '%s' registered without a factory",
+              info.name.c_str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto taken = [this](const std::string &name) {
+        return findLocked(name) != nullptr;
+    };
+    if (taken(info.name))
+        fatal("dependence policy '%s' registered twice",
+              info.name.c_str());
+    for (const std::string &alias : info.aliases) {
+        if (taken(alias))
+            fatal("dependence policy alias '%s' (for '%s') already "
+                  "taken", alias.c_str(), info.name.c_str());
+    }
+    schemes_.push_back(std::move(info));
+}
+
+const SchemeInfo *
+DependencePolicyRegistry::findLocked(const std::string &name) const
+{
+    for (const SchemeInfo &info : schemes_) {
+        if (info.name == name)
+            return &info;
+        for (const std::string &alias : info.aliases) {
+            if (alias == name)
+                return &info;
+        }
+    }
+    return nullptr;
+}
+
+const SchemeInfo *
+DependencePolicyRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return findLocked(name);
+}
+
+const SchemeInfo &
+DependencePolicyRegistry::lookup(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const SchemeInfo *info = findLocked(name))
+        return *info;
+    fatal("unknown dependence-checking scheme '%s' (available "
+          "schemes: %s)", name.c_str(), joinNames(schemes_).c_str());
+}
+
+std::vector<std::string>
+DependencePolicyRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(schemes_.size());
+    for (const SchemeInfo &info : schemes_)
+        out.push_back(info.name);
+    return out;
+}
+
+std::string
+DependencePolicyRegistry::versionString() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> tagged;
+    tagged.reserve(schemes_.size());
+    for (const SchemeInfo &info : schemes_) {
+        std::ostringstream os;
+        os << info.name << '@' << info.revision;
+        tagged.push_back(os.str());
+    }
+    std::sort(tagged.begin(), tagged.end());
+    std::string out = "policy-api-";
+    out += std::to_string(kPolicyApiVersion);
+    for (const std::string &tag : tagged) {
+        out += ';';
+        out += tag;
+    }
+    return out;
+}
+
+std::unique_ptr<DependencePolicy>
+DependencePolicyRegistry::create(const std::string &name,
+                                 const LsqParams &params,
+                                 const PolicyServices &services) const
+{
+    const SchemeInfo &info = lookup(name);
+    std::unique_ptr<DependencePolicy> policy = info.make(params);
+    if (!policy)
+        panic("dependence policy factory '%s' returned nothing",
+              info.name.c_str());
+    policy->attach(services);
+    return policy;
+}
+
+} // namespace dmdc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * DependencePolicyRegistry — the name-keyed factory every layer
+ * resolves schemes through. One SchemeInfo per registered scheme
+ * carries the construction recipe, the machine-configuration hook,
+ * presentation traits and a behaviour revision; the registry's
+ * version string doubles as the run-cache source fingerprint, so any
+ * registry change (new scheme, revision bump) self-invalidates stale
+ * cached results.
+ */
+
+#ifndef DMDC_LSQ_POLICY_REGISTRY_HH
+#define DMDC_LSQ_POLICY_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lsq/policy/dependence_policy.hh"
+
+namespace dmdc
+{
+
+struct CoreParams;
+
+/** Everything the registry knows about one scheme. */
+struct SchemeInfo
+{
+    /** Canonical name: the --scheme=<name> key and the cache key. */
+    std::string name;
+
+    /** Extra accepted spellings (resolve to this scheme). */
+    std::vector<std::string> aliases;
+
+    /** One-line description shown by --list-schemes. */
+    std::string summary;
+
+    /**
+     * Behaviour revision. Bump when the policy's timing or results
+     * change; it feeds the registry version string and therefore the
+     * run-cache fingerprint, invalidating stale cached results.
+     */
+    unsigned revision = 1;
+
+    // ---- presentation traits (reporting only, never dispatch) ----
+    bool hasDmdcStats = false;   ///< safe-store / checking-window block
+    bool hasFilterStats = false; ///< LQ-searches-filtered percentage
+    bool hasAgeReplays = false;  ///< squash-all-younger replay block
+
+    /**
+     * Apply scheme-specific machine configuration (variant selection,
+     * table sizing) on top of a config preset. May be empty.
+     */
+    std::function<void(CoreParams &)> configure;
+
+    /** Construct the policy for a fully-configured LSQ. */
+    std::function<std::unique_ptr<DependencePolicy>(
+        const LsqParams &)> make;
+};
+
+/**
+ * The process-wide scheme registry. Built-in schemes self-register on
+ * first access; extensions may add() more at any time before the runs
+ * that use them. Lookup is thread-safe against concurrent campaign
+ * workers.
+ */
+class DependencePolicyRegistry
+{
+  public:
+    /** The process-wide instance (built-ins pre-registered). */
+    static DependencePolicyRegistry &instance();
+
+    /** Register a scheme; fatal() on a duplicate name or alias. */
+    void add(SchemeInfo info);
+
+    /** Find by canonical name or alias; nullptr when unknown. */
+    const SchemeInfo *find(const std::string &name) const;
+
+    /**
+     * Find by canonical name or alias; fatal() with the list of
+     * available schemes when unknown.
+     */
+    const SchemeInfo &lookup(const std::string &name) const;
+
+    /** Canonical names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Stable fingerprint input of the registered behaviour surface:
+     * the policy API version plus every "name@revision", sorted.
+     * Hashed into the run-cache key so simulator changes that are
+     * declared via a revision bump (or any scheme set change)
+     * self-invalidate stale cache entries.
+     */
+    std::string versionString() const;
+
+    /**
+     * Create and attach the policy registered under @p name;
+     * fatal() with the available-names list when unknown.
+     */
+    std::unique_ptr<DependencePolicy> create(
+        const std::string &name, const LsqParams &params,
+        const PolicyServices &services) const;
+
+  private:
+    DependencePolicyRegistry();
+
+    const SchemeInfo *findLocked(const std::string &name) const;
+
+    mutable std::mutex mutex_;
+    std::vector<SchemeInfo> schemes_;
+};
+
+/**
+ * Version of the DependencePolicy hook interface itself; part of the
+ * registry version string. Bump on interface-semantics changes.
+ */
+constexpr unsigned kPolicyApiVersion = 1;
+
+} // namespace dmdc
+
+#endif // DMDC_LSQ_POLICY_REGISTRY_HH

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -19,7 +20,14 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "lsq/policy/registry.hh"
 #include "sim/thread_pool.hh"
+
+// Injected by the build (configure-time `git rev-parse`); journals
+// record which sources produced them.
+#ifndef DMDC_GIT_COMMIT
+#define DMDC_GIT_COMMIT "unknown"
+#endif
 
 namespace dmdc
 {
@@ -27,8 +35,12 @@ namespace dmdc
 namespace
 {
 
-/** Bump when the key schema or the JSON layout changes. */
-constexpr unsigned kCacheFormatVersion = 1;
+/**
+ * Bump when the key schema or the JSON layout changes. v2: schemes are
+ * recorded by registry name instead of enum ordinal, and the cache key
+ * carries the registry source fingerprint.
+ */
+constexpr unsigned kCacheFormatVersion = 2;
 
 using Clock = std::chrono::steady_clock;
 
@@ -45,6 +57,39 @@ doubleToken(double v)
 {
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Fingerprint of the simulator behaviour surface: the policy
+ * registry's version string (API version + every scheme@revision),
+ * hashed. Any registered-scheme change or declared behaviour revision
+ * self-invalidates every stale cache entry.
+ */
+const std::string &
+sourceFingerprint()
+{
+    static const std::string fp = [] {
+        const std::string v =
+            DependencePolicyRegistry::instance().versionString();
+        char buf[20];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(
+                          hashBytes(v.data(), v.size())));
+        return std::string(buf);
+    }();
+    return fp;
+}
+
+/** Current wall-clock time as an ISO-8601 UTC string. */
+std::string
+utcTimestamp()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
     return buf;
 }
 
@@ -242,7 +287,7 @@ writeResult(JsonWriter &w, const SimResult &r)
     w.field("benchmark", r.benchmark);
     w.field("fp", r.fp);
     w.field("config_level", r.configLevel);
-    w.field("scheme", static_cast<std::uint64_t>(r.scheme));
+    w.field("scheme", r.scheme);
     w.field("instructions", r.instructions);
     w.field("cycles", r.cycles);
     w.field("ipc", r.ipc);
@@ -316,7 +361,7 @@ readResult(const JsonReader::Map &m, SimResult &r)
     r.benchmark = raw("benchmark");
     r.fp = raw("fp") == "true";
     r.configLevel = static_cast<unsigned>(u64("config_level"));
-    r.scheme = static_cast<Scheme>(u64("scheme"));
+    r.scheme = raw("scheme");
     r.instructions = u64("instructions");
     r.cycles = u64("cycles");
     r.ipc = f64("ipc");
@@ -397,9 +442,8 @@ appendJournal(const SimResult &r, double wall_ms, bool cached)
     std::lock_guard<std::mutex> lock(j.mutex);
     if (j.path.empty())
         return;
-    j.records.push_back({r.benchmark, schemeName(r.scheme),
-                         r.configLevel, r.ipc, r.cycles, wall_ms,
-                         cached});
+    j.records.push_back({r.benchmark, r.scheme, r.configLevel, r.ipc,
+                         r.cycles, wall_ms, cached});
 }
 
 } // namespace
@@ -433,7 +477,10 @@ flushCampaignJournal()
         warn("cannot write bench journal '%s'", j.path.c_str());
         return;
     }
-    os << "{\"version\":" << kCacheFormatVersion << ",\"results\":[";
+    os << "{\"version\":" << kCacheFormatVersion
+       << ",\"commit\":\"" << DMDC_GIT_COMMIT
+       << "\",\"generated_utc\":\"" << utcTimestamp()
+       << "\",\"results\":[";
     bool first = true;
     for (const JournalRecord &rec : j.records) {
         if (!first)
@@ -466,9 +513,10 @@ cacheKey(const SimOptions &opt)
         panic("cacheKey() on options with observers/tweak attached");
     std::ostringstream os;
     os << "dmdc-cache-v" << kCacheFormatVersion
+       << "|src=" << sourceFingerprint()
        << "|bench=" << opt.benchmark
        << "|config=" << opt.configLevel
-       << "|scheme=" << static_cast<unsigned>(opt.scheme)
+       << "|scheme=" << opt.scheme
        << "|warmup=" << opt.warmupInsts
        << "|insts=" << opt.runInsts
        << "|inv=" << doubleToken(opt.invalidationsPer1kCycles)
@@ -635,7 +683,7 @@ CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
                 if (verbose) {
                     inform("  %-10s %-12s config%u  ipc=%.2f"
                            "  (%.0f ms)",
-                           r.benchmark.c_str(), schemeName(r.scheme),
+                           r.benchmark.c_str(), r.scheme.c_str(),
                            r.configLevel, r.ipc, run_ms);
                 }
             });

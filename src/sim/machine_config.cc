@@ -6,23 +6,10 @@
 #include "sim/machine_config.hh"
 
 #include "common/logging.hh"
+#include "lsq/policy/registry.hh"
 
 namespace dmdc
 {
-
-const char *
-schemeName(Scheme scheme)
-{
-    switch (scheme) {
-      case Scheme::Baseline:   return "baseline";
-      case Scheme::YlaOnly:    return "yla";
-      case Scheme::DmdcGlobal: return "dmdc-global";
-      case Scheme::DmdcLocal:  return "dmdc-local";
-      case Scheme::DmdcQueue:  return "dmdc-queue";
-      case Scheme::AgeTable:   return "age-table";
-    }
-    return "?";
-}
 
 CoreParams
 makeMachineConfig(unsigned level)
@@ -70,41 +57,19 @@ makeMachineConfig(unsigned level)
 }
 
 void
-applyScheme(CoreParams &params, Scheme scheme, bool coherence,
-            bool safe_loads)
+applyScheme(CoreParams &params, const std::string &scheme,
+            bool coherence, bool safe_loads)
 {
     DmdcParams &d = params.lsq.dmdc;
     d.coherence = coherence;
     d.safeLoads = safe_loads;
     d.lineBytes = params.mem.l1d.lineBytes;
 
-    switch (scheme) {
-      case Scheme::Baseline:
-        params.lsq.scheme = LsqScheme::Conventional;
-        break;
-      case Scheme::YlaOnly:
-        params.lsq.scheme = LsqScheme::YlaFiltered;
-        break;
-      case Scheme::DmdcGlobal:
-        params.lsq.scheme = LsqScheme::Dmdc;
-        d.variant = DmdcVariant::Global;
-        d.useQueue = false;
-        break;
-      case Scheme::DmdcLocal:
-        params.lsq.scheme = LsqScheme::Dmdc;
-        d.variant = DmdcVariant::Local;
-        d.useQueue = false;
-        break;
-      case Scheme::DmdcQueue:
-        params.lsq.scheme = LsqScheme::Dmdc;
-        d.variant = DmdcVariant::Global;
-        d.useQueue = true;
-        break;
-      case Scheme::AgeTable:
-        params.lsq.scheme = LsqScheme::AgeTable;
-        params.lsq.ageTableEntries = d.tableEntries;
-        break;
-    }
+    const SchemeInfo &info =
+        DependencePolicyRegistry::instance().lookup(scheme);
+    params.lsq.policy = info.name;
+    if (info.configure)
+        info.configure(params);
 }
 
 } // namespace dmdc

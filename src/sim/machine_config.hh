@@ -1,7 +1,9 @@
 /**
  * @file
  * The paper's three machine configurations (Table 1) and scheme
- * selection helpers.
+ * selection helpers. Schemes are identified by registry name (see
+ * DependencePolicyRegistry); the former Scheme/LsqScheme enum pair is
+ * gone.
  */
 
 #ifndef DMDC_SIM_MACHINE_CONFIG_HH
@@ -14,20 +16,6 @@
 namespace dmdc
 {
 
-/** Mechanism under evaluation for one run. */
-enum class Scheme : std::uint8_t
-{
-    Baseline,    ///< conventional associative LQ
-    YlaOnly,     ///< associative LQ + YLA filtering (Sec. 3)
-    DmdcGlobal,  ///< DMDC, global end-check register (Sec. 4)
-    DmdcLocal,   ///< DMDC, local windows (Sec. 4.4)
-    DmdcQueue,   ///< DMDC with the associative checking queue
-    AgeTable,    ///< related work: Garg et al. fused age table
-};
-
-/** Printable scheme name. */
-const char *schemeName(Scheme scheme);
-
 /**
  * Core parameters of paper Table 1 config @p level (1, 2 or 3):
  * issue queues 32/48/64, ROB 128/256/512, LQ/SQ 48/32, 96/48, 192/64,
@@ -36,12 +24,15 @@ const char *schemeName(Scheme scheme);
 CoreParams makeMachineConfig(unsigned level);
 
 /**
- * Configure @p params for @p scheme.
+ * Configure @p params for the scheme registered under @p scheme
+ * (canonical name or alias); fatal() with the list of available
+ * schemes when unknown. Stores the canonical name into
+ * params.lsq.policy and runs the scheme's registered configure hook.
  * @param coherence enable the coherence extension (second YLA set,
  *        INV bits)
  * @param safe_loads enable safe-load detection (ablation knob)
  */
-void applyScheme(CoreParams &params, Scheme scheme,
+void applyScheme(CoreParams &params, const std::string &scheme,
                  bool coherence = false, bool safe_loads = true);
 
 } // namespace dmdc

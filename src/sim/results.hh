@@ -23,7 +23,8 @@ struct SimResult
     std::string benchmark;
     bool fp = false;
     unsigned configLevel = 2;
-    Scheme scheme = Scheme::Baseline;
+    /** Canonical registry name of the scheme that produced the run. */
+    std::string scheme = "baseline";
 
     std::uint64_t instructions = 0;
     std::uint64_t cycles = 0;

@@ -66,7 +66,8 @@ Simulator::run()
     r.benchmark = options_.benchmark;
     r.fp = workload_->isFpBenchmark();
     r.configLevel = options_.configLevel;
-    r.scheme = options_.scheme;
+    // Canonical name, even when the option carried an alias.
+    r.scheme = params_.lsq.policy;
 
     const PipelineStats &ps = pipe_->stats();
     r.instructions = ps.committedInsts.value();

@@ -26,7 +26,8 @@ struct SimOptions
     std::string benchmark = "gzip";
     /** Paper Table 1 configuration level, 1-3. */
     unsigned configLevel = 2;
-    Scheme scheme = Scheme::Baseline;
+    /** Scheme registry name or alias (see --list-schemes). */
+    std::string scheme = "baseline";
 
     std::uint64_t warmupInsts = 100000;
     std::uint64_t runInsts = 1000000;
@@ -45,7 +46,7 @@ struct SimOptions
     unsigned numYlaQw = 8;
     /** Override the checking-table entry count (0 = config default). */
     unsigned tableEntriesOverride = 0;
-    /** Checking-queue entries for Scheme::DmdcQueue. */
+    /** Checking-queue entries for the dmdc-queue scheme. */
     unsigned queueEntries = 16;
 
     /** Shadow filters to attach (not owned; Figs. 2/3). */

@@ -29,7 +29,7 @@ TEST(Campaign, RunSuiteProducesOneResultPerBenchmark)
     SimOptions opt;
     opt.warmupInsts = 2000;
     opt.runInsts = 15000;
-    opt.scheme = Scheme::Baseline;
+    opt.scheme = "baseline";
     const std::vector<std::string> names{"gzip", "swim"};
     const auto results = runSuite(opt, names, /*verbose=*/false);
     ASSERT_EQ(results.size(), 2u);

@@ -16,7 +16,7 @@ namespace
 {
 
 SimResult
-runScheme(const char *bench, Scheme scheme, unsigned config = 2)
+runScheme(const char *bench, const std::string &scheme, unsigned config = 2)
 {
     SimOptions opt;
     opt.benchmark = bench;
@@ -29,7 +29,7 @@ runScheme(const char *bench, Scheme scheme, unsigned config = 2)
 
 TEST(Energy, BreakdownComponentsNonNegativeAndSum)
 {
-    const SimResult r = runScheme("gzip", Scheme::Baseline);
+    const SimResult r = runScheme("gzip", "baseline");
     const EnergyBreakdown &e = r.energy;
     for (double v : {e.fetch, e.bpred, e.rename, e.rob, e.issueQueue,
                      e.regfile, e.fu, e.l1d, e.l2, e.clock, e.lqCam,
@@ -44,11 +44,11 @@ TEST(Energy, BreakdownComponentsNonNegativeAndSum)
 
 TEST(Energy, BaselineUsesCamDmdcDoesNot)
 {
-    const SimResult base = runScheme("gzip", Scheme::Baseline);
+    const SimResult base = runScheme("gzip", "baseline");
     EXPECT_GT(base.energy.lqCam, 0.0);
     EXPECT_EQ(base.energy.checking, 0.0);
 
-    const SimResult dm = runScheme("gzip", Scheme::DmdcGlobal);
+    const SimResult dm = runScheme("gzip", "dmdc-global");
     EXPECT_EQ(dm.energy.lqCam, 0.0);
     EXPECT_GT(dm.energy.checking, 0.0);
     EXPECT_GT(dm.energy.yla, 0.0);
@@ -56,8 +56,8 @@ TEST(Energy, BaselineUsesCamDmdcDoesNot)
 
 TEST(Energy, DmdcLqFunctionFarBelowBaseline)
 {
-    const SimResult base = runScheme("bzip2", Scheme::Baseline);
-    const SimResult dm = runScheme("bzip2", Scheme::DmdcGlobal);
+    const SimResult base = runScheme("bzip2", "baseline");
+    const SimResult dm = runScheme("bzip2", "dmdc-global");
     // The headline claim's direction, with generous slack.
     EXPECT_LT(dm.energy.lqFunction(),
               base.energy.lqFunction() * 0.35);
@@ -65,9 +65,9 @@ TEST(Energy, DmdcLqFunctionFarBelowBaseline)
 
 TEST(Energy, YlaOnlyBetweenBaselineAndDmdc)
 {
-    const SimResult base = runScheme("gap", Scheme::Baseline);
-    const SimResult yla = runScheme("gap", Scheme::YlaOnly);
-    const SimResult dm = runScheme("gap", Scheme::DmdcGlobal);
+    const SimResult base = runScheme("gap", "baseline");
+    const SimResult yla = runScheme("gap", "yla");
+    const SimResult dm = runScheme("gap", "dmdc-global");
     EXPECT_LT(yla.energy.lqFunction(), base.energy.lqFunction());
     EXPECT_LT(dm.energy.lqFunction(), yla.energy.lqFunction());
 }
@@ -77,7 +77,7 @@ TEST(Energy, LqShareInPaperRange)
     // The baseline LQ must be a few percent of core energy (the paper
     // reports 3-8% NET savings after removing ~95% of it).
     for (unsigned config : {1u, 2u, 3u}) {
-        const SimResult r = runScheme("gzip", Scheme::Baseline,
+        const SimResult r = runScheme("gzip", "baseline",
                                       config);
         const double share =
             r.energy.lqFunction() / r.energy.total();
@@ -88,8 +88,8 @@ TEST(Energy, LqShareInPaperRange)
 
 TEST(Energy, AgeTableCostsMoreThanDmdcChecking)
 {
-    const SimResult age = runScheme("gcc", Scheme::AgeTable);
-    const SimResult dm = runScheme("gcc", Scheme::DmdcGlobal);
+    const SimResult age = runScheme("gcc", "age-table");
+    const SimResult dm = runScheme("gcc", "dmdc-global");
     // Same entry count, but the age table is written by every load
     // and read by every store, with age-wide entries.
     EXPECT_GT(age.energy.checking, dm.energy.checking);
@@ -99,8 +99,8 @@ TEST(Energy, NonLqComponentsSchemeInsensitive)
 {
     // Fetch/branch-predictor energy should barely depend on the LSQ
     // scheme (identical traces; only replay timing differs).
-    const SimResult base = runScheme("mesa", Scheme::Baseline);
-    const SimResult dm = runScheme("mesa", Scheme::DmdcGlobal);
+    const SimResult base = runScheme("mesa", "baseline");
+    const SimResult dm = runScheme("mesa", "dmdc-global");
     EXPECT_NEAR(dm.energy.fetch / base.energy.fetch, 1.0, 0.1);
     EXPECT_NEAR(dm.energy.bpred / base.energy.bpred, 1.0, 0.1);
 }

@@ -56,7 +56,7 @@ TEST(AgeTableScheme, RunsCleanAndDetectsViolations)
 {
     SimOptions opt;
     opt.benchmark = "gcc";
-    opt.scheme = Scheme::AgeTable;
+    opt.scheme = "age-table";
     opt.warmupInsts = 5000;
     opt.runInsts = 50000;
     const SimResult r = runSimulation(opt);
@@ -77,10 +77,10 @@ TEST(AgeTableScheme, MoreReplaysThanDmdc)
         opt.benchmark = bench;
         opt.warmupInsts = 5000;
         opt.runInsts = 60000;
-        opt.scheme = Scheme::AgeTable;
+        opt.scheme = "age-table";
         age_replays += static_cast<double>(
             runSimulation(opt).ageTableReplays);
-        opt.scheme = Scheme::DmdcGlobal;
+        opt.scheme = "dmdc-global";
         dmdc_replays +=
             static_cast<double>(runSimulation(opt).dmdcReplays);
     }
@@ -91,7 +91,7 @@ TEST(SqFilter, ExactAndTimingNeutralWhenDisabled)
 {
     SimOptions opt;
     opt.benchmark = "crafty";
-    opt.scheme = Scheme::Baseline;
+    opt.scheme = "baseline";
     opt.warmupInsts = 5000;
     opt.runInsts = 50000;
     const SimResult off = runSimulation(opt);
@@ -112,7 +112,7 @@ TEST(SqFilter, ComposesWithDmdc)
 {
     SimOptions opt;
     opt.benchmark = "swim";
-    opt.scheme = Scheme::DmdcGlobal;
+    opt.scheme = "dmdc-global";
     opt.sqFilter = true;
     opt.warmupInsts = 5000;
     opt.runInsts = 50000;

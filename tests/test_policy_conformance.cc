@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Conformance suite for the dependence-policy layer: every policy in
+ * the registry — including out-of-tree additions — must satisfy the
+ * same contracts. Tests are parameterized over the registry, so
+ * registering a new scheme automatically subjects it to the suite.
+ *
+ * Contracts checked:
+ *  - construction/attachment through the registry (by name and alias)
+ *  - ghost-violation safety: a full run on violation-prone workloads
+ *    completes without tripping the built-in escape/filter panics
+ *  - determinism: identical options give bit-identical results
+ *  - branch-recovery idempotence: recovering the same branch twice is
+ *    observably equivalent to recovering it once
+ *  - stats sanity: fractions in [0,1], energy terms non-negative
+ *  - registry error paths: unknown names die with the available list
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/inst.hh"
+#include "lsq/policy/registry.hh"
+#include "sim/simulator.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+std::vector<std::string>
+allSchemes()
+{
+    return DependencePolicyRegistry::instance().names();
+}
+
+class PolicyConformance : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    SimOptions
+    quickOptions(const char *bench) const
+    {
+        SimOptions opt;
+        opt.benchmark = bench;
+        opt.scheme = GetParam();
+        opt.warmupInsts = 5000;
+        opt.runInsts = 30000;
+        return opt;
+    }
+};
+
+TEST_P(PolicyConformance, CreatesThroughRegistryWithCorrectName)
+{
+    LsqParams params;
+    params.policy = GetParam();
+    LsqUnit lsq(params);
+    EXPECT_EQ(lsq.policy().name(), GetParam());
+}
+
+TEST_P(PolicyConformance, GhostViolationSafetyOnVolatileWorkloads)
+{
+    // gcc/mcf produce true memory-order violations; the pipeline
+    // panics if one escapes the scheme, and the filtering policies
+    // panic if they filter a store with a real violation. Completing
+    // the run IS the safety check.
+    for (const char *bench : {"gcc", "mcf"}) {
+        const SimResult r = runSimulation(quickOptions(bench));
+        EXPECT_GE(r.instructions, 30000u) << bench;
+        EXPECT_GT(r.ipc, 0.05) << bench;
+        EXPECT_LT(r.ipc, 8.0) << bench;
+    }
+}
+
+TEST_P(PolicyConformance, DeterministicAcrossRuns)
+{
+    const SimResult a = runSimulation(quickOptions("vortex"));
+    const SimResult b = runSimulation(quickOptions("vortex"));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.lqSearches, b.lqSearches);
+    EXPECT_EQ(a.lqSearchesFiltered, b.lqSearchesFiltered);
+    EXPECT_EQ(a.trueViolations, b.trueViolations);
+    EXPECT_EQ(a.ipc, b.ipc);   // bit-identical, not just close
+}
+
+TEST_P(PolicyConformance, BranchRecoveryIsIdempotent)
+{
+    // Drive two identical LSQ units through the same sequence; one
+    // recovers the branch once, the other three times. Their
+    // observable store-resolve behaviour must match.
+    auto drive = [this](unsigned recoveries) {
+        LsqParams params;
+        params.policy = GetParam();
+        LsqUnit lsq(params);
+
+        std::vector<std::unique_ptr<DynInst>> insts;
+        auto make = [&insts](SeqNum seq, OpClass cls, Addr addr) {
+            auto inst = std::make_unique<DynInst>();
+            inst->seq = seq;
+            inst->op.cls = cls;
+            inst->op.effAddr = addr;
+            inst->op.memSize = 8;
+            insts.push_back(std::move(inst));
+            return insts.back().get();
+        };
+
+        // A store with an unresolved address, then a younger load
+        // that issues past it (the premature-load pattern).
+        DynInst *store = make(10, OpClass::Store, 0x1000);
+        lsq.dispatchStore(store);
+        DynInst *wrong_path = make(30, OpClass::Load, 0x1000);
+        lsq.dispatchLoad(wrong_path);
+        lsq.loadComplete(wrong_path, 1, invalidSeqNum);
+
+        // A mispredicted branch at seq 20 squashes the load...
+        lsq.squashFrom(21);
+        for (unsigned i = 0; i < recoveries; ++i)
+            lsq.branchRecovery(20);
+
+        // ...so the store must now resolve clean.
+        store->sqAddrReady = true;
+        const StoreResolveResult r = lsq.storeResolve(store, 5);
+        return std::make_pair(r.violatingLoad == nullptr,
+                              r.replayAllYounger);
+    };
+    EXPECT_EQ(drive(1), drive(3));
+}
+
+TEST_P(PolicyConformance, StatsSane)
+{
+    const SimResult r = runSimulation(quickOptions("gzip"));
+    EXPECT_GE(r.safeStoreFrac, 0.0);
+    EXPECT_LE(r.safeStoreFrac, 1.0);
+    EXPECT_GE(r.safeLoadFrac, 0.0);
+    EXPECT_LE(r.safeLoadFrac, 1.0);
+    EXPECT_GE(r.checkingCycleFrac, 0.0);
+    EXPECT_LE(r.checkingCycleFrac, 1.0);
+    EXPECT_GE(r.energy.lqCam, 0.0);
+    EXPECT_GE(r.energy.yla, 0.0);
+    EXPECT_GE(r.energy.checking, 0.0);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_GT(r.energy.lqFunction(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredSchemes, PolicyConformance,
+    ::testing::ValuesIn(allSchemes()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// ---- registry error paths ----
+
+TEST(PolicyRegistry, UnknownSchemeDiesWithAvailableList)
+{
+    LsqParams params;
+    params.policy = "no-such-scheme";
+    EXPECT_EXIT({ LsqUnit lsq(params); },
+                ::testing::ExitedWithCode(1),
+                "unknown dependence-checking scheme 'no-such-scheme'"
+                ".*available schemes.*baseline.*bloom-yla");
+}
+
+TEST(PolicyRegistry, UnknownSchemeInApplySchemeDies)
+{
+    EXPECT_EXIT(
+        {
+            CoreParams p = makeMachineConfig(2);
+            applyScheme(p, "typo");
+        },
+        ::testing::ExitedWithCode(1), "available schemes");
+}
+
+TEST(PolicyRegistry, FindAndLookupAgree)
+{
+    const DependencePolicyRegistry &reg =
+        DependencePolicyRegistry::instance();
+    EXPECT_EQ(reg.find("no-such-scheme"), nullptr);
+    const SchemeInfo *global = reg.find("dmdc-global");
+    ASSERT_NE(global, nullptr);
+    EXPECT_EQ(reg.find("dmdc"), global);   // alias
+    for (const std::string &name : reg.names())
+        EXPECT_EQ(reg.lookup(name).name, name);
+}
+
+TEST(PolicyRegistry, VersionStringCoversEveryScheme)
+{
+    const DependencePolicyRegistry &reg =
+        DependencePolicyRegistry::instance();
+    const std::string v = reg.versionString();
+    EXPECT_NE(v.find("policy-api-"), std::string::npos);
+    for (const std::string &name : reg.names())
+        EXPECT_NE(v.find(name + "@"), std::string::npos) << name;
+}
+
+TEST(PolicyRegistry, BloomYlaIsRegistered)
+{
+    // The new scheme must be reachable purely through the registry.
+    const SchemeInfo *info =
+        DependencePolicyRegistry::instance().find("bloom-yla");
+    ASSERT_NE(info, nullptr);
+    EXPECT_TRUE(info->hasFilterStats);
+}
+
+} // namespace
+} // namespace dmdc

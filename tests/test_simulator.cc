@@ -18,7 +18,7 @@ namespace
 {
 
 SimOptions
-quickOptions(const std::string &bench, Scheme scheme)
+quickOptions(const std::string &bench, const std::string &scheme)
 {
     SimOptions opt;
     opt.benchmark = bench;
@@ -57,19 +57,22 @@ TEST(MachineConfig, InvalidLevelIsFatal)
 TEST(MachineConfig, SchemeApplication)
 {
     CoreParams p = makeMachineConfig(2);
-    applyScheme(p, Scheme::DmdcLocal);
-    EXPECT_EQ(p.lsq.scheme, LsqScheme::Dmdc);
+    applyScheme(p, "dmdc-local");
+    EXPECT_EQ(p.lsq.policy, "dmdc-local");
     EXPECT_EQ(p.lsq.dmdc.variant, DmdcVariant::Local);
-    applyScheme(p, Scheme::DmdcQueue);
+    applyScheme(p, "dmdc-queue");
     EXPECT_TRUE(p.lsq.dmdc.useQueue);
-    applyScheme(p, Scheme::YlaOnly);
-    EXPECT_EQ(p.lsq.scheme, LsqScheme::YlaFiltered);
+    applyScheme(p, "yla");
+    EXPECT_EQ(p.lsq.policy, "yla");
+    // Aliases resolve to the canonical name.
+    applyScheme(p, "dmdc");
+    EXPECT_EQ(p.lsq.policy, "dmdc-global");
 }
 
 TEST(Simulator, RunProducesConsistentResult)
 {
     const SimResult r =
-        runSimulation(quickOptions("gzip", Scheme::DmdcGlobal));
+        runSimulation(quickOptions("gzip", "dmdc-global"));
     EXPECT_GE(r.instructions, 40000u);
     EXPECT_GT(r.cycles, r.instructions / 8);
     EXPECT_GT(r.safeStoreFrac, 0.3);
@@ -83,9 +86,9 @@ TEST(Simulator, RunProducesConsistentResult)
 TEST(Simulator, DeterministicResults)
 {
     const SimResult a =
-        runSimulation(quickOptions("crafty", Scheme::Baseline));
+        runSimulation(quickOptions("crafty", "baseline"));
     const SimResult b =
-        runSimulation(quickOptions("crafty", Scheme::Baseline));
+        runSimulation(quickOptions("crafty", "baseline"));
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.lqSearches, b.lqSearches);
     EXPECT_EQ(a.baselineReplays, b.baselineReplays);
@@ -95,9 +98,9 @@ TEST(Simulator, DmdcSavesLqEnergyAtSmallSlowdown)
 {
     // The paper's headline claim, as a coarse sanity bound.
     const SimResult base =
-        runSimulation(quickOptions("gzip", Scheme::Baseline));
+        runSimulation(quickOptions("gzip", "baseline"));
     const SimResult dm =
-        runSimulation(quickOptions("gzip", Scheme::DmdcGlobal));
+        runSimulation(quickOptions("gzip", "dmdc-global"));
     EXPECT_LT(dm.energy.lqFunction(), base.energy.lqFunction() * 0.5);
     const double slowdown =
         (static_cast<double>(dm.cycles) / dm.instructions) /
@@ -109,9 +112,9 @@ TEST(Simulator, DmdcSavesLqEnergyAtSmallSlowdown)
 TEST(Simulator, YlaOnlyNeverSlowsDown)
 {
     const SimResult base =
-        runSimulation(quickOptions("vpr", Scheme::Baseline));
+        runSimulation(quickOptions("vpr", "baseline"));
     const SimResult yla =
-        runSimulation(quickOptions("vpr", Scheme::YlaOnly));
+        runSimulation(quickOptions("vpr", "yla"));
     // Filtering is timing-neutral: identical cycle counts.
     EXPECT_EQ(base.cycles, yla.cycles);
     EXPECT_GT(yla.lqSearchesFiltered, 0u);
@@ -121,7 +124,7 @@ TEST(Simulator, YlaOnlyNeverSlowsDown)
 TEST(Simulator, ObserversAttachAndCount)
 {
     YlaObserver obs("qw-8", 8, quadWordBytes);
-    SimOptions opt = quickOptions("gzip", Scheme::Baseline);
+    SimOptions opt = quickOptions("gzip", "baseline");
     opt.observers.push_back(&obs);
     (void)runSimulation(opt);
     EXPECT_GT(obs.storesObserved(), 1000u);
@@ -131,7 +134,7 @@ TEST(Simulator, ObserversAttachAndCount)
 
 TEST(Simulator, TweakHookOverridesParams)
 {
-    SimOptions opt = quickOptions("gzip", Scheme::Baseline);
+    SimOptions opt = quickOptions("gzip", "baseline");
     opt.tweak = [](CoreParams &p) { p.robSize = 32; };
     Simulator sim(opt);
     EXPECT_EQ(sim.coreParams().robSize, 32u);
@@ -170,7 +173,7 @@ TEST(Energy, LqShareGrowsWithMachineSize)
     double shares[2];
     int i = 0;
     for (unsigned level : {1u, 3u}) {
-        SimOptions opt = quickOptions("gzip", Scheme::Baseline);
+        SimOptions opt = quickOptions("gzip", "baseline");
         opt.configLevel = level;
         const SimResult r = runSimulation(opt);
         shares[i++] =
@@ -183,7 +186,7 @@ TEST(Invalidation, InjectorRateIsApproximatelyRespected)
 {
     auto w = makeSpecWorkload("swim");
     CoreParams params = makeMachineConfig(1);
-    applyScheme(params, Scheme::DmdcGlobal, /*coherence=*/true);
+    applyScheme(params, "dmdc-global", /*coherence=*/true);
     Pipeline pipe(params, *w);
     InvalidationInjector inj(10.0, 0x10000000, 1 << 20, 64, 7);
     for (int i = 0; i < 20000; ++i) {
@@ -198,7 +201,7 @@ TEST(Invalidation, ZeroRateInjectsNothing)
 {
     auto w = makeSpecWorkload("swim");
     CoreParams params = makeMachineConfig(1);
-    applyScheme(params, Scheme::DmdcGlobal, true);
+    applyScheme(params, "dmdc-global", true);
     Pipeline pipe(params, *w);
     InvalidationInjector inj(0.0, 0x10000000, 1 << 20, 64, 7);
     for (int i = 0; i < 5000; ++i) {
@@ -210,7 +213,7 @@ TEST(Invalidation, ZeroRateInjectsNothing)
 
 TEST(Invalidation, CoherentDmdcSlowsGracefullyUnderTraffic)
 {
-    SimOptions base = quickOptions("swim", Scheme::DmdcGlobal);
+    SimOptions base = quickOptions("swim", "dmdc-global");
     base.coherence = true;
     const SimResult quiet = runSimulation(base);
     base.invalidationsPer1kCycles = 100.0;
@@ -232,7 +235,7 @@ TEST_P(YlaCountSweep, MoreRegistersFilterMore)
     const unsigned regs = GetParam();
     YlaObserver small("small", regs, quadWordBytes);
     YlaObserver big("big", regs * 2, quadWordBytes);
-    SimOptions opt = quickOptions("gcc", Scheme::Baseline);
+    SimOptions opt = quickOptions("gcc", "baseline");
     opt.observers = {&small, &big};
     (void)runSimulation(opt);
     EXPECT_GE(big.filteredFraction() + 0.005,
@@ -250,7 +253,7 @@ class TableSizeSweep : public ::testing::TestWithParam<unsigned>
 
 TEST_P(TableSizeSweep, RunsCleanlyAndBoundsFalseReplays)
 {
-    SimOptions opt = quickOptions("gcc", Scheme::DmdcGlobal);
+    SimOptions opt = quickOptions("gcc", "dmdc-global");
     opt.tableEntriesOverride = GetParam();
     const SimResult r = runSimulation(opt);
     EXPECT_GE(r.instructions, opt.runInsts);

@@ -29,7 +29,7 @@ TEST_P(SuiteSweep, BaselineAndDmdcRunClean)
     opt.warmupInsts = 4000;
     opt.runInsts = 30000;
 
-    opt.scheme = Scheme::Baseline;
+    opt.scheme = "baseline";
     const SimResult base = runSimulation(opt);
     EXPECT_GE(base.instructions, opt.runInsts);
     EXPECT_GT(base.ipc, 0.02);
@@ -40,7 +40,7 @@ TEST_P(SuiteSweep, BaselineAndDmdcRunClean)
     EXPECT_GT(load_frac, 0.08) << bench;
     EXPECT_LT(load_frac, 0.45) << bench;
 
-    opt.scheme = Scheme::DmdcGlobal;
+    opt.scheme = "dmdc-global";
     const SimResult dm = runSimulation(opt);
     EXPECT_GE(dm.instructions, opt.runInsts);
 

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Compares two bench journals (the JSON files the campaign engine
+ * writes via --json= / setCampaignJournal) and fails when the newer
+ * one regresses.
+ *
+ * Records are matched by (benchmark, scheme, config). IPC is
+ * deterministic, so any drop beyond a small relative threshold is a
+ * real simulator change; wall-clock is noisy, so the default
+ * threshold is generous and we take the fastest non-cached
+ * measurement per key (cached replays report 0 ms and are skipped).
+ *
+ * Exit codes: 0 no regressions, 1 regression found, 2 usage or
+ * parse error. CI runs this as an advisory step (continue-on-error),
+ * so a red result annotates the PR without blocking it.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+// ---- minimal JSON reader --------------------------------------------
+//
+// Just enough for the journal grammar: objects, arrays, strings
+// without escapes beyond \" and \\, numbers, true/false/null. Not a
+// general-purpose parser and not meant to become one.
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        return it == fields.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        return value(out) && (skipWs(), pos_ == text_.size());
+    }
+
+    std::string
+    errorContext() const
+    {
+        const std::size_t from = pos_ < 20 ? 0 : pos_ - 20;
+        return text_.substr(from, 40);
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\' && pos_ + 1 < text_.size())
+                ++pos_;
+            out.push_back(text_[pos_++]);
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_;   // closing quote
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}')
+                return ++pos_, true;
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_++] != ':')
+                    return false;
+                if (!value(out.fields[key]))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size())
+                    return false;
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return text_[pos_++] == '}';
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']')
+                return ++pos_, true;
+            for (;;) {
+                out.items.emplace_back();
+                if (!value(out.items.back()))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size())
+                    return false;
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                return text_[pos_++] == ']';
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        // number
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        out.number = std::strtod(begin, &end);
+        if (end == begin)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        pos_ += static_cast<std::size_t>(end - begin);
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+// ---- journal model ---------------------------------------------------
+
+struct BenchPoint
+{
+    double ipc = 0.0;
+    double wallMs = -1.0;   ///< fastest non-cached run; <0 if none
+};
+
+struct Journal
+{
+    std::string commit = "unknown";
+    std::string generated = "unknown";
+    // key: "benchmark|scheme|config"
+    std::map<std::string, BenchPoint> points;
+};
+
+bool
+parseJournal(const std::string &text, Journal &out, std::string &err)
+{
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.parse(root) ||
+        root.kind != JsonValue::Kind::Object) {
+        err = "malformed JSON near '" + parser.errorContext() + "'";
+        return false;
+    }
+    if (const JsonValue *v = root.get("commit"))
+        out.commit = v->str;
+    if (const JsonValue *v = root.get("generated_utc"))
+        out.generated = v->str;
+    const JsonValue *results = root.get("results");
+    if (!results || results->kind != JsonValue::Kind::Array) {
+        err = "no \"results\" array";
+        return false;
+    }
+    for (const JsonValue &rec : results->items) {
+        const JsonValue *bench = rec.get("benchmark");
+        const JsonValue *scheme = rec.get("scheme");
+        const JsonValue *config = rec.get("config");
+        const JsonValue *ipc = rec.get("ipc");
+        if (!bench || !scheme || !config || !ipc) {
+            err = "result record missing benchmark/scheme/config/ipc";
+            return false;
+        }
+        std::ostringstream key;
+        key << bench->str << '|' << scheme->str << '|'
+            << static_cast<unsigned>(config->number);
+        BenchPoint &p = out.points[key.str()];
+        p.ipc = ipc->number;   // deterministic; any record will do
+        const JsonValue *cached = rec.get("cached");
+        const JsonValue *wall = rec.get("wall_ms");
+        if (wall && (!cached || !cached->boolean) &&
+            (p.wallMs < 0.0 || wall->number < p.wallMs))
+            p.wallMs = wall->number;
+    }
+    return true;
+}
+
+bool
+loadJournal(const char *path, Journal &out)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "bench_compare: cannot read '%s'\n",
+                     path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string err;
+    if (!parseJournal(buf.str(), out, err)) {
+        std::fprintf(stderr, "bench_compare: '%s': %s\n", path,
+                     err.c_str());
+        return false;
+    }
+    return true;
+}
+
+// ---- comparison ------------------------------------------------------
+
+struct CompareOptions
+{
+    double maxIpcDrop = 0.02;       ///< relative, e.g. 0.02 = -2%
+    double maxWallIncrease = 0.50;  ///< relative, e.g. 0.50 = +50%
+};
+
+/** Returns the number of regressions (0 = clean). */
+int
+compareJournals(const Journal &base, const Journal &cur,
+                const CompareOptions &opt, bool verbose)
+{
+    int regressions = 0;
+    std::printf("baseline: commit %s (%s)\n", base.commit.c_str(),
+                base.generated.c_str());
+    std::printf("current:  commit %s (%s)\n\n", cur.commit.c_str(),
+                cur.generated.c_str());
+    std::printf("%-34s %10s %10s %9s %9s\n", "benchmark|scheme|cfg",
+                "base ipc", "cur ipc", "d(ipc)", "d(wall)");
+    for (const auto &[key, b] : base.points) {
+        auto it = cur.points.find(key);
+        if (it == cur.points.end()) {
+            std::printf("%-34s  missing from current journal\n",
+                        key.c_str());
+            continue;
+        }
+        const BenchPoint &c = it->second;
+        const double ipc_delta =
+            b.ipc > 0.0 ? (c.ipc - b.ipc) / b.ipc : 0.0;
+        const bool have_wall = b.wallMs > 0.0 && c.wallMs > 0.0;
+        const double wall_delta =
+            have_wall ? (c.wallMs - b.wallMs) / b.wallMs : 0.0;
+
+        const bool ipc_bad = ipc_delta < -opt.maxIpcDrop;
+        const bool wall_bad = have_wall &&
+            wall_delta > opt.maxWallIncrease;
+        if (ipc_bad || wall_bad)
+            ++regressions;
+
+        char wall_text[32];
+        if (have_wall)
+            std::snprintf(wall_text, sizeof(wall_text), "%+8.1f%%",
+                          100.0 * wall_delta);
+        else
+            std::snprintf(wall_text, sizeof(wall_text), "%9s", "-");
+        std::printf("%-34s %10.4f %10.4f %+8.2f%% %s%s\n",
+                    key.c_str(), b.ipc, c.ipc, 100.0 * ipc_delta,
+                    wall_text,
+                    ipc_bad ? "  << IPC REGRESSION"
+                            : (wall_bad ? "  << WALL REGRESSION"
+                                        : ""));
+    }
+    for (const auto &[key, c] : cur.points) {
+        (void)c;
+        if (!base.points.count(key) && verbose)
+            std::printf("%-34s  new (not in baseline)\n",
+                        key.c_str());
+    }
+    if (regressions)
+        std::printf("\n%d regression(s) beyond thresholds "
+                    "(ipc drop > %.1f%%, wall increase > %.1f%%)\n",
+                    regressions, 100.0 * opt.maxIpcDrop,
+                    100.0 * opt.maxWallIncrease);
+    else
+        std::printf("\nno regressions beyond thresholds\n");
+    return regressions;
+}
+
+// ---- self test -------------------------------------------------------
+
+/**
+ * Built-in check used by ctest: exercises the parser and the
+ * regression verdicts without needing journal files on disk.
+ */
+int
+selfTest()
+{
+    const std::string base_text =
+        "{\"version\":2,\"commit\":\"aaaa\",\"generated_utc\":"
+        "\"2026-01-01T00:00:00Z\",\"results\":[\n"
+        "  {\"benchmark\":\"gzip\",\"scheme\":\"baseline\","
+        "\"config\":2,\"ipc\":0.664,\"cycles\":90253,"
+        "\"wall_ms\":120.0,\"cached\":false},\n"
+        "  {\"benchmark\":\"gzip\",\"scheme\":\"dmdc-global\","
+        "\"config\":2,\"ipc\":0.665,\"cycles\":90171,"
+        "\"wall_ms\":0.0,\"cached\":true}\n]}\n";
+
+    auto variant = [&](double ipc, double wall) {
+        std::ostringstream os;
+        os << "{\"version\":2,\"commit\":\"bbbb\",\"generated_utc\":"
+              "\"2026-01-02T00:00:00Z\",\"results\":["
+              "{\"benchmark\":\"gzip\",\"scheme\":\"baseline\","
+              "\"config\":2,\"ipc\":"
+           << ipc << ",\"cycles\":90253,\"wall_ms\":" << wall
+           << ",\"cached\":false},"
+              "{\"benchmark\":\"gzip\",\"scheme\":\"dmdc-global\","
+              "\"config\":2,\"ipc\":0.665,\"cycles\":90171,"
+              "\"wall_ms\":0.0,\"cached\":true}]}";
+        return os.str();
+    };
+
+    int failures = 0;
+    auto expect = [&failures](bool ok, const char *what) {
+        if (!ok) {
+            std::fprintf(stderr, "selftest FAILED: %s\n", what);
+            ++failures;
+        }
+    };
+
+    Journal base;
+    std::string err;
+    expect(parseJournal(base_text, base, err), "parse baseline");
+    expect(base.commit == "aaaa", "commit field");
+    expect(base.points.size() == 2, "two keys");
+    expect(base.points.count("gzip|baseline|2") == 1, "key format");
+    // Cached record must not contribute a wall-clock measurement.
+    expect(base.points["gzip|dmdc-global|2"].wallMs < 0.0,
+           "cached wall skipped");
+
+    const CompareOptions opt;
+    Journal same, slow, worse;
+    expect(parseJournal(variant(0.664, 121.0), same, err),
+           "parse identical");
+    expect(parseJournal(variant(0.664, 400.0), slow, err),
+           "parse slow");
+    expect(parseJournal(variant(0.600, 121.0), worse, err),
+           "parse worse");
+    expect(compareJournals(base, same, opt, false) == 0,
+           "identical journals are clean");
+    expect(compareJournals(base, slow, opt, false) == 1,
+           "wall-clock blowup is a regression");
+    expect(compareJournals(base, worse, opt, false) == 1,
+           "ipc drop is a regression");
+
+    Journal bad;
+    expect(!parseJournal("{\"results\":42}", bad, err),
+           "reject non-array results");
+    expect(!parseJournal("not json", bad, err), "reject non-json");
+
+    std::printf("selftest: %s\n", failures ? "FAILED" : "ok");
+    return failures ? 1 : 0;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <baseline.json> <current.json>\n"
+        "         [--max-ipc-drop=FRAC]       default 0.02\n"
+        "         [--max-wall-increase=FRAC]  default 0.50\n"
+        "         [--verbose]\n"
+        "       %s --selftest\n"
+        "\n"
+        "Diffs two bench journals produced by --json= and exits 1\n"
+        "when the current one regresses IPC or wall clock beyond\n"
+        "the thresholds.\n",
+        argv0, argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CompareOptions opt;
+    bool verbose = false;
+    std::vector<const char *> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--selftest")
+            return selfTest();
+        if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg.rfind("--max-ipc-drop=", 0) == 0) {
+            opt.maxIpcDrop = std::atof(arg.c_str() + 15);
+        } else if (arg.rfind("--max-wall-increase=", 0) == 0) {
+            opt.maxWallIncrease = std::atof(arg.c_str() + 20);
+        } else if (arg.rfind("--", 0) == 0) {
+            usage(argv[0]);
+            return 2;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.size() != 2) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    Journal base, cur;
+    if (!loadJournal(paths[0], base) || !loadJournal(paths[1], cur))
+        return 2;
+    return compareJournals(base, cur, opt, verbose) ? 1 : 0;
+}

@@ -5,8 +5,9 @@
  * Usage:
  *   dmdc_sim [options]
  *     --bench=<name>        benchmark (default gzip; --list for all)
- *     --scheme=<s>          baseline | yla | dmdc-global | dmdc-local
- *                           | dmdc-queue | age-table
+ *     --scheme=<s>          registered scheme name or alias
+ *                           (--list-schemes for all)
+ *     --list-schemes        print the scheme registry and exit
  *     --config=<1|2|3>      paper Table 1 configuration (default 2)
  *     --insts=<n>           measured instructions (default 500000)
  *     --warmup=<n>          warm-up instructions (default 50000)
@@ -36,6 +37,7 @@
 
 #include "common/logging.hh"
 #include "energy/energy_model.hh"
+#include "lsq/policy/registry.hh"
 #include "sim/campaign_runner.hh"
 #include "sim/simulator.hh"
 #include "trace/spec_suite.hh"
@@ -45,22 +47,19 @@ using namespace dmdc;
 namespace
 {
 
-Scheme
-parseScheme(const std::string &name)
+void
+printSchemes()
 {
-    if (name == "baseline")
-        return Scheme::Baseline;
-    if (name == "yla")
-        return Scheme::YlaOnly;
-    if (name == "dmdc-global" || name == "dmdc")
-        return Scheme::DmdcGlobal;
-    if (name == "dmdc-local")
-        return Scheme::DmdcLocal;
-    if (name == "dmdc-queue")
-        return Scheme::DmdcQueue;
-    if (name == "age-table")
-        return Scheme::AgeTable;
-    fatal("unknown scheme '%s'", name.c_str());
+    const DependencePolicyRegistry &reg =
+        DependencePolicyRegistry::instance();
+    for (const std::string &name : reg.names()) {
+        const SchemeInfo &info = reg.lookup(name);
+        std::string label = info.name;
+        for (const std::string &alias : info.aliases)
+            label += " | " + alias;
+        std::printf("%-24s %s\n", label.c_str(),
+                    info.summary.c_str());
+    }
 }
 
 void
@@ -113,10 +112,13 @@ main(int argc, char **argv)
                 std::printf("%s%s\n", n.c_str(),
                             specIsFp(n) ? " (FP)" : " (INT)");
             return 0;
+        } else if (a == "--list-schemes") {
+            printSchemes();
+            return 0;
         } else if (a.rfind("--bench=", 0) == 0) {
             opt.benchmark = val("--bench=");
         } else if (a.rfind("--scheme=", 0) == 0) {
-            opt.scheme = parseScheme(val("--scheme="));
+            opt.scheme = val("--scheme=");
         } else if (a.rfind("--config=", 0) == 0) {
             opt.configLevel =
                 static_cast<unsigned>(std::stoul(val("--config=")));
@@ -181,23 +183,24 @@ main(int argc, char **argv)
         else
             inform("simulated in %.1f ms", cs.wallMs);
     }
-    const bool has_dmdc = opt.scheme == Scheme::DmdcGlobal ||
-        opt.scheme == Scheme::DmdcLocal ||
-        opt.scheme == Scheme::DmdcQueue;
+    // Reporting traits come from the registry, never from per-scheme
+    // dispatch in this tool.
+    const SchemeInfo &scheme_info =
+        DependencePolicyRegistry::instance().lookup(r.scheme);
 
     std::printf("benchmark=%s (%s) scheme=%s config=%u\n",
                 r.benchmark.c_str(), r.fp ? "FP" : "INT",
-                schemeName(r.scheme), r.configLevel);
+                r.scheme.c_str(), r.configLevel);
     std::printf("instructions=%llu cycles=%llu ipc=%.3f\n",
                 static_cast<unsigned long long>(r.instructions),
                 static_cast<unsigned long long>(r.cycles), r.ipc);
-    if (r.scheme == Scheme::YlaOnly) {
+    if (scheme_info.hasFilterStats) {
         const double all = static_cast<double>(r.lqSearches +
                                                r.lqSearchesFiltered);
         std::printf("lq searches filtered: %.1f%%\n",
                     all > 0 ? r.lqSearchesFiltered / all * 100 : 0.0);
     }
-    if (has_dmdc) {
+    if (scheme_info.hasDmdcStats) {
         std::printf("safe stores=%.1f%% safe loads=%.1f%% "
                     "checking cycles=%.1f%%\n",
                     r.safeStoreFrac * 100, r.safeLoadFrac * 100,
@@ -206,7 +209,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.dmdcReplays),
                     r.perMInst(r.falseReplays()));
     }
-    if (r.scheme == Scheme::AgeTable) {
+    if (scheme_info.hasAgeReplays) {
         std::printf("age-table replays: %llu (%.1f per M-inst), "
                     "true violations %llu\n",
                     static_cast<unsigned long long>(r.ageTableReplays),
