@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table-driven CRC-32 implementation.
+ */
+
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace dmdc
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c >> 1) ^ ((c & 1u) ? 0xedb88320u : 0u);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace dmdc

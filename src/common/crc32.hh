@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * strings. Used to checksum on-disk run-cache entries so truncated or
+ * bit-flipped files are detected instead of trusted.
+ */
+
+#ifndef DMDC_COMMON_CRC32_HH
+#define DMDC_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dmdc
+{
+
+/**
+ * CRC-32 of @p len bytes at @p data. @p seed allows incremental
+ * computation: pass the previous call's return value to continue a
+ * running checksum (0 starts a fresh one).
+ */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+} // namespace dmdc
+
+#endif // DMDC_COMMON_CRC32_HH

@@ -1,13 +1,15 @@
 /**
  * @file
  * Parallel campaign engine implementation: fingerprinting, the
- * in-process/on-disk run cache, the fan-out loop and the bench
- * journal.
+ * CRC-protected in-process/on-disk run cache, the fault-isolated
+ * fan-out loop, checkpoint/resume, and the bench journal (which
+ * doubles as the campaign failure manifest).
  */
 
 #include "sim/campaign_runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -17,10 +19,14 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <tuple>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "lsq/policy/registry.hh"
+#include "sim/campaign_state.hh"
+#include "sim/fault_injector.hh"
 #include "sim/thread_pool.hh"
 
 // Injected by the build (configure-time `git rev-parse`); journals
@@ -36,11 +42,12 @@ namespace
 {
 
 /**
- * Bump when the key schema or the JSON layout changes. v2: schemes are
- * recorded by registry name instead of enum ordinal, and the cache key
- * carries the registry source fingerprint.
+ * Bump when the key schema or the JSON layout changes. v3: cache
+ * entries carry a CRC32 header line ({"dmdc_cache":3,...}) so
+ * truncation and bit corruption are detected, and journals record
+ * per-run status/category/attempts (the failure manifest).
  */
-constexpr unsigned kCacheFormatVersion = 2;
+constexpr unsigned kCacheFormatVersion = 3;
 
 using Clock = std::chrono::steady_clock;
 
@@ -58,6 +65,25 @@ doubleToken(double v)
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
 }
 
 /**
@@ -408,7 +434,7 @@ readResult(const JsonReader::Map &m, SimResult &r)
     return ok;
 }
 
-// ---- bench journal ---------------------------------------------------
+// ---- bench journal / failure manifest --------------------------------
 
 struct JournalRecord
 {
@@ -419,12 +445,17 @@ struct JournalRecord
     std::uint64_t cycles;
     double wallMs;
     bool cached;
+    RunStatus status;
+    std::string category; ///< empty when ok
+    std::string error;    ///< empty when ok
+    unsigned attempts;
 };
 
 struct Journal
 {
     std::mutex mutex;
     std::string path;
+    bool deterministic = false;
     std::vector<JournalRecord> records;
 };
 
@@ -436,25 +467,45 @@ journal()
 }
 
 void
-appendJournal(const SimResult &r, double wall_ms, bool cached)
+appendJournal(const SimResult &r, const RunOutcome &oc)
 {
     Journal &j = journal();
     std::lock_guard<std::mutex> lock(j.mutex);
     if (j.path.empty())
         return;
     j.records.push_back({r.benchmark, r.scheme, r.configLevel, r.ipc,
-                         r.cycles, wall_ms, cached});
+                         r.cycles, oc.wallMs, oc.cached, oc.status,
+                         "", "", oc.attempts});
+}
+
+void
+appendJournalFailure(const SimOptions &opt, const RunOutcome &oc)
+{
+    Journal &j = journal();
+    std::lock_guard<std::mutex> lock(j.mutex);
+    if (j.path.empty())
+        return;
+    j.records.push_back({opt.benchmark, opt.scheme, opt.configLevel,
+                         0.0, 0, oc.wallMs, false, oc.status,
+                         runErrorCategoryName(oc.category), oc.error,
+                         oc.attempts});
 }
 
 } // namespace
 
 void
-setCampaignJournal(const std::string &path)
+setCampaignJournal(const std::string &path, bool deterministic)
 {
     Journal &j = journal();
     {
         std::lock_guard<std::mutex> lock(j.mutex);
+        // Retargeting starts a fresh journal; the records of the
+        // previous target belong to its file (already flushed or
+        // about to be dropped), not to the new one.
+        if (path != j.path)
+            j.records.clear();
         j.path = path;
+        j.deterministic = deterministic;
     }
     // Benches exit through main()'s return; flush without requiring
     // every harness to remember a call.
@@ -477,10 +528,23 @@ flushCampaignJournal()
         warn("cannot write bench journal '%s'", j.path.c_str());
         return;
     }
+    if (j.deterministic) {
+        // Workers append in completion order; canonicalize so two
+        // campaigns over the same run list serialize identically.
+        std::sort(j.records.begin(), j.records.end(),
+                  [](const JournalRecord &a, const JournalRecord &b) {
+                      return std::tie(a.benchmark, a.scheme,
+                                      a.configLevel, a.status,
+                                      a.error) <
+                          std::tie(b.benchmark, b.scheme,
+                                   b.configLevel, b.status, b.error);
+                  });
+    }
     os << "{\"version\":" << kCacheFormatVersion
-       << ",\"commit\":\"" << DMDC_GIT_COMMIT
-       << "\",\"generated_utc\":\"" << utcTimestamp()
-       << "\",\"results\":[";
+       << ",\"commit\":\"" << DMDC_GIT_COMMIT << '"';
+    if (!j.deterministic)
+        os << ",\"generated_utc\":\"" << utcTimestamp() << '"';
+    os << ",\"results\":[";
     bool first = true;
     for (const JournalRecord &rec : j.records) {
         if (!first)
@@ -489,13 +553,25 @@ flushCampaignJournal()
         os << "\n  {\"benchmark\":\"" << rec.benchmark
            << "\",\"scheme\":\"" << rec.scheme
            << "\",\"config\":" << rec.configLevel
-           << ",\"ipc\":" << doubleToken(rec.ipc)
-           << ",\"cycles\":" << rec.cycles
-           << ",\"wall_ms\":" << doubleToken(rec.wallMs)
-           << ",\"cached\":" << (rec.cached ? "true" : "false") << '}';
+           << ",\"status\":\"" << runStatusName(rec.status) << '"';
+        if (rec.status == RunStatus::Ok) {
+            os << ",\"ipc\":" << doubleToken(rec.ipc)
+               << ",\"cycles\":" << rec.cycles;
+        } else {
+            os << ",\"category\":\"" << jsonEscape(rec.category)
+               << "\",\"error\":\"" << jsonEscape(rec.error) << '"';
+        }
+        if (!j.deterministic) {
+            os << ",\"attempts\":" << rec.attempts
+               << ",\"wall_ms\":" << doubleToken(rec.wallMs)
+               << ",\"cached\":" << (rec.cached ? "true" : "false");
+        }
+        os << '}';
     }
     os << "\n]}\n";
-    j.records.clear();
+    // Records stay buffered: flush is idempotent, so an explicit
+    // flush followed by the atexit flush rewrites the same content
+    // instead of truncating the journal to an empty one.
 }
 
 // ---- fingerprinting --------------------------------------------------
@@ -546,24 +622,92 @@ CampaignRunner::diskPath(const std::string &key) const
     return config_.cacheDir + "/" + name;
 }
 
-bool
-CampaignRunner::loadFromDisk(const std::string &key,
-                             SimResult &out) const
+void
+CampaignRunner::quarantine(const std::string &path, const char *reason)
 {
-    std::ifstream is(diskPath(key));
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path src(path);
+    const fs::path dir = fs::path(config_.cacheDir) / "quarantine";
+    fs::create_directories(dir, ec);
+    fs::rename(src, dir / src.filename(), ec);
+    if (ec) {
+        // Rename failed (e.g. cross-device); never trust the entry —
+        // drop it instead.
+        fs::remove(src, ec);
+    }
+    warn("cache entry '%s' %s; quarantined and recomputing",
+         path.c_str(), reason);
+}
+
+CampaignRunner::CacheLoad
+CampaignRunner::loadFromDisk(const std::string &key, SimResult &out)
+{
+    const std::string path = diskPath(key);
+    std::ifstream is(path);
     if (!is)
-        return false;
+        return CacheLoad::Miss;
     std::stringstream buf;
     buf << is.rdbuf();
+    const std::string text = buf.str();
+
+    // v3 layout: a one-line CRC header followed by the JSON payload.
+    //   {"dmdc_cache":3,"crc":"xxxxxxxx","len":N}\n{...payload...}\n
+    if (text.empty()) {
+        quarantine(path, "is zero-byte");
+        return CacheLoad::Corrupt;
+    }
+    const std::size_t nl = text.find('\n');
+    if (nl == std::string::npos) {
+        quarantine(path, "has no header line");
+        return CacheLoad::Corrupt;
+    }
+    JsonReader::Map header;
+    if (!JsonReader::parse(text.substr(0, nl), header) ||
+        !header.count("dmdc_cache") || !header.count("crc") ||
+        !header.count("len")) {
+        quarantine(path, "has an unrecognized header (old format?)");
+        return CacheLoad::Corrupt;
+    }
+    if (header["dmdc_cache"] != std::to_string(kCacheFormatVersion)) {
+        quarantine(path, "has a mismatched format version");
+        return CacheLoad::Corrupt;
+    }
+    const std::string payload = text.substr(nl + 1);
+    const std::size_t expected_len =
+        std::strtoull(header["len"].c_str(), nullptr, 10);
+    if (payload.size() != expected_len) {
+        quarantine(path, "is truncated");
+        return CacheLoad::Corrupt;
+    }
+    const std::uint32_t expected_crc = static_cast<std::uint32_t>(
+        std::strtoul(header["crc"].c_str(), nullptr, 16));
+    if (crc32(payload.data(), payload.size()) != expected_crc) {
+        quarantine(path, "fails its checksum");
+        return CacheLoad::Corrupt;
+    }
+
     JsonReader::Map m;
-    if (!JsonReader::parse(buf.str(), m))
-        return false;
-    // A hash collision or a schema change surfaces as a key mismatch;
-    // treat either as a miss and let the fresh result overwrite it.
+    if (!JsonReader::parse(payload, m)) {
+        quarantine(path, "has an unparsable payload");
+        return CacheLoad::Corrupt;
+    }
+    // A hash collision surfaces as a key mismatch; that is a plain
+    // miss (the fresh result overwrites the entry), not corruption.
     auto it = m.find("key");
     if (it == m.end() || it->second != key)
-        return false;
-    return readResult(m, out);
+        return CacheLoad::Miss;
+    if (!readResult(m, out)) {
+        quarantine(path, "is missing result fields");
+        return CacheLoad::Corrupt;
+    }
+    // Touch for LRU: a hit makes the entry recently-used.
+    if (config_.cacheMaxBytes) {
+        std::error_code ec;
+        std::filesystem::last_write_time(
+            path, std::filesystem::file_time_type::clock::now(), ec);
+    }
+    return CacheLoad::Hit;
 }
 
 void
@@ -579,6 +723,33 @@ CampaignRunner::storeToDisk(const std::string &key,
         return;
     }
     const std::string path = diskPath(key);
+
+    std::ostringstream payload_os;
+    {
+        JsonWriter w(payload_os);
+        w.open();
+        w.field("version",
+                static_cast<std::uint64_t>(kCacheFormatVersion));
+        w.field("key", key);
+        writeResult(w, r);
+        w.close();
+        payload_os << '\n';
+    }
+    std::string payload = payload_os.str();
+
+    char header[64];
+    std::snprintf(header, sizeof(header),
+                  "{\"dmdc_cache\":%u,\"crc\":\"%08x\",\"len\":%llu}\n",
+                  kCacheFormatVersion,
+                  crc32(payload.data(), payload.size()),
+                  static_cast<unsigned long long>(payload.size()));
+
+    // Deterministic chaos: emit a truncated payload under the intact
+    // header, exactly what a torn write or disk fault produces. The
+    // next reader must quarantine and recompute.
+    if (FaultInjector::global().injectCacheCorrupt(key))
+        payload.resize(payload.size() / 2);
+
     // Write-to-temp + rename so concurrent bench binaries sharing the
     // cache directory never observe a torn file.
     std::ostringstream tmp_name;
@@ -590,29 +761,133 @@ CampaignRunner::storeToDisk(const std::string &key,
             warn("cannot write cache file '%s'", tmp.c_str());
             return;
         }
-        JsonWriter w(os);
-        w.open();
-        w.field("version",
-                static_cast<std::uint64_t>(kCacheFormatVersion));
-        w.field("key", key);
-        writeResult(w, r);
-        w.close();
-        os << '\n';
+        os << header << payload;
     }
     fs::rename(tmp, path, ec);
     if (ec)
         fs::remove(tmp, ec);
 }
 
-std::vector<SimResult>
-CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
+std::size_t
+CampaignRunner::enforceCacheCap() const
+{
+    namespace fs = std::filesystem;
+    if (!config_.cacheMaxBytes)
+        return 0;
+    std::error_code ec;
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t size;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    for (const auto &de : fs::directory_iterator(
+             config_.cacheDir,
+             fs::directory_options::skip_permission_denied, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        if (de.path().extension() != ".json")
+            continue;
+        Entry e{de.path(), de.file_size(ec),
+                de.last_write_time(ec)};
+        total += e.size;
+        entries.push_back(std::move(e));
+    }
+    if (total <= config_.cacheMaxBytes)
+        return 0;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    std::size_t evicted = 0;
+    for (const Entry &e : entries) {
+        if (total <= config_.cacheMaxBytes)
+            break;
+        if (fs::remove(e.path, ec)) {
+            total -= e.size;
+            ++evicted;
+        }
+    }
+    return evicted;
+}
+
+CampaignResult
+CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
+                           bool verbose)
 {
     const auto t0 = Clock::now();
     CampaignStats stats;
     stats.runs = runs.size();
 
-    std::vector<SimResult> results(runs.size());
+    CampaignResult cr;
+    cr.results.resize(runs.size());
+    cr.outcomes.resize(runs.size());
 
+    // ---- checkpoint manifest -----------------------------------------
+    const bool checkpointing = !config_.statePath.empty();
+    CampaignState state;
+    std::mutex state_mutex;
+    if (checkpointing) {
+        const std::string fp = campaignFingerprint(runs);
+        bool resumed = false;
+        if (config_.resume) {
+            CampaignState prior;
+            std::string err;
+            if (!loadCampaignState(config_.statePath, prior, err)) {
+                warn("campaign: cannot resume from '%s' (%s); "
+                     "starting fresh",
+                     config_.statePath.c_str(), err.c_str());
+            } else if (prior.fingerprint != fp ||
+                       prior.entries.size() != runs.size()) {
+                warn("campaign: state in '%s' belongs to a different "
+                     "campaign; starting fresh",
+                     config_.statePath.c_str());
+            } else {
+                state = std::move(prior);
+                resumed = true;
+                std::size_t done = 0;
+                for (const CampaignStateEntry &e : state.entries) {
+                    if (e.status == RunStatus::Ok)
+                        ++done;
+                }
+                inform("campaign: resuming '%s' (%zu of %zu runs "
+                       "previously ok)",
+                       config_.statePath.c_str(), done, runs.size());
+            }
+        }
+        state.fingerprint = fp;
+        if (!resumed) {
+            state.entries.assign(runs.size(), {});
+            for (std::size_t i = 0; i < runs.size(); ++i) {
+                state.entries[i].benchmark = runs[i].benchmark;
+                state.entries[i].scheme = runs[i].scheme;
+                state.entries[i].configLevel = runs[i].configLevel;
+                state.entries[i].status = RunStatus::Pending;
+            }
+        }
+        saveCampaignState(config_.statePath, state);
+    }
+
+    auto record_state = [&](std::size_t index, const RunOutcome &oc) {
+        if (!checkpointing)
+            return;
+        std::lock_guard<std::mutex> lock(state_mutex);
+        CampaignStateEntry &e = state.entries[index];
+        e.status = oc.status;
+        e.attempts = oc.attempts;
+        if (oc.ok()) {
+            e.category.clear();
+            e.error.clear();
+        } else {
+            e.category = runErrorCategoryName(oc.category);
+            e.error = oc.error;
+        }
+        saveCampaignState(config_.statePath, state);
+    };
+
+    // ---- classify: cache hits, leaders, followers --------------------
     struct Pending
     {
         std::size_t index;
@@ -638,17 +913,26 @@ CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
                 std::lock_guard<std::mutex> lock(memMutex_);
                 auto it = memCache_.find(key);
                 if (it != memCache_.end()) {
-                    results[i] = it->second;
+                    cr.results[i] = it->second;
                     ++stats.memoryHits;
-                    appendJournal(results[i], 0.0, true);
+                    cr.outcomes[i].cached = true;
+                    cr.outcomes[i].attempts = 0;
+                    appendJournal(cr.results[i], cr.outcomes[i]);
+                    record_state(i, cr.outcomes[i]);
                     continue;
                 }
             }
-            if (loadFromDisk(key, results[i])) {
+            const CacheLoad load = loadFromDisk(key, cr.results[i]);
+            if (load == CacheLoad::Corrupt)
+                ++stats.quarantined;
+            if (load == CacheLoad::Hit) {
                 ++stats.diskHits;
                 std::lock_guard<std::mutex> lock(memMutex_);
-                memCache_.emplace(key, results[i]);
-                appendJournal(results[i], 0.0, true);
+                memCache_.emplace(key, cr.results[i]);
+                cr.outcomes[i].cached = true;
+                cr.outcomes[i].attempts = 0;
+                appendJournal(cr.results[i], cr.outcomes[i]);
+                record_state(i, cr.outcomes[i]);
                 continue;
             }
         }
@@ -660,40 +944,154 @@ CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
         pending.push_back({i, key});
     }
 
+    // ---- fan out, isolating each run ---------------------------------
     stats.simulated = pending.size();
+    std::atomic<bool> abort_flag{false};
     if (!pending.empty()) {
         unsigned jobs = config_.jobs
             ? config_.jobs : ThreadPool::defaultConcurrency();
         jobs = std::min<std::size_t>(jobs, pending.size());
         ThreadPool pool(jobs);
         for (const Pending &p : pending) {
-            pool.submit([this, &runs, &results, &p, verbose] {
+            pool.submit([this, &runs, &cr, &p, verbose, &abort_flag,
+                         &record_state] {
                 const auto run_t0 = Clock::now();
-                results[p.index] = runSimulation(runs[p.index]);
-                const double run_ms = elapsedMs(run_t0);
-                const SimResult &r = results[p.index];
-                if (!p.key.empty() && config_.useCache) {
-                    {
-                        std::lock_guard<std::mutex> lock(memMutex_);
-                        memCache_.emplace(p.key, r);
+                RunOutcome oc;
+                if (abort_flag.load(std::memory_order_relaxed)) {
+                    oc.status = RunStatus::Skipped;
+                    oc.category = RunErrorCategory::SimInvariant;
+                    oc.error =
+                        "skipped after earlier failure (fail-fast)";
+                    oc.attempts = 0;
+                } else {
+                    SimOptions opt = runs[p.index];
+                    if (opt.timeoutMs == 0.0)
+                        opt.timeoutMs = config_.timeoutMs;
+                    const std::string id = runIdentity(opt);
+                    for (unsigned attempt = 0;; ++attempt) {
+                        oc.attempts = attempt + 1;
+                        try {
+                            if (FaultInjector::global().injectRunThrow(
+                                    id, attempt)) {
+                                throw RunError(
+                                    RunErrorCategory::SimInvariant,
+                                    "injected fault: run-throw",
+                                    /*transient=*/true);
+                            }
+                            cr.results[p.index] = runSimulation(opt);
+                            oc.status = RunStatus::Ok;
+                            oc.error.clear();
+                            break;
+                        } catch (const RunError &e) {
+                            oc.status = e.category() ==
+                                    RunErrorCategory::Timeout
+                                ? RunStatus::TimedOut
+                                : RunStatus::Failed;
+                            oc.category = e.category();
+                            oc.error = e.what();
+                            if (e.transient() &&
+                                attempt < config_.maxRetries) {
+                                // Exponential backoff, capped: long
+                                // enough to let a racing writer
+                                // finish, short enough to not stall
+                                // the pool.
+                                std::this_thread::sleep_for(
+                                    std::chrono::milliseconds(
+                                        1u << std::min(attempt, 5u)));
+                                continue;
+                            }
+                            break;
+                        } catch (const std::exception &e) {
+                            oc.status = RunStatus::Failed;
+                            oc.category =
+                                RunErrorCategory::SimInvariant;
+                            oc.error = e.what();
+                            break;
+                        } catch (...) {
+                            oc.status = RunStatus::Failed;
+                            oc.category =
+                                RunErrorCategory::SimInvariant;
+                            oc.error = "unknown exception";
+                            break;
+                        }
                     }
-                    storeToDisk(p.key, r);
                 }
-                appendJournal(r, run_ms, false);
-                if (verbose) {
-                    inform("  %-10s %-12s config%u  ipc=%.2f"
-                           "  (%.0f ms)",
-                           r.benchmark.c_str(), r.scheme.c_str(),
-                           r.configLevel, r.ipc, run_ms);
+                oc.wallMs = elapsedMs(run_t0);
+                if (oc.ok()) {
+                    const SimResult &r = cr.results[p.index];
+                    if (!p.key.empty() && config_.useCache) {
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                memMutex_);
+                            memCache_.emplace(p.key, r);
+                        }
+                        storeToDisk(p.key, r);
+                    }
+                    appendJournal(r, oc);
+                    if (verbose) {
+                        inform("  %-10s %-12s config%u  ipc=%.2f"
+                               "  (%.0f ms%s)",
+                               r.benchmark.c_str(), r.scheme.c_str(),
+                               r.configLevel, r.ipc, oc.wallMs,
+                               oc.attempts > 1 ? ", retried" : "");
+                    }
+                } else {
+                    if (config_.failFast &&
+                        oc.status != RunStatus::Skipped) {
+                        abort_flag.store(true,
+                                         std::memory_order_relaxed);
+                    }
+                    appendJournalFailure(runs[p.index], oc);
+                    if (oc.status != RunStatus::Skipped) {
+                        warn("  %s/%s config%u %s after %u "
+                             "attempt(s): %s",
+                             runs[p.index].benchmark.c_str(),
+                             runs[p.index].scheme.c_str(),
+                             runs[p.index].configLevel,
+                             runStatusName(oc.status), oc.attempts,
+                             oc.error.c_str());
+                    }
                 }
+                cr.outcomes[p.index] = oc;
+                record_state(p.index, oc);
             });
         }
         pool.wait();
     }
+
+    // ---- duplicate runs copy their leader ----------------------------
     for (const auto &[dst, src] : followers) {
-        results[dst] = results[src];
-        appendJournal(results[dst], 0.0, true);
+        const RunOutcome &leader = cr.outcomes[src];
+        RunOutcome oc;
+        if (leader.ok()) {
+            cr.results[dst] = cr.results[src];
+            oc.cached = true;
+            oc.attempts = 0;
+            appendJournal(cr.results[dst], oc);
+        } else {
+            oc.status = RunStatus::Skipped;
+            oc.category = leader.category;
+            oc.error = "duplicate of a failed run";
+            oc.attempts = 0;
+            appendJournalFailure(runs[dst], oc);
+        }
+        cr.outcomes[dst] = oc;
+        record_state(dst, oc);
     }
+
+    // ---- accounting + cache hygiene ----------------------------------
+    for (const RunOutcome &oc : cr.outcomes) {
+        switch (oc.status) {
+          case RunStatus::Failed:   ++stats.failed;   break;
+          case RunStatus::TimedOut: ++stats.timedOut; break;
+          case RunStatus::Skipped:  ++stats.skipped;  break;
+          default: break;
+        }
+        if (oc.attempts > 1)
+            ++stats.retried;
+    }
+    if (config_.useCache)
+        stats.evicted = enforceCacheCap();
 
     stats.wallMs = elapsedMs(t0);
     totalSimulated_ += stats.simulated;
@@ -706,8 +1104,46 @@ CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
                stats.runs, stats.wallMs / 1000.0, stats.simsPerSec(),
                stats.simulated, stats.memoryHits, stats.diskHits,
                stats.uncacheable);
+        if (stats.failed || stats.timedOut || stats.skipped ||
+            stats.retried || stats.quarantined || stats.evicted) {
+            inform("campaign health: %zu failed, %zu timed out, "
+                   "%zu skipped, %zu retried, %zu cache entries "
+                   "quarantined, %zu evicted",
+                   stats.failed, stats.timedOut, stats.skipped,
+                   stats.retried, stats.quarantined, stats.evicted);
+        }
     }
-    return results;
+    return cr;
+}
+
+std::vector<SimResult>
+CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
+{
+    CampaignResult cr = runChecked(runs, verbose);
+    if (!cr.allOk()) {
+        std::size_t bad = 0;
+        const RunOutcome *first = nullptr;
+        std::size_t first_index = 0;
+        for (std::size_t i = 0; i < cr.outcomes.size(); ++i) {
+            if (!cr.outcomes[i].ok()) {
+                ++bad;
+                if (!first) {
+                    first = &cr.outcomes[i];
+                    first_index = i;
+                }
+            }
+        }
+        // Persist the failure manifest before exiting so the journal
+        // survives for post-mortems and --resume.
+        flushCampaignJournal();
+        fatal("campaign: %zu of %zu runs failed; first: %s/%s (%s: "
+              "%s); surviving runs are cached, rerun to resume",
+              bad, runs.size(), runs[first_index].benchmark.c_str(),
+              runs[first_index].scheme.c_str(),
+              runErrorCategoryName(first->category),
+              first->error.c_str());
+    }
+    return std::move(cr.results);
 }
 
 SimResult

@@ -1,6 +1,7 @@
 /**
  * @file
- * Parallel campaign engine with a memoizing run cache.
+ * Parallel campaign engine with a memoizing run cache and per-run
+ * fault isolation.
  *
  * A campaign is an ordered list of independent (benchmark, config,
  * scheme) simulation runs. CampaignRunner fans the list out across a
@@ -13,6 +14,16 @@
  * in-process map and an on-disk JSON cache (.dmdc_cache/), so the
  * Baseline campaigns that nearly every bench binary re-simulates are
  * near-free after the first binary computes them.
+ *
+ * Fault tolerance: each run executes inside an isolation boundary
+ * that converts exceptions (structured RunErrors, watchdog timeouts,
+ * injected chaos) into a RunOutcome instead of aborting the process.
+ * Transient failures retry with bounded backoff; the campaign
+ * completes every surviving run and reports a failure manifest in the
+ * JSON journal. On-disk cache entries carry a CRC32 and are
+ * quarantined (never trusted) when corrupt, and an optional
+ * checkpoint manifest (campaign_state.json) makes interrupted
+ * campaigns resumable.
  */
 
 #ifndef DMDC_SIM_CAMPAIGN_RUNNER_HH
@@ -24,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/run_error.hh"
 #include "sim/simulator.hh"
 
 namespace dmdc
@@ -38,6 +50,34 @@ struct CampaignConfig
     bool useCache = true;
     /** On-disk cache directory (created on demand). */
     std::string cacheDir = ".dmdc_cache";
+
+    /**
+     * Per-run wall-clock budget in milliseconds, applied to runs that
+     * don't set their own SimOptions::timeoutMs. 0 = no deadline.
+     */
+    double timeoutMs = 0.0;
+    /** Retries (beyond the first attempt) for transient failures. */
+    unsigned maxRetries = 2;
+    /** Stop launching new runs after the first failure. */
+    bool failFast = false;
+
+    /**
+     * Checkpoint manifest path; empty disables checkpointing. The
+     * manifest is rewritten atomically after every completed run.
+     */
+    std::string statePath;
+    /**
+     * Resume from an existing manifest at statePath: previously
+     * completed runs are served from the run cache, everything else
+     * executes. A fingerprint mismatch falls back to a fresh start.
+     */
+    bool resume = false;
+
+    /**
+     * On-disk cache size cap in bytes; least-recently-used entries
+     * are evicted after each campaign to stay under it. 0 = unlimited.
+     */
+    std::uint64_t cacheMaxBytes = 0;
 };
 
 /** Execution accounting of the most recent campaign. */
@@ -48,6 +88,12 @@ struct CampaignStats
     std::size_t memoryHits = 0;  ///< served from the in-process map
     std::size_t diskHits = 0;    ///< served from .dmdc_cache/ JSON
     std::size_t uncacheable = 0; ///< observers/tweak runs (always run)
+    std::size_t failed = 0;      ///< terminal non-timeout failures
+    std::size_t timedOut = 0;    ///< watchdog-terminated runs
+    std::size_t skipped = 0;     ///< not executed (fail-fast)
+    std::size_t retried = 0;     ///< runs that needed > 1 attempt
+    std::size_t quarantined = 0; ///< corrupt cache entries set aside
+    std::size_t evicted = 0;     ///< cache entries removed by the cap
     double wallMs = 0.0;         ///< campaign wall-clock, milliseconds
 
     double
@@ -55,6 +101,26 @@ struct CampaignStats
     {
         return wallMs > 0.0
             ? static_cast<double>(runs) / (wallMs / 1000.0) : 0.0;
+    }
+};
+
+/** Results plus the per-run execution record of one campaign. */
+struct CampaignResult
+{
+    /** Same order as the requested runs; failed slots are
+     *  default-constructed. */
+    std::vector<SimResult> results;
+    /** Parallel to results. */
+    std::vector<RunOutcome> outcomes;
+
+    bool
+    allOk() const
+    {
+        for (const RunOutcome &o : outcomes) {
+            if (!o.ok())
+                return false;
+        }
+        return true;
     }
 };
 
@@ -73,9 +139,23 @@ class CampaignRunner
      * order. Identical to running runSimulation() serially per
      * element, but parallel and memoized. @p verbose prints one
      * inform() line per completed run plus a campaign summary line.
+     *
+     * Degradation contract: individual run failures never abort the
+     * campaign mid-flight — every surviving run completes and is
+     * cached — but this legacy entry point then fatal()s with a
+     * summary, because its callers (the bench harnesses) cannot
+     * render tables with holes. Failure-tolerant callers use
+     * runChecked().
      */
     std::vector<SimResult> run(const std::vector<SimOptions> &runs,
                                bool verbose = false);
+
+    /**
+     * Like run(), but reports per-run RunOutcomes instead of
+     * fatal()ing: the caller decides what a failed run means.
+     */
+    CampaignResult runChecked(const std::vector<SimOptions> &runs,
+                              bool verbose = false);
 
     /** Single-run convenience wrapper (still cache-aware). */
     SimResult runOne(const SimOptions &options, bool verbose = false);
@@ -98,9 +178,14 @@ class CampaignRunner
     static void configureGlobal(const CampaignConfig &config);
 
   private:
-    bool loadFromDisk(const std::string &key, SimResult &out) const;
+    /** Disk-cache probe result. */
+    enum class CacheLoad { Hit, Miss, Corrupt };
+
+    CacheLoad loadFromDisk(const std::string &key, SimResult &out);
     void storeToDisk(const std::string &key, const SimResult &r) const;
     std::string diskPath(const std::string &key) const;
+    void quarantine(const std::string &path, const char *reason);
+    std::size_t enforceCacheCap() const;
 
     CampaignConfig config_;
     CampaignStats lastStats_;
@@ -129,8 +214,16 @@ std::string cacheKey(const SimOptions &opt);
 /**
  * Record every subsequent campaign run into an in-process journal
  * flushed to @p path (JSON) at flushCampaignJournal() / process exit.
+ * Failed runs appear with their status, error category and attempt
+ * count — the journal is the campaign's failure manifest.
+ *
+ * @p deterministic strips every nondeterministic field (timestamps,
+ * wall-clock, cache provenance, attempt counts) and sorts records
+ * canonically, so two campaigns over the same run list — interrupted
+ * + resumed vs. uninterrupted — produce bit-identical files.
  */
-void setCampaignJournal(const std::string &path);
+void setCampaignJournal(const std::string &path,
+                        bool deterministic = false);
 
 /** Write the journal now (no-op when no path is set). */
 void flushCampaignJournal();

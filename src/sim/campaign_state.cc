@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Checkpoint manifest serialization.
+ */
+
+#include "sim/campaign_state.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+constexpr unsigned kStateFormatVersion = 1;
+
+/** Escape for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+// Minimal parser for the manifest grammar this file writes: one
+// object holding scalars plus a "runs" array of flat objects. Strings
+// understand the \" and \\ escapes jsonEscape() emits.
+class StateParser
+{
+  public:
+    explicit StateParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(CampaignState &out, std::string &err)
+    {
+        skipWs();
+        if (!consume('{'))
+            return fail(err, "expected '{'");
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            std::string key;
+            if (!quoted(key) || (skipWs(), !consume(':')))
+                return fail(err, "malformed key");
+            skipWs();
+            if (key == "runs") {
+                if (!runsArray(out, err))
+                    return false;
+            } else {
+                std::string value;
+                if (!scalarOrString(value))
+                    return fail(err, "malformed value");
+                if (key == "version" &&
+                    std::strtoul(value.c_str(), nullptr, 10) !=
+                        kStateFormatVersion)
+                    return fail(err, "format version mismatch");
+                if (key == "fingerprint")
+                    out.fingerprint = value;
+            }
+            skipWs();
+            if (consume(',')) {
+                skipWs();
+                continue;
+            }
+            if (!consume('}'))
+                return fail(err, "expected '}'");
+            return true;
+        }
+    }
+
+  private:
+    bool
+    runsArray(CampaignState &out, std::string &err)
+    {
+        if (!consume('['))
+            return fail(err, "expected '['");
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            CampaignStateEntry e;
+            if (!runObject(e, err))
+                return false;
+            out.entries.push_back(std::move(e));
+            skipWs();
+            if (consume(',')) {
+                skipWs();
+                continue;
+            }
+            if (!consume(']'))
+                return fail(err, "expected ']'");
+            return true;
+        }
+    }
+
+    bool
+    runObject(CampaignStateEntry &e, std::string &err)
+    {
+        if (!consume('{'))
+            return fail(err, "expected run object");
+        skipWs();
+        for (;;) {
+            std::string key, value;
+            if (!quoted(key) || (skipWs(), !consume(':')))
+                return fail(err, "malformed run key");
+            skipWs();
+            if (!scalarOrString(value))
+                return fail(err, "malformed run value");
+            if (key == "benchmark")
+                e.benchmark = value;
+            else if (key == "scheme")
+                e.scheme = value;
+            else if (key == "config")
+                e.configLevel = static_cast<unsigned>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+            else if (key == "status") {
+                if (!parseRunStatus(value, e.status))
+                    return fail(err, "unknown run status");
+            } else if (key == "category")
+                e.category = value;
+            else if (key == "error")
+                e.error = value;
+            else if (key == "attempts")
+                e.attempts = static_cast<unsigned>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+            skipWs();
+            if (consume(',')) {
+                skipWs();
+                continue;
+            }
+            if (!consume('}'))
+                return fail(err, "expected end of run object");
+            return true;
+        }
+    }
+
+    bool
+    scalarOrString(std::string &out)
+    {
+        if (peek() == '"')
+            return quoted(out);
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ',' || c == '}' || c == ']' ||
+                std::isspace(static_cast<unsigned char>(c)))
+                break;
+            out.push_back(c);
+            ++pos_;
+        }
+        return !out.empty();
+    }
+
+    bool
+    quoted(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\' && pos_ + 1 < text_.size())
+                ++pos_;
+            out.push_back(text_[pos_++]);
+        }
+        return consume('"');
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : 0; }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    static bool
+    fail(std::string &err, const char *what)
+    {
+        err = what;
+        return false;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+runIdentity(const SimOptions &opt)
+{
+    std::ostringstream os;
+    os << opt.benchmark << '|' << opt.scheme << '|' << opt.configLevel
+       << '|' << opt.warmupInsts << '|' << opt.runInsts << '|'
+       << opt.invalidationsPer1kCycles << '|' << opt.coherence << '|'
+       << opt.safeLoads << '|' << opt.sqFilter << '|' << opt.numYlaQw
+       << '|' << opt.tableEntriesOverride << '|' << opt.queueEntries
+       << '|' << (opt.observers.empty() && !opt.tweak ? 0 : 1);
+    return os.str();
+}
+
+std::string
+campaignFingerprint(const std::vector<SimOptions> &runs)
+{
+    std::uint64_t h = 0;
+    for (const SimOptions &opt : runs) {
+        const std::string id = runIdentity(opt);
+        h = hashBytes(id.data(), id.size(), h);
+    }
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+bool
+loadCampaignState(const std::string &path, CampaignState &out,
+                  std::string &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    CampaignState state;
+    StateParser parser(text);
+    if (!parser.parse(state, err))
+        return false;
+    out = std::move(state);
+    return true;
+}
+
+bool
+saveCampaignState(const std::string &path, const CampaignState &state)
+{
+    namespace fs = std::filesystem;
+    std::ostringstream os;
+    os << "{\"version\":" << kStateFormatVersion
+       << ",\"fingerprint\":\"" << state.fingerprint
+       << "\",\"runs\":[";
+    bool first = true;
+    for (const CampaignStateEntry &e : state.entries) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "  {\"benchmark\":\"" << jsonEscape(e.benchmark)
+           << "\",\"scheme\":\"" << jsonEscape(e.scheme)
+           << "\",\"config\":" << e.configLevel
+           << ",\"status\":\"" << runStatusName(e.status)
+           << "\",\"attempts\":" << e.attempts;
+        if (!e.category.empty())
+            os << ",\"category\":\"" << jsonEscape(e.category) << '"';
+        if (!e.error.empty())
+            os << ",\"error\":\"" << jsonEscape(e.error) << '"';
+        os << '}';
+    }
+    os << "\n]}\n";
+
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream file(tmp);
+        if (!file) {
+            warn("cannot write campaign state '%s'", tmp.c_str());
+            return false;
+        }
+        file << os.str();
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        warn("cannot publish campaign state '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace dmdc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Campaign checkpoint manifest (campaign_state.json).
+ *
+ * A campaign's work list is an ordered vector of runs; the state file
+ * records one entry per run with its terminal status so an
+ * interrupted campaign can resume where it left off (completed runs
+ * are then served from the run cache, pending/failed ones execute).
+ * The manifest doubles as the work-list half of the ROADMAP's sharded
+ * multi-process campaigns: a sharder can partition entries across
+ * processes and merge the per-shard journals.
+ *
+ * The file is written atomically (write-to-temp + rename) after every
+ * run completes, so a kill at any instant leaves a loadable manifest.
+ * A fingerprint over the full run list guards against resuming a
+ * manifest that belongs to a different campaign.
+ */
+
+#ifndef DMDC_SIM_CAMPAIGN_STATE_HH
+#define DMDC_SIM_CAMPAIGN_STATE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/run_error.hh"
+#include "sim/simulator.hh"
+
+namespace dmdc
+{
+
+/** One work item of the campaign manifest. */
+struct CampaignStateEntry
+{
+    std::string benchmark;
+    std::string scheme;
+    unsigned configLevel = 2;
+    RunStatus status = RunStatus::Pending;
+    /** runErrorCategoryName() of the last failure; empty when ok. */
+    std::string category;
+    std::string error;
+    unsigned attempts = 0;
+};
+
+/** The whole manifest. */
+struct CampaignState
+{
+    std::string fingerprint;
+    std::vector<CampaignStateEntry> entries;
+};
+
+/**
+ * Stable identity of one run: every behavior-affecting SimOptions
+ * field (attached observers / tweaks are flagged, not hashed). Feeds
+ * campaignFingerprint(); unlike the cache key it does not include the
+ * policy-registry source fingerprint, so a manifest survives rebuilds.
+ */
+std::string runIdentity(const SimOptions &opt);
+
+/** Order-sensitive fingerprint over a campaign's full run list. */
+std::string campaignFingerprint(const std::vector<SimOptions> &runs);
+
+/**
+ * Load @p path into @p out. Returns false with a reason in @p err
+ * when the file is absent, unparsable, or a wrong format version —
+ * callers treat all three as "start fresh".
+ */
+bool loadCampaignState(const std::string &path, CampaignState &out,
+                       std::string &err);
+
+/**
+ * Atomically write @p state to @p path (write-to-temp + rename).
+ * Returns false (after a warn()) when the file cannot be written;
+ * checkpointing is best-effort and never takes a campaign down.
+ */
+bool saveCampaignState(const std::string &path,
+                       const CampaignState &state);
+
+} // namespace dmdc
+
+#endif // DMDC_SIM_CAMPAIGN_STATE_HH

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "lsq/policy/registry.hh"
+#include "sim/run_error.hh"
 
 namespace dmdc
 {
@@ -50,8 +51,12 @@ makeMachineConfig(unsigned level)
         p.lsq.dmdc.tableEntries = 4096;
         break;
       default:
-        fatal("unknown machine configuration level %u (use 1-3)",
-              level);
+        // Structured (catchable) rather than fatal(): campaign
+        // workers degrade a bad config into one failed run instead of
+        // taking the whole process down.
+        throw RunError(RunErrorCategory::Config,
+                       "unknown machine configuration level " +
+                           std::to_string(level) + " (use 1-3)");
     }
     return p;
 }

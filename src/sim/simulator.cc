@@ -5,15 +5,76 @@
 
 #include "sim/simulator.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "common/bitutils.hh"
 #include "common/logging.hh"
+#include "lsq/policy/registry.hh"
+#include "sim/fault_injector.hh"
 #include "sim/invalidation.hh"
+#include "sim/run_error.hh"
 #include "trace/spec_suite.hh"
 
 namespace dmdc
 {
 
+namespace
+{
+
+[[noreturn]] void
+configError(const std::string &message)
+{
+    throw RunError(RunErrorCategory::Config, message);
+}
+
+} // namespace
+
+void
+validateSimOptions(const SimOptions &opt)
+{
+    if (opt.configLevel < 1 || opt.configLevel > 3)
+        configError("machine configuration level must be 1-3, got " +
+                    std::to_string(opt.configLevel));
+    const std::vector<std::string> &names = specAllNames();
+    if (std::find(names.begin(), names.end(), opt.benchmark) ==
+        names.end())
+        configError("unknown benchmark '" + opt.benchmark +
+                    "' (see --list)");
+    if (!DependencePolicyRegistry::instance().find(opt.scheme))
+        configError("unknown dependence-checking scheme '" +
+                    opt.scheme + "' (see --list-schemes)");
+    if (opt.runInsts == 0)
+        configError("measured instruction count must be > 0");
+    if (opt.warmupInsts > (std::uint64_t{1} << 40) ||
+        opt.runInsts > (std::uint64_t{1} << 40))
+        configError("instruction budget is implausibly large "
+                    "(> 2^40)");
+    if (opt.numYlaQw == 0 || opt.numYlaQw > 4096 ||
+        !isPowerOf2(opt.numYlaQw))
+        configError("YLA register count must be a power of two in "
+                    "[1, 4096], got " + std::to_string(opt.numYlaQw));
+    if (opt.tableEntriesOverride != 0 &&
+        (!isPowerOf2(opt.tableEntriesOverride) ||
+         opt.tableEntriesOverride > (1u << 24)))
+        configError("checking-table entries must be a power of two "
+                    "<= 2^24, got " +
+                    std::to_string(opt.tableEntriesOverride));
+    if (opt.queueEntries == 0 || opt.queueEntries > (1u << 20))
+        configError("checking-queue entries must be in [1, 2^20], "
+                    "got " + std::to_string(opt.queueEntries));
+    if (!std::isfinite(opt.invalidationsPer1kCycles) ||
+        opt.invalidationsPer1kCycles < 0.0)
+        configError("invalidation rate must be finite and >= 0");
+    if (!std::isfinite(opt.timeoutMs) || opt.timeoutMs < 0.0)
+        configError("run timeout must be finite and >= 0");
+}
+
 Simulator::Simulator(const SimOptions &options) : options_(options)
 {
+    validateSimOptions(options_);
     params_ = makeMachineConfig(options_.configLevel);
     applyScheme(params_, options_.scheme, options_.coherence,
                 options_.safeLoads);
@@ -49,11 +110,66 @@ Simulator::run()
         params_.mem.l1d.lineBytes,
         wp.seed ^ 0xfeedbeefull);
 
+    // ---- watchdogs ----
+    //
+    // Two independent guards turn a wedged simulation into a
+    // structured RunError(Timeout) instead of a hung worker: a
+    // cycle-budget watchdog (no commit progress for stallCycleLimit
+    // consecutive cycles — deterministic, catches pipeline deadlock)
+    // and an optional wall-clock deadline (checked every 4096 ticks
+    // to keep the hot loop free of clock syscalls).
+    using WallClock = std::chrono::steady_clock;
+    const WallClock::time_point wall_deadline = WallClock::now() +
+        std::chrono::duration_cast<WallClock::duration>(
+            std::chrono::duration<double, std::milli>(
+                options_.timeoutMs));
+    const bool wall_limited = options_.timeoutMs > 0.0;
+
+    // Deterministic chaos: a run-hang fault wedges this run — cycles
+    // elapse, commits don't — which must surface via the watchdog.
+    std::ostringstream fp_os;
+    fp_os << options_.benchmark << '|' << params_.lsq.policy << '|'
+          << options_.configLevel;
+    const bool hang_injected =
+        FaultInjector::global().injectRunHang(fp_os.str());
+    // An injected wedge must never outlive the watchdog, even when
+    // the caller disabled the stall guard.
+    const std::uint64_t stall_limit = options_.stallCycleLimit
+        ? options_.stallCycleLimit
+        : (hang_injected ? 100000 : 0);
+
+    std::uint64_t ticks = 0;
     auto run_phase = [&](std::uint64_t insts) {
         const std::uint64_t target = pipe_->committed() + insts;
-        while (pipe_->committed() < target) {
-            pipe_->tick();
-            injector.tick(*pipe_);
+        std::uint64_t last_committed = pipe_->committed();
+        std::uint64_t stall_cycles = 0;
+        while (pipe_->committed() < target || hang_injected) {
+            if (!hang_injected) {
+                pipe_->tick();
+                injector.tick(*pipe_);
+            }
+            if (hang_injected || pipe_->committed() == last_committed) {
+                if (stall_limit && ++stall_cycles > stall_limit)
+                    throw RunError(
+                        RunErrorCategory::Timeout,
+                        "no commit progress in " +
+                            std::to_string(stall_limit) +
+                            " cycles (" +
+                            (hang_injected
+                                 ? std::string("injected run-hang")
+                                 : "wedged pipeline") +
+                            ", benchmark " + options_.benchmark + ")");
+            } else {
+                stall_cycles = 0;
+                last_committed = pipe_->committed();
+            }
+            if (wall_limited && (++ticks & 0xfffu) == 0 &&
+                WallClock::now() > wall_deadline)
+                throw RunError(
+                    RunErrorCategory::Timeout,
+                    "wall-clock timeout after " +
+                        std::to_string(options_.timeoutMs) +
+                        " ms (benchmark " + options_.benchmark + ")");
         }
     };
 

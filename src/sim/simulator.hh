@@ -54,7 +54,33 @@ struct SimOptions
 
     /** Override any core parameter after preset construction. */
     std::function<void(CoreParams &)> tweak;
+
+    // ---- watchdog limits (never part of the run-cache key: they
+    // bound execution, they don't change results) ----
+
+    /**
+     * Wall-clock budget per run in milliseconds; the run throws
+     * RunError(Timeout) when exceeded. 0 disables the deadline.
+     */
+    double timeoutMs = 0.0;
+
+    /**
+     * Cycle-budget watchdog: a RunError(Timeout) after this many
+     * consecutive cycles without a single committed instruction (a
+     * wedged pipeline). 0 disables; the default trips on deadlock
+     * long before any real workload comes close.
+     */
+    std::uint64_t stallCycleLimit = 100000;
 };
+
+/**
+ * Validate every SimOptions field up front; throws RunError(Config)
+ * with a precise message on out-of-range sizes, non-power-of-two
+ * table/YLA geometries, or unknown benchmark/scheme/config names.
+ * Simulator's constructor calls this, so library users get a
+ * structured error instead of a fatal() deep inside construction.
+ */
+void validateSimOptions(const SimOptions &options);
 
 /** One fully-owned simulation instance. */
 class Simulator

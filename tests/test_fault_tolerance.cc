@@ -1,0 +1,668 @@
+/**
+ * @file
+ * Tests of the fault-tolerance layer: structured errors and option
+ * validation, the deterministic fault injector, per-run isolation and
+ * retries in the campaign engine, watchdog timeouts, cache corruption
+ * handling (quarantine + recompute), LRU eviction, and
+ * checkpoint/resume with bit-identical journals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "sim/campaign_runner.hh"
+#include "sim/campaign_state.hh"
+#include "sim/fault_injector.hh"
+#include "sim/run_error.hh"
+#include "sim/simulator.hh"
+
+namespace dmdc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+SimOptions
+quickOptions(const std::string &bench, const std::string &scheme)
+{
+    SimOptions opt;
+    opt.benchmark = bench;
+    opt.scheme = scheme;
+    opt.warmupInsts = 2000;
+    opt.runInsts = 20000;
+    return opt;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream is(path);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+std::size_t
+countFiles(const fs::path &dir, const char *ext = ".json")
+{
+    std::size_t n = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        if (de.is_regular_file() && de.path().extension() == ext)
+            ++n;
+    }
+    return n;
+}
+
+/** The single cache entry in @p dir (fails the test if not single). */
+fs::path
+soleCacheEntry(const fs::path &dir)
+{
+    fs::path found;
+    for (const auto &de : fs::directory_iterator(dir)) {
+        if (de.is_regular_file() && de.path().extension() == ".json") {
+            EXPECT_TRUE(found.empty()) << "more than one cache entry";
+            found = de.path();
+        }
+    }
+    EXPECT_FALSE(found.empty()) << "no cache entry in " << dir;
+    return found;
+}
+
+/**
+ * Every test gets a scratch directory and leaves the process-global
+ * injector and journal disabled behind it.
+ */
+class FaultTolerance : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        scratch_ = fs::temp_directory_path() /
+            ("dmdc_ft_" + std::string(::testing::UnitTest::GetInstance()
+                                          ->current_test_info()
+                                          ->name()));
+        fs::remove_all(scratch_);
+        fs::create_directories(scratch_);
+        FaultInjector::global().configure({});
+    }
+
+    void
+    TearDown() override
+    {
+        FaultInjector::global().configure({});
+        setCampaignJournal("");
+        fs::remove_all(scratch_);
+    }
+
+    CampaignConfig
+    cachedConfig() const
+    {
+        CampaignConfig cfg;
+        cfg.cacheDir = (scratch_ / "cache").string();
+        return cfg;
+    }
+
+    fs::path scratch_;
+};
+
+// ---- fault spec parsing ----------------------------------------------
+
+TEST(FaultSpecParse, FullSpecification)
+{
+    const FaultSpec spec = parseFaultSpec(
+        "cache-corrupt:p=0.1,run-throw:p=0.05,run-hang:p=0.01,seed=42");
+    EXPECT_DOUBLE_EQ(spec.cacheCorruptP, 0.1);
+    EXPECT_DOUBLE_EQ(spec.runThrowP, 0.05);
+    EXPECT_DOUBLE_EQ(spec.runHangP, 0.01);
+    EXPECT_EQ(spec.seed, 42u);
+    EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpecParse, EmptyDisables)
+{
+    EXPECT_FALSE(parseFaultSpec("").any());
+}
+
+TEST(FaultSpecParse, RejectsUnknownSite)
+{
+    try {
+        (void)parseFaultSpec("disk-on-fire:p=0.5");
+        FAIL() << "expected RunError";
+    } catch (const RunError &e) {
+        EXPECT_EQ(e.category(), RunErrorCategory::Config);
+    }
+}
+
+TEST(FaultSpecParse, RejectsBadProbability)
+{
+    EXPECT_THROW((void)parseFaultSpec("run-throw:p=1.5"), RunError);
+    EXPECT_THROW((void)parseFaultSpec("run-throw:p=-0.1"), RunError);
+    EXPECT_THROW((void)parseFaultSpec("run-throw:p=banana"), RunError);
+    EXPECT_THROW((void)parseFaultSpec("run-throw"), RunError);
+}
+
+// ---- injector determinism --------------------------------------------
+
+TEST_F(FaultTolerance, InjectorDecisionsAreDeterministic)
+{
+    FaultSpec spec;
+    spec.runThrowP = 0.5;
+    spec.seed = 9;
+    FaultInjector::global().configure(spec);
+    const FaultInjector &inj = FaultInjector::global();
+
+    // Same (key, attempt) -> same answer, every time.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(inj.injectRunThrow("k1", 0),
+                  inj.injectRunThrow("k1", 0));
+        EXPECT_EQ(inj.injectRunHang("k1"), inj.injectRunHang("k1"));
+    }
+    // Decisions vary across keys/attempts at p=0.5 (not stuck).
+    bool saw_true = false, saw_false = false;
+    for (int i = 0; i < 64; ++i) {
+        const bool d = inj.injectRunThrow("key" + std::to_string(i), 0);
+        (d ? saw_true : saw_false) = true;
+    }
+    EXPECT_TRUE(saw_true);
+    EXPECT_TRUE(saw_false);
+}
+
+TEST_F(FaultTolerance, InjectorProbabilityEndpoints)
+{
+    FaultSpec spec;
+    spec.runThrowP = 1.0;
+    FaultInjector::global().configure(spec);
+    EXPECT_TRUE(FaultInjector::global().injectRunThrow("x", 0));
+    EXPECT_FALSE(FaultInjector::global().injectRunHang("x"));
+    spec.runThrowP = 0.0;
+    FaultInjector::global().configure(spec);
+    EXPECT_FALSE(FaultInjector::global().injectRunThrow("x", 0));
+}
+
+// ---- option validation -----------------------------------------------
+
+TEST_F(FaultTolerance, ValidationRejectsBadOptions)
+{
+    auto expect_config_error = [](SimOptions opt, const char *what) {
+        try {
+            validateSimOptions(opt);
+            FAIL() << "expected RunError for " << what;
+        } catch (const RunError &e) {
+            EXPECT_EQ(e.category(), RunErrorCategory::Config) << what;
+            EXPECT_FALSE(e.transient()) << what;
+        }
+    };
+    SimOptions good = quickOptions("gzip", "dmdc-global");
+    EXPECT_NO_THROW(validateSimOptions(good));
+
+    SimOptions opt = good;
+    opt.benchmark = "no-such-bench";
+    expect_config_error(opt, "unknown benchmark");
+    opt = good;
+    opt.scheme = "no-such-scheme";
+    expect_config_error(opt, "unknown scheme");
+    opt = good;
+    opt.configLevel = 7;
+    expect_config_error(opt, "bad config level");
+    opt = good;
+    opt.runInsts = 0;
+    expect_config_error(opt, "zero instructions");
+    opt = good;
+    opt.numYlaQw = 3;
+    expect_config_error(opt, "non-power-of-two YLA count");
+    opt = good;
+    opt.tableEntriesOverride = 100;
+    expect_config_error(opt, "non-power-of-two table");
+    opt = good;
+    opt.queueEntries = 0;
+    expect_config_error(opt, "zero queue entries");
+    opt = good;
+    opt.invalidationsPer1kCycles = -1.0;
+    expect_config_error(opt, "negative invalidation rate");
+    opt = good;
+    opt.timeoutMs = -5.0;
+    expect_config_error(opt, "negative timeout");
+}
+
+// ---- run isolation ---------------------------------------------------
+
+TEST_F(FaultTolerance, RunCheckedCapturesFailuresWithoutAborting)
+{
+    FaultSpec spec;
+    spec.runThrowP = 1.0;
+    FaultInjector::global().configure(spec);
+
+    CampaignConfig cfg = cachedConfig();
+    cfg.useCache = false;
+    cfg.maxRetries = 0;
+    CampaignRunner runner(cfg);
+    const std::vector<SimOptions> runs = {
+        quickOptions("gzip", "baseline"),
+        quickOptions("swim", "yla"),
+    };
+    const CampaignResult cr = runner.runChecked(runs);
+    ASSERT_EQ(cr.outcomes.size(), 2u);
+    EXPECT_FALSE(cr.allOk());
+    for (const RunOutcome &oc : cr.outcomes) {
+        EXPECT_EQ(oc.status, RunStatus::Failed);
+        EXPECT_EQ(oc.category, RunErrorCategory::SimInvariant);
+        EXPECT_EQ(oc.attempts, 1u);
+        EXPECT_NE(oc.error.find("run-throw"), std::string::npos);
+    }
+    EXPECT_EQ(runner.lastStats().failed, 2u);
+}
+
+TEST_F(FaultTolerance, BadRunDegradesGoodCampaign)
+{
+    CampaignConfig cfg = cachedConfig();
+    cfg.useCache = false;
+    CampaignRunner runner(cfg);
+    std::vector<SimOptions> runs = {
+        quickOptions("gzip", "baseline"),
+        quickOptions("gzip", "baseline"),
+    };
+    runs[1].configLevel = 9; // config error at Simulator construction
+    const CampaignResult cr = runner.runChecked(runs);
+    EXPECT_EQ(cr.outcomes[0].status, RunStatus::Ok);
+    EXPECT_GT(cr.results[0].instructions, 0u);
+    EXPECT_EQ(cr.outcomes[1].status, RunStatus::Failed);
+    EXPECT_EQ(cr.outcomes[1].category, RunErrorCategory::Config);
+    // Config errors are not transient: no retries burned.
+    EXPECT_EQ(cr.outcomes[1].attempts, 1u);
+}
+
+TEST_F(FaultTolerance, TransientFailuresRetryPredictably)
+{
+    FaultSpec spec;
+    spec.runThrowP = 0.5;
+    spec.seed = 1234;
+    FaultInjector::global().configure(spec);
+
+    CampaignConfig cfg = cachedConfig();
+    cfg.useCache = false;
+    cfg.maxRetries = 4;
+    CampaignRunner runner(cfg);
+    const std::vector<SimOptions> runs = {
+        quickOptions("gzip", "baseline"),
+        quickOptions("swim", "baseline"),
+        quickOptions("vpr", "baseline"),
+        quickOptions("gcc", "baseline"),
+    };
+    const CampaignResult cr = runner.runChecked(runs);
+
+    // The injector is a pure function, so the expected attempt count
+    // of every run is computable up front.
+    const FaultInjector &inj = FaultInjector::global();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        unsigned expected_attempts = 0;
+        bool expected_ok = false;
+        for (unsigned a = 0; a <= cfg.maxRetries; ++a) {
+            ++expected_attempts;
+            if (!inj.injectRunThrow(runIdentity(runs[i]), a)) {
+                expected_ok = true;
+                break;
+            }
+        }
+        EXPECT_EQ(cr.outcomes[i].attempts, expected_attempts);
+        EXPECT_EQ(cr.outcomes[i].ok(), expected_ok);
+    }
+}
+
+TEST_F(FaultTolerance, FailFastSkipsLaterRuns)
+{
+    FaultSpec spec;
+    spec.runThrowP = 1.0;
+    FaultInjector::global().configure(spec);
+
+    CampaignConfig cfg = cachedConfig();
+    cfg.useCache = false;
+    cfg.maxRetries = 0;
+    cfg.failFast = true;
+    cfg.jobs = 1; // serial: deterministic skip set
+    CampaignRunner runner(cfg);
+    const std::vector<SimOptions> runs = {
+        quickOptions("gzip", "baseline"),
+        quickOptions("swim", "baseline"),
+        quickOptions("vpr", "baseline"),
+    };
+    const CampaignResult cr = runner.runChecked(runs);
+    EXPECT_EQ(cr.outcomes[0].status, RunStatus::Failed);
+    EXPECT_EQ(cr.outcomes[1].status, RunStatus::Skipped);
+    EXPECT_EQ(cr.outcomes[2].status, RunStatus::Skipped);
+    EXPECT_EQ(runner.lastStats().skipped, 2u);
+}
+
+// ---- watchdogs -------------------------------------------------------
+
+TEST_F(FaultTolerance, InjectedHangBecomesTimeout)
+{
+    FaultSpec spec;
+    spec.runHangP = 1.0;
+    FaultInjector::global().configure(spec);
+
+    SimOptions opt = quickOptions("gzip", "baseline");
+    opt.stallCycleLimit = 2000; // keep the spin cheap
+    try {
+        (void)runSimulation(opt);
+        FAIL() << "expected RunError(Timeout)";
+    } catch (const RunError &e) {
+        EXPECT_EQ(e.category(), RunErrorCategory::Timeout);
+        EXPECT_NE(std::string(e.what()).find("run-hang"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(FaultTolerance, HangSurfacesAsTimedOutOutcome)
+{
+    FaultSpec spec;
+    spec.runHangP = 1.0;
+    FaultInjector::global().configure(spec);
+
+    CampaignConfig cfg = cachedConfig();
+    cfg.useCache = false;
+    cfg.maxRetries = 0;
+    CampaignRunner runner(cfg);
+    SimOptions opt = quickOptions("gzip", "baseline");
+    opt.stallCycleLimit = 2000;
+    const CampaignResult cr = runner.runChecked({opt});
+    EXPECT_EQ(cr.outcomes[0].status, RunStatus::TimedOut);
+    EXPECT_EQ(cr.outcomes[0].category, RunErrorCategory::Timeout);
+    EXPECT_EQ(runner.lastStats().timedOut, 1u);
+}
+
+TEST_F(FaultTolerance, WallClockDeadlineFires)
+{
+    SimOptions opt = quickOptions("gzip", "baseline");
+    opt.runInsts = 5000000; // far more work than the budget allows
+    opt.timeoutMs = 0.01;
+    try {
+        (void)runSimulation(opt);
+        FAIL() << "expected RunError(Timeout)";
+    } catch (const RunError &e) {
+        EXPECT_EQ(e.category(), RunErrorCategory::Timeout);
+        EXPECT_NE(std::string(e.what()).find("wall-clock"),
+                  std::string::npos);
+    }
+}
+
+// ---- cache robustness ------------------------------------------------
+
+class CacheCorruption : public FaultTolerance
+{
+  protected:
+    /**
+     * Populate the cache with one entry, damage it with @p damage,
+     * then re-run with a fresh runner (no in-process memo) and verify
+     * quarantine + bit-identical recompute.
+     */
+    void
+    roundTrip(const std::function<void(const fs::path &)> &damage)
+    {
+        const SimOptions opt = quickOptions("gzip", "dmdc-global");
+        SimResult reference;
+        {
+            CampaignRunner runner(cachedConfig());
+            reference = runner.runChecked({opt}).results.front();
+        }
+        const fs::path dir = scratch_ / "cache";
+        const fs::path entry = soleCacheEntry(dir);
+        damage(entry);
+
+        CampaignRunner runner(cachedConfig());
+        const CampaignResult cr = runner.runChecked({opt});
+        ASSERT_TRUE(cr.allOk());
+        EXPECT_EQ(runner.lastStats().quarantined, 1u);
+        EXPECT_EQ(runner.lastStats().simulated, 1u); // recomputed
+        EXPECT_EQ(cr.results.front().cycles, reference.cycles);
+        EXPECT_EQ(cr.results.front().ipc, reference.ipc);
+        // The bad bytes moved to quarantine/ and a good entry took
+        // their place.
+        EXPECT_EQ(countFiles(dir / "quarantine"), 1u);
+        // The rewritten entry must now hit.
+        CampaignRunner again(cachedConfig());
+        (void)again.runChecked({opt});
+        EXPECT_EQ(again.lastStats().diskHits, 1u);
+    }
+};
+
+TEST_F(CacheCorruption, TruncatedEntryQuarantines)
+{
+    roundTrip([](const fs::path &entry) {
+        const std::string text = slurp(entry);
+        std::ofstream os(entry, std::ios::trunc);
+        os << text.substr(0, text.size() / 2);
+    });
+}
+
+TEST_F(CacheCorruption, BitFlipFailsChecksum)
+{
+    roundTrip([](const fs::path &entry) {
+        std::string text = slurp(entry);
+        ASSERT_GT(text.size(), 200u);
+        // Flip a digit inside the payload, past the header line.
+        const std::size_t pos = text.find('\n') + 50;
+        text[pos] = text[pos] == '0' ? '1' : '0';
+        std::ofstream os(entry, std::ios::trunc);
+        os << text;
+    });
+}
+
+TEST_F(CacheCorruption, WrongVersionQuarantines)
+{
+    roundTrip([](const fs::path &entry) {
+        std::string text = slurp(entry);
+        const std::string tag = "{\"dmdc_cache\":";
+        ASSERT_EQ(text.rfind(tag, 0), 0u);
+        text[tag.size()] = '1'; // pretend an old format version
+        std::ofstream os(entry, std::ios::trunc);
+        os << text;
+    });
+}
+
+TEST_F(CacheCorruption, ZeroByteEntryQuarantines)
+{
+    roundTrip([](const fs::path &entry) {
+        std::ofstream os(entry, std::ios::trunc);
+    });
+}
+
+TEST_F(CacheCorruption, LegacyHeaderlessEntryQuarantines)
+{
+    roundTrip([](const fs::path &entry) {
+        // v2 files were the bare payload with no CRC header.
+        const std::string text = slurp(entry);
+        std::ofstream os(entry, std::ios::trunc);
+        os << text.substr(text.find('\n') + 1);
+    });
+}
+
+TEST_F(FaultTolerance, InjectedCacheCorruptionHealsOnReload)
+{
+    FaultSpec spec;
+    spec.cacheCorruptP = 1.0;
+    FaultInjector::global().configure(spec);
+    const SimOptions opt = quickOptions("swim", "baseline");
+    {
+        CampaignRunner runner(cachedConfig());
+        ASSERT_TRUE(runner.runChecked({opt}).allOk());
+    }
+    FaultInjector::global().configure({});
+    CampaignRunner runner(cachedConfig());
+    ASSERT_TRUE(runner.runChecked({opt}).allOk());
+    EXPECT_EQ(runner.lastStats().quarantined, 1u);
+    EXPECT_EQ(runner.lastStats().simulated, 1u);
+}
+
+TEST_F(FaultTolerance, CacheCapEvictsLru)
+{
+    const std::vector<SimOptions> runs = {
+        quickOptions("gzip", "baseline"),
+        quickOptions("swim", "baseline"),
+        quickOptions("vpr", "baseline"),
+    };
+    {
+        CampaignRunner runner(cachedConfig());
+        ASSERT_TRUE(runner.runChecked(runs).allOk());
+    }
+    const fs::path dir = scratch_ / "cache";
+    EXPECT_EQ(countFiles(dir), 3u);
+
+    CampaignConfig cfg = cachedConfig();
+    cfg.cacheMaxBytes = 1; // evict everything written so far
+    CampaignRunner capped(cfg);
+    ASSERT_TRUE(capped.runChecked({runs[0]}).allOk());
+    EXPECT_GE(capped.lastStats().evicted, 3u);
+    EXPECT_EQ(countFiles(dir), 0u);
+}
+
+// ---- checkpoint / resume ---------------------------------------------
+
+TEST_F(FaultTolerance, StateRoundTripsThroughDisk)
+{
+    CampaignState state;
+    state.fingerprint = "00d1ce00facade00";
+    CampaignStateEntry e;
+    e.benchmark = "gzip";
+    e.scheme = "dmdc-global";
+    e.configLevel = 3;
+    e.status = RunStatus::Failed;
+    e.category = "sim-invariant";
+    e.error = "it said \"boom\" and a back\\slash";
+    e.attempts = 3;
+    state.entries.push_back(e);
+    e.status = RunStatus::Ok;
+    e.category.clear();
+    e.error.clear();
+    e.attempts = 1;
+    state.entries.push_back(e);
+
+    const std::string path = (scratch_ / "state.json").string();
+    ASSERT_TRUE(saveCampaignState(path, state));
+    CampaignState loaded;
+    std::string err;
+    ASSERT_TRUE(loadCampaignState(path, loaded, err)) << err;
+    ASSERT_EQ(loaded.entries.size(), 2u);
+    EXPECT_EQ(loaded.fingerprint, state.fingerprint);
+    EXPECT_EQ(loaded.entries[0].status, RunStatus::Failed);
+    EXPECT_EQ(loaded.entries[0].error, state.entries[0].error);
+    EXPECT_EQ(loaded.entries[0].attempts, 3u);
+    EXPECT_EQ(loaded.entries[1].status, RunStatus::Ok);
+
+    std::string bad_err;
+    CampaignState missing;
+    EXPECT_FALSE(loadCampaignState(
+        (scratch_ / "nope.json").string(), missing, bad_err));
+    EXPECT_FALSE(bad_err.empty());
+}
+
+TEST_F(FaultTolerance, ResumeMatchesUninterruptedRunBitForBit)
+{
+    const std::vector<SimOptions> runs = {
+        quickOptions("gzip", "baseline"),
+        quickOptions("gzip", "yla"),
+        quickOptions("swim", "baseline"),
+        quickOptions("swim", "yla"),
+    };
+    const std::string ref_path = (scratch_ / "ref.json").string();
+    const std::string res_path = (scratch_ / "res.json").string();
+    const std::string state = (scratch_ / "state.json").string();
+
+    // Reference: uninterrupted serial campaign.
+    {
+        setCampaignJournal(ref_path, /*deterministic=*/true);
+        CampaignConfig cfg;
+        cfg.cacheDir = (scratch_ / "cache_ref").string();
+        cfg.jobs = 1;
+        CampaignRunner runner(cfg);
+        ASSERT_TRUE(runner.runChecked(runs).allOk());
+        flushCampaignJournal();
+    }
+
+    // Interrupted: chaos kills some runs mid-campaign.
+    {
+        setCampaignJournal("");
+        FaultSpec spec;
+        spec.runThrowP = 0.5;
+        spec.seed = 5;
+        FaultInjector::global().configure(spec);
+        CampaignConfig cfg;
+        cfg.cacheDir = (scratch_ / "cache_res").string();
+        cfg.maxRetries = 0;
+        cfg.statePath = state;
+        CampaignRunner runner(cfg);
+        const CampaignResult cr = runner.runChecked(runs);
+        // A mixed outcome exercises both resume paths: served-from-
+        // cache for the survivors, fresh execution for the casualties.
+        std::size_t ok_runs = 0;
+        for (const RunOutcome &oc : cr.outcomes)
+            ok_runs += oc.ok();
+        ASSERT_FALSE(cr.allOk()) << "chaos seed produced no failures; "
+                                    "pick another seed";
+        ASSERT_GT(ok_runs, 0u) << "chaos seed killed every run; "
+                                  "pick another seed";
+        FaultInjector::global().configure({});
+    }
+
+    // Resume: completed runs come from the cache, the rest execute.
+    {
+        setCampaignJournal(res_path, /*deterministic=*/true);
+        CampaignConfig cfg;
+        cfg.cacheDir = (scratch_ / "cache_res").string();
+        cfg.statePath = state;
+        cfg.resume = true;
+        CampaignRunner runner(cfg);
+        ASSERT_TRUE(runner.runChecked(runs).allOk());
+        flushCampaignJournal();
+    }
+
+    const std::string ref = slurp(ref_path);
+    const std::string res = slurp(res_path);
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(ref, res);
+
+    // The manifest converged to all-ok.
+    CampaignState final_state;
+    std::string err;
+    ASSERT_TRUE(loadCampaignState(state, final_state, err)) << err;
+    for (const CampaignStateEntry &e : final_state.entries)
+        EXPECT_EQ(e.status, RunStatus::Ok);
+}
+
+TEST_F(FaultTolerance, ResumeRejectsForeignManifest)
+{
+    const std::string state = (scratch_ / "state.json").string();
+    const std::vector<SimOptions> first = {
+        quickOptions("gzip", "baseline")};
+    const std::vector<SimOptions> second = {
+        quickOptions("swim", "yla")};
+    {
+        CampaignConfig cfg = cachedConfig();
+        cfg.statePath = state;
+        CampaignRunner runner(cfg);
+        ASSERT_TRUE(runner.runChecked(first).allOk());
+    }
+    // A different campaign resuming the same path starts fresh
+    // (fingerprint mismatch) and rewrites the manifest.
+    CampaignConfig cfg = cachedConfig();
+    cfg.statePath = state;
+    cfg.resume = true;
+    CampaignRunner runner(cfg);
+    ASSERT_TRUE(runner.runChecked(second).allOk());
+
+    CampaignState loaded;
+    std::string err;
+    ASSERT_TRUE(loadCampaignState(state, loaded, err)) << err;
+    EXPECT_EQ(loaded.fingerprint, campaignFingerprint(second));
+    ASSERT_EQ(loaded.entries.size(), 1u);
+    EXPECT_EQ(loaded.entries[0].benchmark, "swim");
+}
+
+} // namespace
+} // namespace dmdc

@@ -9,6 +9,7 @@
 #include "energy/array_model.hh"
 #include "sim/campaign.hh"
 #include "sim/invalidation.hh"
+#include "sim/run_error.hh"
 #include "sim/simulator.hh"
 #include "trace/spec_suite.hh"
 
@@ -48,10 +49,15 @@ TEST(MachineConfig, Table1Presets)
     EXPECT_EQ(c2.fetchWidth, 8u);
 }
 
-TEST(MachineConfig, InvalidLevelIsFatal)
+TEST(MachineConfig, InvalidLevelThrowsStructuredError)
 {
-    EXPECT_EXIT((void)makeMachineConfig(4),
-                ::testing::ExitedWithCode(1), ".*");
+    try {
+        (void)makeMachineConfig(4);
+        FAIL() << "expected RunError";
+    } catch (const RunError &e) {
+        EXPECT_EQ(e.category(), RunErrorCategory::Config);
+        EXPECT_FALSE(e.transient());
+    }
 }
 
 TEST(MachineConfig, SchemeApplication)

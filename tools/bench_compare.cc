@@ -10,9 +10,16 @@
  * threshold is generous and we take the fastest non-cached
  * measurement per key (cached replays report 0 ms and are skipped).
  *
+ * Journals from degraded campaigns are handled, not trusted: records
+ * whose status is not "ok" (the failure manifest), records missing an
+ * IPC and records with non-finite IPC are reported and excluded from
+ * the comparison instead of crashing it or silently passing. Two
+ * journals with no comparable key in common are "incomparable".
+ *
  * Exit codes: 0 no regressions, 1 regression found, 2 usage or
- * parse error. CI runs this as an advisory step (continue-on-error),
- * so a red result annotates the PR without blocking it.
+ * parse error, 3 incomparable (no overlapping comparable records).
+ * CI runs this as an advisory step (continue-on-error), so a red
+ * result annotates the PR without blocking it.
  */
 
 #include <cmath>
@@ -175,11 +182,11 @@ class JsonParser
             out.boolean = false;
             return literal("false");
         }
-        if (c == 'n') {
+        if (c == 'n' && literal("null")) {
             out.kind = JsonValue::Kind::Null;
-            return literal("null");
+            return true;
         }
-        // number
+        // number ("nan" and "inf" from %.17g land here too)
         const char *begin = text_.c_str() + pos_;
         char *end = nullptr;
         out.number = std::strtod(begin, &end);
@@ -208,6 +215,8 @@ struct Journal
     std::string generated = "unknown";
     // key: "benchmark|scheme|config"
     std::map<std::string, BenchPoint> points;
+    std::size_t notOk = 0;      ///< failure-manifest records excluded
+    std::size_t unusable = 0;   ///< records without a finite IPC
 };
 
 bool
@@ -233,10 +242,22 @@ parseJournal(const std::string &text, Journal &out, std::string &err)
         const JsonValue *bench = rec.get("benchmark");
         const JsonValue *scheme = rec.get("scheme");
         const JsonValue *config = rec.get("config");
-        const JsonValue *ipc = rec.get("ipc");
-        if (!bench || !scheme || !config || !ipc) {
-            err = "result record missing benchmark/scheme/config/ipc";
+        if (!bench || !scheme || !config) {
+            err = "result record missing benchmark/scheme/config";
             return false;
+        }
+        // Failure-manifest records (degraded campaigns) carry no
+        // metrics; exclude them rather than comparing zeros.
+        const JsonValue *status = rec.get("status");
+        if (status && status->str != "ok") {
+            ++out.notOk;
+            continue;
+        }
+        const JsonValue *ipc = rec.get("ipc");
+        if (!ipc || ipc->kind != JsonValue::Kind::Number ||
+            !std::isfinite(ipc->number)) {
+            ++out.unusable;
+            continue;
         }
         std::ostringstream key;
         key << bench->str << '|' << scheme->str << '|'
@@ -280,17 +301,29 @@ struct CompareOptions
     double maxWallIncrease = 0.50;  ///< relative, e.g. 0.50 = +50%
 };
 
-/** Returns the number of regressions (0 = clean). */
+/**
+ * Returns the number of regressions (0 = clean); @p compared reports
+ * how many keys both journals could actually be diffed on.
+ */
 int
 compareJournals(const Journal &base, const Journal &cur,
-                const CompareOptions &opt, bool verbose)
+                const CompareOptions &opt, bool verbose,
+                std::size_t &compared)
 {
     int regressions = 0;
+    compared = 0;
     std::printf("baseline: commit %s (%s)\n", base.commit.c_str(),
                 base.generated.c_str());
-    std::printf("current:  commit %s (%s)\n\n", cur.commit.c_str(),
+    std::printf("current:  commit %s (%s)\n", cur.commit.c_str(),
                 cur.generated.c_str());
-    std::printf("%-34s %10s %10s %9s %9s\n", "benchmark|scheme|cfg",
+    if (base.notOk + base.unusable + cur.notOk + cur.unusable) {
+        std::printf("excluded records: baseline %zu failed + %zu "
+                    "without metrics, current %zu failed + %zu "
+                    "without metrics\n",
+                    base.notOk, base.unusable, cur.notOk,
+                    cur.unusable);
+    }
+    std::printf("\n%-34s %10s %10s %9s %9s\n", "benchmark|scheme|cfg",
                 "base ipc", "cur ipc", "d(ipc)", "d(wall)");
     for (const auto &[key, b] : base.points) {
         auto it = cur.points.find(key);
@@ -300,6 +333,7 @@ compareJournals(const Journal &base, const Journal &cur,
             continue;
         }
         const BenchPoint &c = it->second;
+        ++compared;
         const double ipc_delta =
             b.ipc > 0.0 ? (c.ipc - b.ipc) / b.ipc : 0.0;
         const bool have_wall = b.wallMs > 0.0 && c.wallMs > 0.0;
@@ -331,13 +365,17 @@ compareJournals(const Journal &base, const Journal &cur,
             std::printf("%-34s  new (not in baseline)\n",
                         key.c_str());
     }
-    if (regressions)
+    if (!compared)
+        std::printf("\nincomparable: the journals share no "
+                    "comparable record\n");
+    else if (regressions)
         std::printf("\n%d regression(s) beyond thresholds "
                     "(ipc drop > %.1f%%, wall increase > %.1f%%)\n",
                     regressions, 100.0 * opt.maxIpcDrop,
                     100.0 * opt.maxWallIncrease);
     else
-        std::printf("\nno regressions beyond thresholds\n");
+        std::printf("\nno regressions beyond thresholds "
+                    "(%zu record(s) compared)\n", compared);
     return regressions;
 }
 
@@ -393,6 +431,7 @@ selfTest()
            "cached wall skipped");
 
     const CompareOptions opt;
+    std::size_t compared = 0;
     Journal same, slow, worse;
     expect(parseJournal(variant(0.664, 121.0), same, err),
            "parse identical");
@@ -400,17 +439,53 @@ selfTest()
            "parse slow");
     expect(parseJournal(variant(0.600, 121.0), worse, err),
            "parse worse");
-    expect(compareJournals(base, same, opt, false) == 0,
+    expect(compareJournals(base, same, opt, false, compared) == 0,
            "identical journals are clean");
-    expect(compareJournals(base, slow, opt, false) == 1,
+    expect(compared == 2, "both keys compared");
+    expect(compareJournals(base, slow, opt, false, compared) == 1,
            "wall-clock blowup is a regression");
-    expect(compareJournals(base, worse, opt, false) == 1,
+    expect(compareJournals(base, worse, opt, false, compared) == 1,
            "ipc drop is a regression");
 
     Journal bad;
     expect(!parseJournal("{\"results\":42}", bad, err),
            "reject non-array results");
     expect(!parseJournal("not json", bad, err), "reject non-json");
+
+    // Failure-manifest records and metric-free records are excluded,
+    // never compared as zeros.
+    const std::string degraded_text =
+        "{\"version\":3,\"commit\":\"cccc\",\"results\":[\n"
+        "  {\"benchmark\":\"gzip\",\"scheme\":\"baseline\","
+        "\"config\":2,\"status\":\"failed\",\"category\":"
+        "\"sim-invariant\",\"error\":\"injected fault: run-throw\","
+        "\"attempts\":3,\"wall_ms\":1.0,\"cached\":false},\n"
+        "  {\"benchmark\":\"gzip\",\"scheme\":\"dmdc-global\","
+        "\"config\":2,\"status\":\"ok\",\"ipc\":0.665,"
+        "\"cycles\":90171,\"wall_ms\":50.0,\"cached\":false},\n"
+        "  {\"benchmark\":\"vpr\",\"scheme\":\"yla\",\"config\":2,"
+        "\"status\":\"ok\",\"ipc\":nan,\"cycles\":1}\n]}\n";
+    Journal degraded;
+    expect(parseJournal(degraded_text, degraded, err),
+           "parse degraded journal");
+    expect(degraded.points.size() == 1, "only ok records kept");
+    expect(degraded.notOk == 1, "failed record counted");
+    expect(degraded.unusable == 1, "nan ipc counted");
+    expect(compareJournals(base, degraded, opt, false, compared) == 0,
+           "degraded journal compares clean on the overlap");
+    expect(compared == 1, "overlap is the single surviving key");
+
+    // Disjoint run sets are incomparable, not silently passing.
+    const std::string disjoint_text =
+        "{\"version\":3,\"commit\":\"dddd\",\"results\":["
+        "{\"benchmark\":\"mcf\",\"scheme\":\"baseline\",\"config\":1,"
+        "\"status\":\"ok\",\"ipc\":0.3,\"cycles\":5}]}";
+    Journal disjoint;
+    expect(parseJournal(disjoint_text, disjoint, err),
+           "parse disjoint journal");
+    expect(compareJournals(base, disjoint, opt, false, compared) == 0,
+           "disjoint journals report no regressions");
+    expect(compared == 0, "disjoint journals are incomparable");
 
     std::printf("selftest: %s\n", failures ? "FAILED" : "ok");
     return failures ? 1 : 0;
@@ -429,7 +504,9 @@ usage(const char *argv0)
         "\n"
         "Diffs two bench journals produced by --json= and exits 1\n"
         "when the current one regresses IPC or wall clock beyond\n"
-        "the thresholds.\n",
+        "the thresholds. Failed-run records and records without a\n"
+        "finite IPC are excluded; journals sharing no comparable\n"
+        "record exit 3 (incomparable).\n",
         argv0, argv0);
 }
 
@@ -466,5 +543,10 @@ main(int argc, char **argv)
     Journal base, cur;
     if (!loadJournal(paths[0], base) || !loadJournal(paths[1], cur))
         return 2;
-    return compareJournals(base, cur, opt, verbose) ? 1 : 0;
+    std::size_t compared = 0;
+    const int regressions =
+        compareJournals(base, cur, opt, verbose, compared);
+    if (regressions)
+        return 1;
+    return compared ? 0 : 3;
 }

@@ -1,14 +1,15 @@
 /**
  * @file
- * dmdc_sim — command-line driver for single simulations.
+ * dmdc_sim — command-line driver for single simulations and small
+ * fault-tolerant campaigns.
  *
  * Usage:
  *   dmdc_sim [options]
- *     --bench=<name>        benchmark (default gzip; --list for all)
- *     --scheme=<s>          registered scheme name or alias
+ *     --bench=<a,b,...>     benchmark(s) (default gzip; --list for all)
+ *     --scheme=<a,b,...>    registered scheme name(s) or alias(es)
  *                           (--list-schemes for all)
  *     --list-schemes        print the scheme registry and exit
- *     --config=<1|2|3>      paper Table 1 configuration (default 2)
+ *     --config=<1|2|3,...>  paper Table 1 configuration(s) (default 2)
  *     --insts=<n>           measured instructions (default 500000)
  *     --warmup=<n>          warm-up instructions (default 50000)
  *     --yla=<n>             quad-word YLA registers (default 8)
@@ -18,11 +19,30 @@
  *     --coherence           enable the coherence extension
  *     --no-safe-loads       disable safe-load detection (ablation)
  *     --sq-filter           enable the Sec. 3 SQ-side age filter
- *     --stats               dump the full statistics tree
- *     --energy              dump the energy breakdown
+ *     --stats               dump the full statistics tree (single run)
+ *     --energy              dump the energy breakdown (single run)
  *     --jobs=<n>            campaign worker threads (0 = all cores)
  *     --no-cache            bypass the memoized run cache
  *     --cache-dir=<path>    run-cache directory (default .dmdc_cache)
+ *     --cache-max-mb=<n>    LRU-evict the run cache above n MB
+ *     --timeout=<ms>        per-run wall-clock budget (0 = none)
+ *     --max-retries=<n>     retries for transient failures (default 2)
+ *     --fail-fast           stop scheduling runs after a failure and
+ *                           exit non-zero if anything failed
+ *     --state=<path>        write a checkpoint manifest after each run
+ *     --resume              resume the campaign in --state (completed
+ *                           runs are served from the run cache)
+ *     --json=<path>         write the campaign journal / failure
+ *                           manifest to <path>
+ *     --json-deterministic  strip timestamps/wall-clock/attempts from
+ *                           the journal and sort records canonically
+ *
+ * Comma-separated --bench / --scheme / --config values select campaign
+ * mode: the cross product runs through the fault-isolated campaign
+ * engine. Individual run failures degrade the campaign (they appear in
+ * the journal and the exit status stays 0) unless --fail-fast is given
+ * or every run failed. Deterministic chaos can be injected with
+ * DMDC_FAULT=run-throw:p=0.1,run-hang:p=0.01,cache-corrupt:p=0.1.
  *
  * Repeat invocations with identical options are served from the run
  * cache (near-instant); --stats always re-simulates because the full
@@ -34,11 +54,13 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "energy/energy_model.hh"
 #include "lsq/policy/registry.hh"
 #include "sim/campaign_runner.hh"
+#include "sim/run_error.hh"
 #include "sim/simulator.hh"
 #include "trace/spec_suite.hh"
 
@@ -90,99 +112,27 @@ printEnergy(const EnergyBreakdown &e)
                               : 0.0);
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+std::vector<std::string>
+splitList(const std::string &csv)
 {
-    SimOptions opt;
-    opt.warmupInsts = 50000;
-    opt.runInsts = 500000;
-    bool dump_stats = false;
-    bool dump_energy = false;
-    CampaignConfig campaign_cfg;
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        auto val = [&a](const char *prefix) {
-            return a.substr(std::strlen(prefix));
-        };
-        if (a == "--list") {
-            for (const auto &n : specAllNames())
-                std::printf("%s%s\n", n.c_str(),
-                            specIsFp(n) ? " (FP)" : " (INT)");
-            return 0;
-        } else if (a == "--list-schemes") {
-            printSchemes();
-            return 0;
-        } else if (a.rfind("--bench=", 0) == 0) {
-            opt.benchmark = val("--bench=");
-        } else if (a.rfind("--scheme=", 0) == 0) {
-            opt.scheme = val("--scheme=");
-        } else if (a.rfind("--config=", 0) == 0) {
-            opt.configLevel =
-                static_cast<unsigned>(std::stoul(val("--config=")));
-        } else if (a.rfind("--insts=", 0) == 0) {
-            opt.runInsts = std::stoull(val("--insts="));
-        } else if (a.rfind("--warmup=", 0) == 0) {
-            opt.warmupInsts = std::stoull(val("--warmup="));
-        } else if (a.rfind("--yla=", 0) == 0) {
-            opt.numYlaQw =
-                static_cast<unsigned>(std::stoul(val("--yla=")));
-        } else if (a.rfind("--table=", 0) == 0) {
-            opt.tableEntriesOverride =
-                static_cast<unsigned>(std::stoul(val("--table=")));
-        } else if (a.rfind("--queue=", 0) == 0) {
-            opt.queueEntries =
-                static_cast<unsigned>(std::stoul(val("--queue=")));
-        } else if (a.rfind("--inv=", 0) == 0) {
-            opt.invalidationsPer1kCycles = std::stod(val("--inv="));
-            opt.coherence = true;
-        } else if (a == "--coherence") {
-            opt.coherence = true;
-        } else if (a == "--no-safe-loads") {
-            opt.safeLoads = false;
-        } else if (a == "--sq-filter") {
-            opt.sqFilter = true;
-        } else if (a == "--stats") {
-            dump_stats = true;
-        } else if (a == "--energy") {
-            dump_energy = true;
-        } else if (a.rfind("--jobs=", 0) == 0) {
-            campaign_cfg.jobs =
-                static_cast<unsigned>(std::stoul(val("--jobs=")));
-        } else if (a == "--no-cache") {
-            campaign_cfg.useCache = false;
-        } else if (a.rfind("--cache-dir=", 0) == 0) {
-            campaign_cfg.cacheDir = val("--cache-dir=");
-        } else if (a == "--help" || a == "-h") {
-            std::printf("see the file header of tools/dmdc_sim.cc "
-                        "for options\n");
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            return 1;
-        }
+    std::vector<std::string> out;
+    std::size_t from = 0;
+    while (from <= csv.size()) {
+        const std::size_t comma = csv.find(',', from);
+        const std::string item = csv.substr(
+            from, comma == std::string::npos ? comma : comma - from);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        from = comma + 1;
     }
+    return out;
+}
 
-    CampaignRunner::configureGlobal(campaign_cfg);
-
-    // --stats needs the live pipeline's statistics tree, so that mode
-    // always simulates in-process; everything else goes through the
-    // cache-aware campaign runner.
-    std::unique_ptr<Simulator> sim;
-    SimResult r;
-    if (dump_stats) {
-        sim = std::make_unique<Simulator>(opt);
-        r = sim->run();
-    } else {
-        r = CampaignRunner::global().runOne(opt);
-        const CampaignStats &cs = CampaignRunner::global().lastStats();
-        if (cs.memoryHits + cs.diskHits > 0)
-            inform("run served from cache (%.1f ms)", cs.wallMs);
-        else
-            inform("simulated in %.1f ms", cs.wallMs);
-    }
+void
+printSingleResult(const SimResult &r, const SimOptions &opt)
+{
     // Reporting traits come from the registry, never from per-scheme
     // dispatch in this tool.
     const SchemeInfo &scheme_info =
@@ -222,10 +172,230 @@ main(int argc, char **argv)
         std::printf("sq searches filtered: %.1f%%\n",
                     all > 0 ? r.sqSearchesFiltered / all * 100 : 0.0);
     }
+}
+
+int
+runCampaign(const std::vector<SimOptions> &runs, bool fail_fast)
+{
+    const CampaignResult cr =
+        CampaignRunner::global().runChecked(runs, /*verbose=*/false);
+
+    std::printf("%-12s %-14s %3s  %-9s %8s %8s\n", "benchmark",
+                "scheme", "cfg", "status", "ipc", "attempts");
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunOutcome &oc = cr.outcomes[i];
+        if (oc.ok()) {
+            ++ok;
+            std::printf("%-12s %-14s %3u  %-9s %8.3f %8u%s\n",
+                        cr.results[i].benchmark.c_str(),
+                        cr.results[i].scheme.c_str(),
+                        cr.results[i].configLevel,
+                        runStatusName(oc.status), cr.results[i].ipc,
+                        oc.attempts, oc.cached ? "  (cached)" : "");
+        } else {
+            std::printf("%-12s %-14s %3u  %-9s %8s %8u  %s: %s\n",
+                        runs[i].benchmark.c_str(),
+                        runs[i].scheme.c_str(), runs[i].configLevel,
+                        runStatusName(oc.status), "-", oc.attempts,
+                        runErrorCategoryName(oc.category),
+                        oc.error.c_str());
+        }
+    }
+    std::printf("\n%zu of %zu runs ok\n", ok, runs.size());
+    flushCampaignJournal();
+
+    // A degraded campaign still exits 0 — the journal is the failure
+    // manifest — but a campaign with nothing to show, or any failure
+    // under --fail-fast, is an error.
+    if (ok == 0)
+        return 1;
+    if (fail_fast && ok != runs.size())
+        return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opt;
+    opt.warmupInsts = 50000;
+    opt.runInsts = 500000;
+    bool dump_stats = false;
+    bool dump_energy = false;
+    bool json_deterministic = false;
+    std::string json_path;
+    std::string bench_list = "gzip";
+    std::string scheme_list;
+    std::string config_list = "2";
+    CampaignConfig campaign_cfg;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto val = [&a](const char *prefix) {
+            return a.substr(std::strlen(prefix));
+        };
+        if (a == "--list") {
+            for (const auto &n : specAllNames())
+                std::printf("%s%s\n", n.c_str(),
+                            specIsFp(n) ? " (FP)" : " (INT)");
+            return 0;
+        } else if (a == "--list-schemes") {
+            printSchemes();
+            return 0;
+        } else if (a.rfind("--bench=", 0) == 0) {
+            bench_list = val("--bench=");
+        } else if (a.rfind("--scheme=", 0) == 0) {
+            scheme_list = val("--scheme=");
+        } else if (a.rfind("--config=", 0) == 0) {
+            config_list = val("--config=");
+        } else if (a.rfind("--insts=", 0) == 0) {
+            opt.runInsts = std::stoull(val("--insts="));
+        } else if (a.rfind("--warmup=", 0) == 0) {
+            opt.warmupInsts = std::stoull(val("--warmup="));
+        } else if (a.rfind("--yla=", 0) == 0) {
+            opt.numYlaQw =
+                static_cast<unsigned>(std::stoul(val("--yla=")));
+        } else if (a.rfind("--table=", 0) == 0) {
+            opt.tableEntriesOverride =
+                static_cast<unsigned>(std::stoul(val("--table=")));
+        } else if (a.rfind("--queue=", 0) == 0) {
+            opt.queueEntries =
+                static_cast<unsigned>(std::stoul(val("--queue=")));
+        } else if (a.rfind("--inv=", 0) == 0) {
+            opt.invalidationsPer1kCycles = std::stod(val("--inv="));
+            opt.coherence = true;
+        } else if (a == "--coherence") {
+            opt.coherence = true;
+        } else if (a == "--no-safe-loads") {
+            opt.safeLoads = false;
+        } else if (a == "--sq-filter") {
+            opt.sqFilter = true;
+        } else if (a == "--stats") {
+            dump_stats = true;
+        } else if (a == "--energy") {
+            dump_energy = true;
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            campaign_cfg.jobs =
+                static_cast<unsigned>(std::stoul(val("--jobs=")));
+        } else if (a == "--no-cache") {
+            campaign_cfg.useCache = false;
+        } else if (a.rfind("--cache-dir=", 0) == 0) {
+            campaign_cfg.cacheDir = val("--cache-dir=");
+        } else if (a.rfind("--cache-max-mb=", 0) == 0) {
+            campaign_cfg.cacheMaxBytes =
+                std::stoull(val("--cache-max-mb=")) * 1024 * 1024;
+        } else if (a.rfind("--timeout=", 0) == 0) {
+            campaign_cfg.timeoutMs = std::stod(val("--timeout="));
+            opt.timeoutMs = campaign_cfg.timeoutMs;
+        } else if (a.rfind("--max-retries=", 0) == 0) {
+            campaign_cfg.maxRetries = static_cast<unsigned>(
+                std::stoul(val("--max-retries=")));
+        } else if (a == "--fail-fast") {
+            campaign_cfg.failFast = true;
+        } else if (a.rfind("--state=", 0) == 0) {
+            campaign_cfg.statePath = val("--state=");
+        } else if (a == "--resume") {
+            campaign_cfg.resume = true;
+        } else if (a.rfind("--json=", 0) == 0) {
+            json_path = val("--json=");
+        } else if (a == "--json-deterministic") {
+            json_deterministic = true;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("see the file header of tools/dmdc_sim.cc "
+                        "for options\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return 1;
+        }
+    }
+
+    if (campaign_cfg.resume && campaign_cfg.statePath.empty()) {
+        std::fprintf(stderr, "dmdc_sim: --resume needs --state=\n");
+        return 1;
+    }
+
+    CampaignRunner::configureGlobal(campaign_cfg);
+    if (!json_path.empty())
+        setCampaignJournal(json_path, json_deterministic);
+
+    const std::vector<std::string> benches = splitList(bench_list);
+    const std::vector<std::string> schemes = splitList(
+        scheme_list.empty() ? opt.scheme : scheme_list);
+    const std::vector<std::string> configs = splitList(config_list);
+    if (benches.empty() || schemes.empty() || configs.empty()) {
+        std::fprintf(stderr,
+                     "dmdc_sim: empty --bench/--scheme/--config\n");
+        return 1;
+    }
+
+    std::vector<SimOptions> runs;
+    for (const std::string &bench : benches) {
+        for (const std::string &scheme : schemes) {
+            for (const std::string &config : configs) {
+                SimOptions r = opt;
+                r.benchmark = bench;
+                r.scheme = scheme;
+                r.configLevel =
+                    static_cast<unsigned>(std::stoul(config));
+                runs.push_back(std::move(r));
+            }
+        }
+    }
+
+    if (runs.size() > 1) {
+        if (dump_stats || dump_energy) {
+            std::fprintf(stderr, "dmdc_sim: --stats/--energy need a "
+                                 "single run, not a campaign\n");
+            return 1;
+        }
+        return runCampaign(runs, campaign_cfg.failFast);
+    }
+
+    opt = runs.front();
+
+    // --stats needs the live pipeline's statistics tree, so that mode
+    // always simulates in-process; everything else goes through the
+    // cache-aware campaign runner.
+    std::unique_ptr<Simulator> sim;
+    SimResult r;
+    if (dump_stats) {
+        sim = std::make_unique<Simulator>(opt);
+        r = sim->run();
+    } else {
+        CampaignResult cr = CampaignRunner::global().runChecked({opt});
+        const RunOutcome &oc = cr.outcomes.front();
+        if (!oc.ok()) {
+            flushCampaignJournal();
+            std::fprintf(stderr, "dmdc_sim: run %s (%s error): %s\n",
+                         runStatusName(oc.status),
+                         runErrorCategoryName(oc.category),
+                         oc.error.c_str());
+            return 1;
+        }
+        r = cr.results.front();
+        if (oc.cached)
+            inform("run served from cache (%.1f ms)", oc.wallMs);
+        else
+            inform("simulated in %.1f ms", oc.wallMs);
+    }
+    printSingleResult(r, opt);
 
     if (dump_stats)
         sim->pipeline().statRoot().dump(std::cout);
     if (dump_energy)
         printEnergy(r.energy);
     return 0;
+  } catch (const RunError &e) {
+    std::fprintf(stderr, "dmdc_sim: %s error: %s\n",
+                 runErrorCategoryName(e.category()), e.what());
+    return 1;
+  } catch (const std::exception &e) {
+    std::fprintf(stderr, "dmdc_sim: %s\n", e.what());
+    return 1;
+  }
 }
