@@ -39,6 +39,8 @@ main(int argc, char **argv)
         double hash = 0;
         double all = 0;
         for (const SimResult &r : res) {
+            if (!r.valid)
+                continue;
             hash += static_cast<double>(
                 r.falseHashBefore + r.falseHashX + r.falseHashY);
             all += r.falseReplays();
@@ -52,5 +54,5 @@ main(int argc, char **argv)
                 "minority of false replays (11%%\n"
                 "INT / 26%% FP), so growing the table further has "
                 "diminishing returns.\n");
-    return 0;
+    return harnessExitCode();
 }

@@ -1,21 +1,24 @@
 /**
  * @file
  * Shared helpers for the benchmark harnesses: standard run lengths and
- * command-line handling (--quick for smoke runs, --insts=N,
- * --bench=name to restrict the suite, --jobs=N / --no-cache for the
- * campaign engine, --json=path for machine-readable results).
+ * command-line handling on the shared CliParser layer (--quick for
+ * smoke runs, --insts=N, --bench=a,b,c to restrict the suite, plus
+ * the full campaign-engine flag bundle: --jobs/--no-cache/--json/
+ * --timeout/--max-retries/--state/--resume/--shard — identical to
+ * tools/dmdc_sim). Malformed values produce a usage message and exit
+ * kExitUsage instead of an uncaught std::invalid_argument.
  */
 
 #ifndef DMDC_BENCH_BENCH_COMMON_HH
 #define DMDC_BENCH_BENCH_COMMON_HH
 
 #include <cstdint>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "sim/campaign.hh"
 #include "sim/campaign_runner.hh"
+#include "sim/cli_options.hh"
 #include "trace/spec_suite.hh"
 
 namespace dmdc
@@ -28,52 +31,57 @@ struct BenchArgs
     std::uint64_t runInsts = 200000;
     std::vector<std::string> benchmarks;   ///< suite subset (or all)
     bool verbose = false;
-    unsigned jobs = 0;                     ///< 0 = all cores
-    bool noCache = false;
-    std::string jsonPath;                  ///< "" = no journal
+    CampaignCliOptions campaign;           ///< shared engine flags
 
     /**
      * Parse argv and configure the process-wide CampaignRunner and
      * journal accordingly (benches call this before any runSuite()).
+     * Invalid flags, malformed numbers, or unknown benchmark names
+     * print usage and exit(kExitUsage).
      */
     static BenchArgs
     parse(int argc, char **argv)
     {
         BenchArgs args;
         args.benchmarks = specAllNames();
-        for (int i = 1; i < argc; ++i) {
-            const std::string a = argv[i];
-            if (a == "--quick") {
-                args.warmupInsts = 10000;
-                args.runInsts = 60000;
-                args.benchmarks = {"gzip", "mcf", "swim", "art"};
-            } else if (a.rfind("--insts=", 0) == 0) {
-                args.runInsts = std::stoull(a.substr(8));
-            } else if (a.rfind("--bench=", 0) == 0) {
-                args.benchmarks = {a.substr(8)};
-            } else if (a == "--verbose") {
-                args.verbose = true;
-            } else if (a.rfind("--jobs=", 0) == 0) {
-                args.jobs =
-                    static_cast<unsigned>(std::stoul(a.substr(7)));
-            } else if (a == "--jobs" && i + 1 < argc) {
-                args.jobs =
-                    static_cast<unsigned>(std::stoul(argv[++i]));
-            } else if (a == "--no-cache") {
-                args.noCache = true;
-            } else if (a.rfind("--json=", 0) == 0) {
-                args.jsonPath = a.substr(7);
-            } else if (a == "--json" && i + 1 < argc) {
-                args.jsonPath = argv[++i];
-            }
+
+        CliParser cli(argv[0],
+                      "DMDC figure/table harness; prints the "
+                      "reproduction and exits 0, or " +
+                          std::to_string(kExitDegraded) +
+                          " when runs degraded to n/a cells.");
+        cli.action("quick",
+                   [&args] {
+                       args.warmupInsts = 10000;
+                       args.runInsts = 60000;
+                       args.benchmarks = {"gzip", "mcf", "swim",
+                                          "art"};
+                   },
+                   "smoke-run budget over a 4-benchmark subset");
+        cli.value("insts", &args.runInsts,
+                  "measured instructions per run");
+        cli.value("warmup", &args.warmupInsts,
+                  "warm-up instructions per run");
+        cli.list("bench", &args.benchmarks,
+                 "comma-separated benchmark subset");
+        cli.flag("verbose", &args.verbose, "per-run progress lines");
+        args.campaign.addTo(cli);
+        cli.parseOrExit(argc, argv);
+
+        std::string err;
+        if (!args.campaign.finalize(err))
+            cli.failUsage(err);
+        if (args.runInsts == 0)
+            cli.failUsage("--insts must be > 0");
+        for (const std::string &name : args.benchmarks) {
+            bool known = false;
+            for (const std::string &s : specAllNames())
+                known = known || s == name;
+            if (!known)
+                cli.failUsage("unknown benchmark '" + name + "'");
         }
 
-        CampaignConfig cfg;
-        cfg.jobs = args.jobs;
-        cfg.useCache = !args.noCache;
-        CampaignRunner::configureGlobal(cfg);
-        if (!args.jsonPath.empty())
-            setCampaignJournal(args.jsonPath);
+        args.campaign.apply();
         return args;
     }
 

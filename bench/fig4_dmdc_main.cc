@@ -58,5 +58,5 @@ main(int argc, char **argv)
                 "(rising with config), slowdown avg ~0.3%%\n"
                 "(worst case 1.3%% INT / 3.5%% FP; FP best case is a "
                 "speedup), net savings ~3-8%%.\n");
-    return 0;
+    return harnessExitCode();
 }

@@ -47,5 +47,5 @@ main(int argc, char **argv)
     std::printf("\nPaper shape: both small; the local variant's "
                 "worst-case slowdown is noticeably lower,\n"
                 "especially for FP applications.\n");
-    return 0;
+    return harnessExitCode();
 }

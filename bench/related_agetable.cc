@@ -71,5 +71,5 @@ main(int argc, char **argv)
                 "access (age-wide entries written by every load), "
                 "while DMDC confines table traffic\n"
                 "to rare checking windows.\n");
-    return 0;
+    return harnessExitCode();
 }

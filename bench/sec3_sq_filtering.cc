@@ -69,5 +69,5 @@ main(int argc, char **argv)
                 "filtering to future work but the\n"
                 "mechanism is implemented here as an extension "
                 "(exact, so slowdown is ~0).\n");
-    return 0;
+    return harnessExitCode();
 }

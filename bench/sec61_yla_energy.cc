@@ -53,5 +53,5 @@ main(int argc, char **argv)
                 "searches, cutting LQ energy ~32.4%%\n"
                 "and core energy ~1.7%%, with zero performance "
                 "impact (filtering is timing-neutral).\n");
-    return 0;
+    return harnessExitCode();
 }

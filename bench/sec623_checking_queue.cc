@@ -61,5 +61,5 @@ main(int argc, char **argv)
                 "average replay rate crosses the 2K-entry table's. "
                 "Per-application equivalence points\n"
                 "diverge wildly (the paper makes the same caveat).\n");
-    return 0;
+    return harnessExitCode();
 }

@@ -58,5 +58,5 @@ main(int argc, char **argv)
                 "(INT) / ~2.5%% (FP); 57%% (INT) / 63%% (FP) of "
                 "windows contain one unsafe store;\n"
                 "safe loads 81%% (INT) / 94%% (FP).\n");
-    return 0;
+    return harnessExitCode();
 }

@@ -63,5 +63,5 @@ main(int argc, char **argv)
                 "2K-entry table: hashing is ~11%% INT / ~26%% FP); "
                 "safe loads cut replays by ~52%% (INT)\n"
                 "/ ~20%% (FP).\n");
-    return 0;
+    return harnessExitCode();
 }

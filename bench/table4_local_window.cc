@@ -50,5 +50,5 @@ main(int argc, char **argv)
     }
     std::printf("\nPaper shape: local windows 13-25%% shorter; safe-"
                 "load fraction inside windows drops faster.\n");
-    return 0;
+    return harnessExitCode();
 }

@@ -58,5 +58,5 @@ main(int argc, char **argv)
     std::printf("\nPaper shape: the Y (merged windows) column is "
                 "mitigated under local DMDC; totals drop\n"
                 "~20%% (INT) / ~33%% (FP).\n");
-    return 0;
+    return harnessExitCode();
 }

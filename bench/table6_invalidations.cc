@@ -106,5 +106,5 @@ main(int argc, char **argv)
                 "invalidations/1000 cycles; at 100 the\n"
                 "false-replay rate is ~5x and slowdown grows but "
                 "stays near ~1%%.\n");
-    return 0;
+    return harnessExitCode();
 }

@@ -28,6 +28,13 @@ printWindowTable(const std::vector<SimResult> &results)
             [](const SimResult &r) { return r.windowLoads; });
         const Range safe = rangeOver(results, fp,
             [](const SimResult &r) { return r.windowSafeLoads; });
+        if (instrs.n == 0) {
+            // Every run of this group degraded; keep the row so the
+            // table shape is stable, but mark it unusable.
+            std::printf("  %-6s %14s %10s %12s\n", fp ? "FP" : "INT",
+                        "n/a", "n/a", "n/a");
+            continue;
+        }
         std::printf("  %-6s %14s %10s %12s\n", fp ? "FP" : "INT",
                     fmt(instrs.mean).c_str(), fmt(loads.mean).c_str(),
                     fmt(safe.mean, 2).c_str());
@@ -52,7 +59,7 @@ printReplayBreakdown(const std::vector<SimResult> &results)
         double overflow = 0;
         double true_r = 0;
         for (const SimResult &r : results) {
-            if (r.fp != fp)
+            if (!r.valid || r.fp != fp)
                 continue;
             addr_x += r.perMInst(static_cast<double>(r.falseAddrX));
             addr_y += r.perMInst(static_cast<double>(r.falseAddrY));
@@ -66,7 +73,7 @@ printReplayBreakdown(const std::vector<SimResult> &results)
         }
         double n = 0;
         for (const SimResult &r : results)
-            n += r.fp == fp;
+            n += r.valid && r.fp == fp;
         if (n == 0)
             continue;
         addr_x /= n;

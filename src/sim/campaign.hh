@@ -8,9 +8,11 @@
 #ifndef DMDC_SIM_CAMPAIGN_HH
 #define DMDC_SIM_CAMPAIGN_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "sim/campaign_runner.hh"
 #include "sim/simulator.hh"
 
 namespace dmdc
@@ -22,10 +24,38 @@ namespace dmdc
  * Runs execute on CampaignRunner::global() — parallel across
  * benchmarks and memoized — with results in suite order, element-wise
  * identical to a serial loop over runSimulation().
+ *
+ * Failure tolerance: a failed / timed-out / out-of-shard run yields
+ * an *invalid* result slot (SimResult::valid == false, identity
+ * fields filled in) instead of killing the process; the aggregation
+ * helpers skip invalid slots and the harness exits with
+ * harnessExitCode() so degradation is visible to scripts.
  */
 std::vector<SimResult> runSuite(const SimOptions &base,
                                 const std::vector<std::string> &names,
                                 bool verbose = true);
+
+/**
+ * Run an explicit campaign on the global runner, marking degraded
+ * result slots invalid and feeding the process-wide degradation
+ * counter behind harnessExitCode(). The bench harnesses call this
+ * instead of CampaignRunner::run() (deprecated, fatal()s).
+ */
+CampaignResult runCampaignChecked(const std::vector<SimOptions> &runs,
+                                  bool verbose = false);
+
+/**
+ * In-shard runs that degraded (failed / timed out / skipped) across
+ * every runSuite() / runCampaignChecked() call so far.
+ */
+std::size_t harnessDegradedRuns();
+
+/**
+ * kExitOk when every run so far succeeded, kExitDegraded otherwise.
+ * Every bench main() returns this: a figure with "n/a" cells still
+ * prints, but scripts can tell it was degraded.
+ */
+int harnessExitCode();
 
 /**
  * Per-benchmark slowdown (%) of @p test versus @p baseline, aggregated
@@ -47,11 +77,13 @@ savingRange(const std::vector<SimResult> &baseline,
     std::vector<double> v;
     v.reserve(baseline.size());
     for (const SimResult &b : baseline) {
-        if (b.fp != fp_group)
+        if (!b.valid || b.fp != fp_group)
             continue;
-        const SimResult &t = lookup.at(b.benchmark);
+        const SimResult *t = lookup.find(b.benchmark);
+        if (!t)
+            continue; // degraded pair: drop from the aggregate
         const double base_val = fn(b);
-        const double test_val = fn(t);
+        const double test_val = fn(*t);
         if (base_val > 0)
             v.push_back((base_val - test_val) / base_val * 100.0);
     }
@@ -69,8 +101,13 @@ std::string fmt(double v, int precision = 1);
 /** "12.3%" from a fraction. */
 std::string pct(double frac, int precision = 1);
 
-/** "mean [min, max]" summary of a Range. */
+/** "mean [min, max]" summary of a Range; "n/a" for an empty sample
+ *  (every contributing run degraded). */
 std::string rangeStr(const Range &r, int precision = 1);
+
+/** Table cell for one result's metric: fmt(v) or "n/a" when the slot
+ *  is invalid (degraded run). */
+std::string cell(const SimResult &r, double v, int precision = 1);
 
 } // namespace dmdc
 

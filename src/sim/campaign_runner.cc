@@ -449,6 +449,7 @@ struct JournalRecord
     std::string category; ///< empty when ok
     std::string error;    ///< empty when ok
     unsigned attempts;
+    unsigned shard;
 };
 
 struct Journal
@@ -457,6 +458,15 @@ struct Journal
     std::string path;
     bool deterministic = false;
     std::vector<JournalRecord> records;
+
+    // Shard header state, accumulated across runChecked() calls: a
+    // harness may run several campaigns into one journal, so the
+    // campaign fingerprint chains and the run totals add up.
+    bool sharded = false;
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    std::uint64_t runsTotal = 0;
+    std::uint64_t campaignHash = 0;
 };
 
 Journal &
@@ -475,7 +485,7 @@ appendJournal(const SimResult &r, const RunOutcome &oc)
         return;
     j.records.push_back({r.benchmark, r.scheme, r.configLevel, r.ipc,
                          r.cycles, oc.wallMs, oc.cached, oc.status,
-                         "", "", oc.attempts});
+                         "", "", oc.attempts, oc.shard});
 }
 
 void
@@ -488,7 +498,28 @@ appendJournalFailure(const SimOptions &opt, const RunOutcome &oc)
     j.records.push_back({opt.benchmark, opt.scheme, opt.configLevel,
                          0.0, 0, oc.wallMs, false, oc.status,
                          runErrorCategoryName(oc.category), oc.error,
-                         oc.attempts});
+                         oc.attempts, oc.shard});
+}
+
+/**
+ * Stamp the journal as one shard's slice of a campaign. Called once
+ * per runChecked() campaign in sharded mode; fingerprints chain so a
+ * multi-campaign harness still yields one comparable campaign id.
+ */
+void
+journalNoteShardSlice(const std::string &fingerprint,
+                      std::size_t campaignRuns, const ShardSpec &spec)
+{
+    Journal &j = journal();
+    std::lock_guard<std::mutex> lock(j.mutex);
+    if (j.path.empty())
+        return;
+    j.sharded = true;
+    j.shardIndex = spec.index;
+    j.shardCount = spec.count;
+    j.runsTotal += campaignRuns;
+    j.campaignHash = hashBytes(fingerprint.data(), fingerprint.size(),
+                               j.campaignHash);
 }
 
 } // namespace
@@ -502,8 +533,14 @@ setCampaignJournal(const std::string &path, bool deterministic)
         // Retargeting starts a fresh journal; the records of the
         // previous target belong to its file (already flushed or
         // about to be dropped), not to the new one.
-        if (path != j.path)
+        if (path != j.path) {
             j.records.clear();
+            j.sharded = false;
+            j.shardIndex = 0;
+            j.shardCount = 1;
+            j.runsTotal = 0;
+            j.campaignHash = 0;
+        }
         j.path = path;
         j.deterministic = deterministic;
     }
@@ -528,45 +565,77 @@ flushCampaignJournal()
         warn("cannot write bench journal '%s'", j.path.c_str());
         return;
     }
-    if (j.deterministic) {
-        // Workers append in completion order; canonicalize so two
-        // campaigns over the same run list serialize identically.
-        std::sort(j.records.begin(), j.records.end(),
-                  [](const JournalRecord &a, const JournalRecord &b) {
-                      return std::tie(a.benchmark, a.scheme,
-                                      a.configLevel, a.status,
-                                      a.error) <
-                          std::tie(b.benchmark, b.scheme,
-                                   b.configLevel, b.status, b.error);
-                  });
-    }
     os << "{\"version\":" << kCacheFormatVersion
        << ",\"commit\":\"" << DMDC_GIT_COMMIT << '"';
     if (!j.deterministic)
         os << ",\"generated_utc\":\"" << utcTimestamp() << '"';
+    if (j.sharded) {
+        // Shard journals carry what the merger needs to validate that
+        // a journal set belongs together: the (chained) campaign
+        // fingerprint, this slice's coordinates, and the full
+        // campaign's run count.
+        char fp[20];
+        std::snprintf(fp, sizeof(fp), "%016llx",
+                      static_cast<unsigned long long>(j.campaignHash));
+        os << ",\"campaign\":\"" << fp
+           << "\",\"shard_index\":" << j.shardIndex
+           << ",\"shard_count\":" << j.shardCount
+           << ",\"runs_total\":" << j.runsTotal;
+    }
     os << ",\"results\":[";
-    bool first = true;
-    for (const JournalRecord &rec : j.records) {
-        if (!first)
-            os << ',';
-        first = false;
-        os << "\n  {\"benchmark\":\"" << rec.benchmark
-           << "\",\"scheme\":\"" << rec.scheme
-           << "\",\"config\":" << rec.configLevel
-           << ",\"status\":\"" << runStatusName(rec.status) << '"';
-        if (rec.status == RunStatus::Ok) {
-            os << ",\"ipc\":" << doubleToken(rec.ipc)
-               << ",\"cycles\":" << rec.cycles;
-        } else {
-            os << ",\"category\":\"" << jsonEscape(rec.category)
-               << "\",\"error\":\"" << jsonEscape(rec.error) << '"';
+    if (j.deterministic) {
+        // Workers append in completion order; canonicalize through
+        // the shared serializer so shard journals merge into a file
+        // byte-identical to a single-process one (campaign_shard.hh).
+        std::vector<JournalEntry> entries;
+        entries.reserve(j.records.size());
+        for (const JournalRecord &rec : j.records) {
+            JournalEntry e;
+            e.benchmark = rec.benchmark;
+            e.scheme = rec.scheme;
+            e.config = rec.configLevel;
+            e.status = rec.status;
+            if (rec.status == RunStatus::Ok) {
+                e.ipcToken = doubleToken(rec.ipc);
+                e.cyclesToken = std::to_string(rec.cycles);
+            } else {
+                e.category = rec.category;
+                e.error = rec.error;
+            }
+            entries.push_back(std::move(e));
         }
-        if (!j.deterministic) {
+        std::sort(entries.begin(), entries.end(), journalEntryLess);
+        bool first = true;
+        for (const JournalEntry &e : entries) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeJournalEntry(os, e);
+        }
+    } else {
+        bool first = true;
+        for (const JournalRecord &rec : j.records) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << "\n  {\"benchmark\":\"" << rec.benchmark
+               << "\",\"scheme\":\"" << rec.scheme
+               << "\",\"config\":" << rec.configLevel
+               << ",\"status\":\"" << runStatusName(rec.status) << '"';
+            if (rec.status == RunStatus::Ok) {
+                os << ",\"ipc\":" << doubleToken(rec.ipc)
+                   << ",\"cycles\":" << rec.cycles;
+            } else {
+                os << ",\"category\":\"" << jsonEscape(rec.category)
+                   << "\",\"error\":\"" << jsonEscape(rec.error) << '"';
+            }
             os << ",\"attempts\":" << rec.attempts
                << ",\"wall_ms\":" << doubleToken(rec.wallMs)
                << ",\"cached\":" << (rec.cached ? "true" : "false");
+            if (j.sharded)
+                os << ",\"shard\":" << rec.shard;
+            os << '}';
         }
-        os << '}';
     }
     os << "\n]}\n";
     // Records stay buffered: flush is idempotent, so an explicit
@@ -825,8 +894,25 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
     cr.results.resize(runs.size());
     cr.outcomes.resize(runs.size());
 
+    // ---- shard partition ---------------------------------------------
+    // Every shard process computes the same assignment from the same
+    // run list; this process executes only its slice. Other slices
+    // complete instantly as OutOfShard and are never journaled here.
+    const ShardSpec shard = config_.shard;
+    std::vector<unsigned> owner;
+    if (shard.active()) {
+        owner = shardAssignment(runs, shard.count);
+        journalNoteShardSlice(campaignFingerprint(runs), runs.size(),
+                              shard);
+    }
+
     // ---- checkpoint manifest -----------------------------------------
-    const bool checkpointing = !config_.statePath.empty();
+    // Sharded processes checkpoint to their own derived manifest (two
+    // writers must not share one file); its fingerprint still covers
+    // the full campaign work list.
+    const std::string statePath =
+        shardStatePath(config_.statePath, shard);
+    const bool checkpointing = !statePath.empty();
     CampaignState state;
     std::mutex state_mutex;
     if (checkpointing) {
@@ -835,15 +921,15 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
         if (config_.resume) {
             CampaignState prior;
             std::string err;
-            if (!loadCampaignState(config_.statePath, prior, err)) {
+            if (!loadCampaignState(statePath, prior, err)) {
                 warn("campaign: cannot resume from '%s' (%s); "
                      "starting fresh",
-                     config_.statePath.c_str(), err.c_str());
+                     statePath.c_str(), err.c_str());
             } else if (prior.fingerprint != fp ||
                        prior.entries.size() != runs.size()) {
                 warn("campaign: state in '%s' belongs to a different "
                      "campaign; starting fresh",
-                     config_.statePath.c_str());
+                     statePath.c_str());
             } else {
                 state = std::move(prior);
                 resumed = true;
@@ -854,7 +940,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                 }
                 inform("campaign: resuming '%s' (%zu of %zu runs "
                        "previously ok)",
-                       config_.statePath.c_str(), done, runs.size());
+                       statePath.c_str(), done, runs.size());
             }
         }
         state.fingerprint = fp;
@@ -867,7 +953,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                 state.entries[i].status = RunStatus::Pending;
             }
         }
-        saveCampaignState(config_.statePath, state);
+        saveCampaignState(statePath, state);
     }
 
     auto record_state = [&](std::size_t index, const RunOutcome &oc) {
@@ -884,7 +970,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
             e.category = runErrorCategoryName(oc.category);
             e.error = oc.error;
         }
-        saveCampaignState(config_.statePath, state);
+        saveCampaignState(statePath, state);
     };
 
     // ---- classify: cache hits, leaders, followers --------------------
@@ -902,6 +988,21 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
 
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const SimOptions &opt = runs[i];
+        if (shard.active()) {
+            cr.outcomes[i].shard = owner[i];
+            if (owner[i] != shard.index) {
+                RunOutcome &oc = cr.outcomes[i];
+                oc.status = RunStatus::OutOfShard;
+                oc.category = RunErrorCategory::Config;
+                oc.error = "assigned to shard " +
+                           std::to_string(owner[i]) + " of " +
+                           std::to_string(shard.count);
+                oc.attempts = 0;
+                ++stats.outOfShard;
+                record_state(i, oc);
+                continue;
+            }
+        }
         if (!cacheableOptions(opt)) {
             ++stats.uncacheable;
             pending.push_back({i, ""});
@@ -957,6 +1058,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                          &record_state] {
                 const auto run_t0 = Clock::now();
                 RunOutcome oc;
+                oc.shard = config_.shard.index;
                 if (abort_flag.load(std::memory_order_relaxed)) {
                     oc.status = RunStatus::Skipped;
                     oc.category = RunErrorCategory::SimInvariant;
@@ -1063,6 +1165,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
     for (const auto &[dst, src] : followers) {
         const RunOutcome &leader = cr.outcomes[src];
         RunOutcome oc;
+        oc.shard = config_.shard.index;
         if (leader.ok()) {
             cr.results[dst] = cr.results[src];
             oc.cached = true;
@@ -1085,6 +1188,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
           case RunStatus::Failed:   ++stats.failed;   break;
           case RunStatus::TimedOut: ++stats.timedOut; break;
           case RunStatus::Skipped:  ++stats.skipped;  break;
+          case RunStatus::OutOfShard: break; // counted in classify
           default: break;
         }
         if (oc.attempts > 1)
@@ -1098,6 +1202,12 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
     lastStats_ = stats;
 
     if (verbose || runs.size() > 1) {
+        if (shard.active()) {
+            inform("campaign shard %u/%u: %zu of %zu runs in this "
+                   "slice",
+                   shard.index, shard.count,
+                   stats.runs - stats.outOfShard, stats.runs);
+        }
         inform("campaign: %zu runs in %.2fs (%.1f sims/s; "
                "%zu simulated, %zu mem hits, %zu disk hits, "
                "%zu uncacheable)",
@@ -1125,7 +1235,7 @@ CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
         const RunOutcome *first = nullptr;
         std::size_t first_index = 0;
         for (std::size_t i = 0; i < cr.outcomes.size(); ++i) {
-            if (!cr.outcomes[i].ok()) {
+            if (!cr.outcomes[i].ok() && cr.outcomes[i].inShard()) {
                 ++bad;
                 if (!first) {
                     first = &cr.outcomes[i];
@@ -1149,7 +1259,17 @@ CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
 SimResult
 CampaignRunner::runOne(const SimOptions &options, bool verbose)
 {
-    return run(std::vector<SimOptions>{options}, verbose).front();
+    CampaignResult cr =
+        runChecked(std::vector<SimOptions>{options}, verbose);
+    const RunOutcome &oc = cr.outcomes.front();
+    if (!oc.ok() && oc.inShard()) {
+        flushCampaignJournal();
+        fatal("run %s/%s config%u %s (%s: %s)",
+              options.benchmark.c_str(), options.scheme.c_str(),
+              options.configLevel, runStatusName(oc.status),
+              runErrorCategoryName(oc.category), oc.error.c_str());
+    }
+    return std::move(cr.results.front());
 }
 
 namespace

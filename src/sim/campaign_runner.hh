@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/campaign_shard.hh"
 #include "sim/run_error.hh"
 #include "sim/simulator.hh"
 
@@ -78,6 +79,16 @@ struct CampaignConfig
      * are evicted after each campaign to stay under it. 0 = unlimited.
      */
     std::uint64_t cacheMaxBytes = 0;
+
+    /**
+     * Which slice of each campaign this process executes
+     * (--shard=i/N). The work list is partitioned deterministically
+     * (see shardAssignment()); runs owned by other shards complete
+     * immediately with RunStatus::OutOfShard and are not journaled.
+     * With a statePath set, each shard checkpoints to its own derived
+     * manifest (shardStatePath()). Default 0/1 = the whole campaign.
+     */
+    ShardSpec shard;
 };
 
 /** Execution accounting of the most recent campaign. */
@@ -91,6 +102,7 @@ struct CampaignStats
     std::size_t failed = 0;      ///< terminal non-timeout failures
     std::size_t timedOut = 0;    ///< watchdog-terminated runs
     std::size_t skipped = 0;     ///< not executed (fail-fast)
+    std::size_t outOfShard = 0;  ///< owned by another shard process
     std::size_t retried = 0;     ///< runs that needed > 1 attempt
     std::size_t quarantined = 0; ///< corrupt cache entries set aside
     std::size_t evicted = 0;     ///< cache entries removed by the cap
@@ -113,14 +125,31 @@ struct CampaignResult
     /** Parallel to results. */
     std::vector<RunOutcome> outcomes;
 
+    /**
+     * Every run this process is responsible for succeeded.
+     * OutOfShard runs belong to a sibling shard process and don't
+     * count against this campaign.
+     */
     bool
     allOk() const
     {
         for (const RunOutcome &o : outcomes) {
-            if (!o.ok())
+            if (!o.ok() && o.inShard())
                 return false;
         }
         return true;
+    }
+
+    /** In-shard runs that failed, timed out, or were skipped. */
+    std::size_t
+    degradedRuns() const
+    {
+        std::size_t n = 0;
+        for (const RunOutcome &o : outcomes) {
+            if (!o.ok() && o.inShard())
+                ++n;
+        }
+        return n;
     }
 };
 
@@ -143,10 +172,13 @@ class CampaignRunner
      * Degradation contract: individual run failures never abort the
      * campaign mid-flight — every surviving run completes and is
      * cached — but this legacy entry point then fatal()s with a
-     * summary, because its callers (the bench harnesses) cannot
-     * render tables with holes. Failure-tolerant callers use
-     * runChecked().
+     * summary.
+     *
+     * @deprecated Every harness now renders degraded cells from
+     * runChecked()'s RunOutcomes instead of dying; new callers must
+     * not introduce the fatal() path again.
      */
+    [[deprecated("use runChecked(); run() fatal()s on any failure")]]
     std::vector<SimResult> run(const std::vector<SimOptions> &runs,
                                bool verbose = false);
 

@@ -1,0 +1,725 @@
+#include "sim/campaign_shard.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+/** Journal identity of one run: the fields a journal record carries. */
+std::string
+journalIdentity(const std::string &benchmark, const std::string &scheme,
+                unsigned config)
+{
+    std::string id = benchmark;
+    id += '|';
+    id += scheme;
+    id += '|';
+    id += std::to_string(config);
+    return id;
+}
+
+/** Same escaping the journal writer applies to string fields. */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+// ---- shard spec ------------------------------------------------------
+
+bool
+parseShardSpec(const std::string &text, ShardSpec &out, std::string &err)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+        err = "expected --shard=i/N (e.g. 0/2), got '" + text + "'";
+        return false;
+    }
+    const std::string idx = text.substr(0, slash);
+    const std::string cnt = text.substr(slash + 1);
+    for (const std::string &part : {idx, cnt}) {
+        if (part.empty() ||
+            !std::all_of(part.begin(), part.end(), [](unsigned char c) {
+                return std::isdigit(c) != 0;
+            })) {
+            err = "shard spec '" + text + "' is not of the form i/N";
+            return false;
+        }
+        if (part.size() > 6) {
+            err = "shard spec '" + text + "' is out of range";
+            return false;
+        }
+    }
+    const unsigned long i = std::stoul(idx);
+    const unsigned long n = std::stoul(cnt);
+    if (n == 0) {
+        err = "shard count must be >= 1";
+        return false;
+    }
+    if (i >= n) {
+        err = "shard index " + idx + " out of range for " + cnt +
+              " shards (indices are 0-based)";
+        return false;
+    }
+    out.index = static_cast<unsigned>(i);
+    out.count = static_cast<unsigned>(n);
+    return true;
+}
+
+std::string
+shardSpecName(const ShardSpec &spec)
+{
+    return std::to_string(spec.index) + '/' + std::to_string(spec.count);
+}
+
+std::string
+shardStatePath(const std::string &statePath, const ShardSpec &spec)
+{
+    if (statePath.empty() || !spec.active())
+        return statePath;
+    const std::string suffix = ".shard" + std::to_string(spec.index) +
+                               "of" + std::to_string(spec.count);
+    const std::size_t slash = statePath.find_last_of('/');
+    const std::size_t dot = statePath.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return statePath + suffix;
+    }
+    return statePath.substr(0, dot) + suffix + statePath.substr(dot);
+}
+
+// ---- partition -------------------------------------------------------
+
+std::vector<unsigned>
+shardAssignment(const std::vector<SimOptions> &runs, unsigned shardCount)
+{
+    std::vector<unsigned> assignment(runs.size(), 0);
+    if (shardCount <= 1 || runs.empty())
+        return assignment;
+
+    // Group by journal identity so repeated (benchmark, scheme,
+    // config) triples — legal within one campaign — can never be split
+    // across shards, which would break the merger's disjointness
+    // invariant.
+    struct Group
+    {
+        std::string key;
+        std::uint64_t hash = 0;
+        double cost = 0.0;
+        std::vector<std::size_t> members;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::string, std::size_t> byKey;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const SimOptions &opt = runs[i];
+        const std::string key = journalIdentity(
+            opt.benchmark, opt.scheme, opt.configLevel);
+        auto it = byKey.find(key);
+        if (it == byKey.end()) {
+            it = byKey.emplace(key, groups.size()).first;
+            groups.push_back(
+                {key, hashBytes(key.data(), key.size()), 0.0, {}});
+        }
+        Group &g = groups[it->second];
+        // Simulation cost is linear in the instruction budget; the
+        // budget is the best machine-independent estimate available
+        // before running.
+        g.cost += static_cast<double>(opt.warmupInsts) +
+                  static_cast<double>(opt.runInsts);
+        g.members.push_back(i);
+    }
+
+    // Longest-processing-time greedy: place big groups first, each on
+    // the currently least-loaded shard. The (hash, key) tie-breakers
+    // make the order — and therefore the whole assignment — a pure
+    // function of the run list.
+    std::sort(groups.begin(), groups.end(),
+              [](const Group &a, const Group &b) {
+                  return std::tie(b.cost, a.hash, a.key) <
+                         std::tie(a.cost, b.hash, b.key);
+              });
+    std::vector<double> load(shardCount, 0.0);
+    for (const Group &g : groups) {
+        std::size_t target = 0;
+        for (std::size_t s = 1; s < load.size(); ++s) {
+            if (load[s] < load[target])
+                target = s;
+        }
+        load[target] += g.cost;
+        for (std::size_t member : g.members)
+            assignment[member] = static_cast<unsigned>(target);
+    }
+    return assignment;
+}
+
+// ---- journal model ---------------------------------------------------
+
+bool
+journalEntryLess(const JournalEntry &a, const JournalEntry &b)
+{
+    return std::tie(a.benchmark, a.scheme, a.config, a.status, a.error) <
+           std::tie(b.benchmark, b.scheme, b.config, b.status, b.error);
+}
+
+void
+writeJournalEntry(std::ostream &os, const JournalEntry &e)
+{
+    os << "\n  {\"benchmark\":\"" << e.benchmark
+       << "\",\"scheme\":\"" << e.scheme
+       << "\",\"config\":" << e.config
+       << ",\"status\":\"" << runStatusName(e.status) << '"';
+    if (e.status == RunStatus::Ok) {
+        os << ",\"ipc\":" << e.ipcToken
+           << ",\"cycles\":" << e.cyclesToken;
+    } else {
+        os << ",\"category\":\"" << escapeJson(e.category)
+           << "\",\"error\":\"" << escapeJson(e.error) << '"';
+    }
+    os << '}';
+}
+
+// ---- JSON parsing ----------------------------------------------------
+
+namespace
+{
+
+/**
+ * Minimal JSON value tree. Numbers keep their raw source token so a
+ * parsed journal can be re-serialized byte-identically.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text; ///< string value (unescaped) or raw number token
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &f : fields) {
+            if (f.first == key)
+                return &f.second;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string &err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after JSON document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        err_ = msg + " (at byte " + std::to_string(pos_) + ")";
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+        }
+        if (c == 't' || c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = (c == 't');
+            return literal(c == 't' ? "true" : "false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.fields.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated string escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/':  out.push_back('/'); break;
+              case 'b':  out.push_back('\b'); break;
+              case 'f':  out.push_back('\f'); break;
+              case 'n':  out.push_back('\n'); break;
+              case 'r':  out.push_back('\r'); break;
+              case 't':  out.push_back('\t'); break;
+              case 'u':
+                // Journals never emit \u escapes; tolerate them as a
+                // placeholder rather than decoding UTF-16 here.
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                pos_ += 4;
+                out.push_back('?');
+                break;
+              default:
+                return fail("unknown string escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                digits = true;
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!digits)
+            return fail("expected a JSON value");
+        out.kind = JsonValue::Kind::Number;
+        out.text = text_.substr(start, pos_ - start);
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &err_;
+    std::size_t pos_ = 0;
+};
+
+bool
+numberField(const JsonValue &obj, const char *key, std::uint64_t &out,
+            std::string &err)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->kind != JsonValue::Kind::Number) {
+        err = std::string("journal header missing numeric '") + key +
+              "' field";
+        return false;
+    }
+    try {
+        out = std::stoull(v->text);
+    } catch (const std::exception &) {
+        err = std::string("journal '") + key + "' is not an integer";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseShardJournal(const std::string &text, ShardJournal &out,
+                  std::string &err)
+{
+    out = ShardJournal{};
+    JsonValue root;
+    JsonParser parser(text, err);
+    if (!parser.parse(root))
+        return false;
+    if (root.kind != JsonValue::Kind::Object) {
+        err = "journal is not a JSON object";
+        return false;
+    }
+
+    std::uint64_t version = 0;
+    if (!numberField(root, "version", version, err))
+        return false;
+    out.version = static_cast<unsigned>(version);
+    const JsonValue *commit = root.find("commit");
+    if (!commit || commit->kind != JsonValue::Kind::String) {
+        err = "journal header missing 'commit' field";
+        return false;
+    }
+    out.commit = commit->text;
+
+    const JsonValue *campaign = root.find("campaign");
+    const bool hasIndex = root.find("shard_index") != nullptr;
+    const bool hasCount = root.find("shard_count") != nullptr;
+    const bool hasTotal = root.find("runs_total") != nullptr;
+    if (campaign || hasIndex || hasCount || hasTotal) {
+        if (!campaign || campaign->kind != JsonValue::Kind::String ||
+            !hasIndex || !hasCount || !hasTotal) {
+            err = "journal has a partial shard header (need campaign, "
+                  "shard_index, shard_count, runs_total)";
+            return false;
+        }
+        std::uint64_t index = 0, count = 0;
+        if (!numberField(root, "shard_index", index, err) ||
+            !numberField(root, "shard_count", count, err) ||
+            !numberField(root, "runs_total", out.runsTotal, err))
+            return false;
+        if (count == 0 || index >= count) {
+            err = "journal shard_index/shard_count out of range";
+            return false;
+        }
+        out.sharded = true;
+        out.campaign = campaign->text;
+        out.shardIndex = static_cast<unsigned>(index);
+        out.shardCount = static_cast<unsigned>(count);
+    }
+
+    const JsonValue *results = root.find("results");
+    if (!results || results->kind != JsonValue::Kind::Array) {
+        err = "journal has no 'results' array";
+        return false;
+    }
+    out.entries.reserve(results->items.size());
+    for (const JsonValue &item : results->items) {
+        if (item.kind != JsonValue::Kind::Object) {
+            err = "journal 'results' element is not an object";
+            return false;
+        }
+        JournalEntry e;
+        const JsonValue *benchmark = item.find("benchmark");
+        const JsonValue *scheme = item.find("scheme");
+        const JsonValue *config = item.find("config");
+        const JsonValue *status = item.find("status");
+        if (!benchmark || benchmark->kind != JsonValue::Kind::String ||
+            !scheme || scheme->kind != JsonValue::Kind::String ||
+            !config || config->kind != JsonValue::Kind::Number ||
+            !status || status->kind != JsonValue::Kind::String) {
+            err = "journal record missing benchmark/scheme/config/"
+                  "status";
+            return false;
+        }
+        e.benchmark = benchmark->text;
+        e.scheme = scheme->text;
+        std::uint64_t cfg = 0;
+        if (!numberField(item, "config", cfg, err))
+            return false;
+        e.config = static_cast<unsigned>(cfg);
+        if (!parseRunStatus(status->text, e.status)) {
+            err = "journal record has unknown status '" + status->text +
+                  "'";
+            return false;
+        }
+        if (e.status == RunStatus::Ok) {
+            const JsonValue *ipc = item.find("ipc");
+            const JsonValue *cycles = item.find("cycles");
+            if (!ipc || ipc->kind != JsonValue::Kind::Number ||
+                !cycles || cycles->kind != JsonValue::Kind::Number) {
+                err = "ok journal record missing ipc/cycles";
+                return false;
+            }
+            e.ipcToken = ipc->text;
+            e.cyclesToken = cycles->text;
+        } else {
+            const JsonValue *category = item.find("category");
+            const JsonValue *error = item.find("error");
+            if (!category ||
+                category->kind != JsonValue::Kind::String || !error ||
+                error->kind != JsonValue::Kind::String) {
+                err = "failure journal record missing category/error";
+                return false;
+            }
+            e.category = category->text;
+            e.error = error->text;
+        }
+        out.entries.push_back(std::move(e));
+    }
+    return true;
+}
+
+bool
+loadShardJournal(const std::string &path, ShardJournal &out,
+                 std::string &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err = "cannot open journal '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (!parseShardJournal(ss.str(), out, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+    return true;
+}
+
+// ---- merging ---------------------------------------------------------
+
+bool
+mergeShardJournals(const std::vector<ShardJournal> &shards,
+                   ShardJournal &out, std::string &err)
+{
+    out = ShardJournal{};
+    if (shards.empty()) {
+        err = "no shard journals to merge";
+        return false;
+    }
+    const ShardJournal &first = shards.front();
+    if (!first.sharded) {
+        err = "journal 0 has no shard header (not a --shard journal)";
+        return false;
+    }
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardJournal &s = shards[i];
+        if (!s.sharded) {
+            err = "journal " + std::to_string(i) +
+                  " has no shard header (not a --shard journal)";
+            return false;
+        }
+        if (s.version != first.version) {
+            err = "journal " + std::to_string(i) +
+                  " has a different format version";
+            return false;
+        }
+        if (s.commit != first.commit) {
+            err = "journal " + std::to_string(i) +
+                  " was produced by a different build (commit '" +
+                  s.commit + "' vs '" + first.commit + "')";
+            return false;
+        }
+        if (s.campaign != first.campaign) {
+            err = "journal " + std::to_string(i) +
+                  " belongs to a foreign campaign (fingerprint '" +
+                  s.campaign + "' vs '" + first.campaign + "')";
+            return false;
+        }
+        if (s.shardCount != first.shardCount ||
+            s.runsTotal != first.runsTotal) {
+            err = "journal " + std::to_string(i) +
+                  " disagrees on shard count or campaign run total";
+            return false;
+        }
+    }
+    if (shards.size() != first.shardCount) {
+        err = "incomplete shard set: have " +
+              std::to_string(shards.size()) + " journals, campaign has " +
+              std::to_string(first.shardCount) + " shards";
+        return false;
+    }
+    std::vector<bool> seen(first.shardCount, false);
+    for (const ShardJournal &s : shards) {
+        if (seen[s.shardIndex]) {
+            err = "duplicate journal for shard " +
+                  std::to_string(s.shardIndex);
+            return false;
+        }
+        seen[s.shardIndex] = true;
+    }
+
+    // Journal identities must be disjoint across shards: the
+    // partitioner co-locates equal (benchmark, scheme, config)
+    // triples, so any cross-shard repeat means the inputs mix
+    // different campaigns or a shard ran the wrong slice.
+    std::unordered_map<std::string, unsigned> owner;
+    std::size_t records = 0;
+    for (const ShardJournal &s : shards) {
+        records += s.entries.size();
+        for (const JournalEntry &e : s.entries) {
+            const std::string id =
+                journalIdentity(e.benchmark, e.scheme, e.config);
+            auto it = owner.find(id);
+            if (it != owner.end() && it->second != s.shardIndex) {
+                err = "run " + id + " appears in both shard " +
+                      std::to_string(it->second) + " and shard " +
+                      std::to_string(s.shardIndex) +
+                      " (overlapping slices)";
+                return false;
+            }
+            owner.emplace(id, s.shardIndex);
+        }
+    }
+    if (records != first.runsTotal) {
+        err = "shard journals hold " + std::to_string(records) +
+              " records, campaign expects " +
+              std::to_string(first.runsTotal) +
+              " (incomplete or over-complete slice union)";
+        return false;
+    }
+
+    out.version = first.version;
+    out.commit = first.commit;
+    for (const ShardJournal &s : shards) {
+        out.entries.insert(out.entries.end(), s.entries.begin(),
+                           s.entries.end());
+    }
+    std::sort(out.entries.begin(), out.entries.end(), journalEntryLess);
+    return true;
+}
+
+void
+writeMergedJournal(std::ostream &os, const ShardJournal &journal)
+{
+    std::vector<JournalEntry> entries = journal.entries;
+    std::sort(entries.begin(), entries.end(), journalEntryLess);
+    os << "{\"version\":" << journal.version
+       << ",\"commit\":\"" << journal.commit << '"'
+       << ",\"results\":[";
+    bool first = true;
+    for (const JournalEntry &e : entries) {
+        if (!first)
+            os << ',';
+        first = false;
+        writeJournalEntry(os, e);
+    }
+    os << "\n]}\n";
+}
+
+} // namespace dmdc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Campaign sharding and journal merging.
+ *
+ * One campaign — the fingerprinted ordered work list that PR 3's
+ * checkpoint manifest already captures — can be executed by N
+ * cooperating processes. Each process is handed a ShardSpec (`--shard
+ * =i/N`), deterministically derives its slice of the work list with
+ * shardAssignment(), runs it through the ordinary runChecked()
+ * machinery against the shared concurrent-writer-safe `.dmdc_cache/`,
+ * and flushes a per-shard deterministic journal. mergeShardJournals()
+ * then validates that the shard journals belong together (same
+ * campaign fingerprint, same registry commit, disjoint-and-complete
+ * run sets) and re-serializes them in canonical order — the merged
+ * file is bit-identical to the journal an uninterrupted single-process
+ * run would have written.
+ *
+ * The partition function groups runs by journal identity
+ * (benchmark|scheme|config), estimates each group's cost from its
+ * instruction budget, and assigns groups to shards greedily
+ * (longest-processing-time first, ties broken by a stable hash of the
+ * identity). Grouping by journal identity — not full run identity —
+ * guarantees the merger's disjointness invariant even when a harness
+ * runs the same (benchmark, scheme, config) triple under different
+ * hidden knobs.
+ */
+
+#ifndef DMDC_SIM_CAMPAIGN_SHARD_HH
+#define DMDC_SIM_CAMPAIGN_SHARD_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/run_error.hh"
+#include "sim/simulator.hh"
+
+namespace dmdc
+{
+
+/** Journal file format version (header "version" field). */
+constexpr unsigned kJournalFormatVersion = 3;
+
+/** Which slice of a campaign this process executes. */
+struct ShardSpec
+{
+    unsigned index = 0; ///< 0-based shard id
+    unsigned count = 1; ///< total cooperating shard processes
+
+    /** True when the campaign is actually split (count > 1). */
+    bool active() const { return count > 1; }
+};
+
+/**
+ * Parse "i/N" (e.g. "0/2") into @p out. Requires N >= 1 and i < N.
+ * On failure returns false and describes the problem in @p err.
+ */
+bool parseShardSpec(const std::string &text, ShardSpec &out,
+                    std::string &err);
+
+/** "i/N" spelling of @p spec. */
+std::string shardSpecName(const ShardSpec &spec);
+
+/**
+ * Derive the per-shard checkpoint manifest path from the campaign's
+ * base @p statePath: "dir/state.json" -> "dir/state.shard0of2.json"
+ * (suffix precedes the last extension; appended when there is none).
+ * Shard processes must not share one manifest file; the campaign
+ * fingerprint inside each manifest still covers the *full* work list,
+ * so a resumed shard verifies it belongs to the same campaign.
+ */
+std::string shardStatePath(const std::string &statePath,
+                           const ShardSpec &spec);
+
+/**
+ * Deterministically assign each run in @p runs to one of
+ * @p shardCount shards. Returns a vector parallel to @p runs holding
+ * the shard index of each run.
+ *
+ * Properties:
+ *  - pure function of (run list, shardCount): every shard process
+ *    computes the same assignment independently;
+ *  - runs with equal journal identity (benchmark|scheme|config)
+ *    land on the same shard;
+ *  - balanced by estimated cost (warmup + measured instructions)
+ *    using LPT greedy assignment, so shard wall-clocks are within one
+ *    group of each other.
+ */
+std::vector<unsigned> shardAssignment(const std::vector<SimOptions> &runs,
+                                      unsigned shardCount);
+
+// ---- journal model (shared by the runner's writer and the merger) ----
+
+/**
+ * One "results" record of a deterministic journal, with numeric
+ * fields kept as raw JSON tokens so re-serialization is byte-exact.
+ */
+struct JournalEntry
+{
+    std::string benchmark;
+    std::string scheme;
+    unsigned config = 2;
+    RunStatus status = RunStatus::Ok;
+    std::string ipcToken = "0";    ///< raw JSON number (ok records)
+    std::string cyclesToken = "0"; ///< raw JSON number (ok records)
+    std::string category;          ///< failure records only
+    std::string error;             ///< failure records only, unescaped
+};
+
+/** Canonical journal order (matches the runner's deterministic sort). */
+bool journalEntryLess(const JournalEntry &a, const JournalEntry &b);
+
+/** Serialize one record in deterministic-journal form ("\n  {...}"). */
+void writeJournalEntry(std::ostream &os, const JournalEntry &e);
+
+/** A parsed journal file (per-shard or merged/serial). */
+struct ShardJournal
+{
+    unsigned version = 0;
+    std::string commit;
+
+    // Shard header fields; present only in per-shard journals.
+    bool sharded = false;
+    std::string campaign;        ///< campaign fingerprint (hex)
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    std::uint64_t runsTotal = 0; ///< full-campaign run count
+
+    std::vector<JournalEntry> entries;
+};
+
+/** Parse journal JSON text; false + @p err on malformed input. */
+bool parseShardJournal(const std::string &text, ShardJournal &out,
+                       std::string &err);
+
+/** Read and parse the journal file at @p path. */
+bool loadShardJournal(const std::string &path, ShardJournal &out,
+                      std::string &err);
+
+/**
+ * Validate that @p shards are the complete, disjoint shard set of one
+ * campaign and merge them into @p out (canonical order, no shard
+ * header). Rejects: non-shard journals, mixed version/commit/
+ * fingerprint/shard-count, duplicate or missing shard indices,
+ * overlapping journal identities across shards, and record counts
+ * that don't sum to the campaign's run total.
+ */
+bool mergeShardJournals(const std::vector<ShardJournal> &shards,
+                        ShardJournal &out, std::string &err);
+
+/**
+ * Serialize @p journal exactly as flushCampaignJournal() writes a
+ * deterministic single-process journal (records sorted canonically).
+ */
+void writeMergedJournal(std::ostream &os, const ShardJournal &journal);
+
+} // namespace dmdc
+
+#endif // DMDC_SIM_CAMPAIGN_SHARD_HH

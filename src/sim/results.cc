@@ -33,7 +33,7 @@ findResult(const std::vector<SimResult> &results,
            const std::string &benchmark)
 {
     for (const SimResult &r : results) {
-        if (r.benchmark == benchmark)
+        if (r.valid && r.benchmark == benchmark)
             return r;
     }
     fatal("no result recorded for benchmark '%s'", benchmark.c_str());
@@ -45,20 +45,36 @@ ResultLookup::ResultLookup(const std::vector<SimResult> &results)
     if (results.size() <= kIndexThreshold)
         return;
     index_.reserve(results.size());
-    for (const SimResult &r : results)
-        index_.emplace(r.benchmark, &r);
+    for (const SimResult &r : results) {
+        if (r.valid)
+            index_.emplace(r.benchmark, &r);
+    }
+}
+
+const SimResult *
+ResultLookup::find(const std::string &benchmark) const
+{
+    if (index_.empty()) {
+        for (const SimResult &r : results_) {
+            if (r.valid && r.benchmark == benchmark)
+                return &r;
+        }
+        // Linear scan covers the small-campaign case where no index
+        // was built; absent and invalid look the same to the caller.
+        return nullptr;
+    }
+    auto it = index_.find(benchmark);
+    return it == index_.end() ? nullptr : it->second;
 }
 
 const SimResult &
 ResultLookup::at(const std::string &benchmark) const
 {
-    if (index_.empty())
-        return findResult(results_, benchmark);
-    auto it = index_.find(benchmark);
-    if (it == index_.end())
+    const SimResult *r = find(benchmark);
+    if (!r)
         fatal("no result recorded for benchmark '%s'",
               benchmark.c_str());
-    return *it->second;
+    return *r;
 }
 
 } // namespace dmdc

@@ -26,6 +26,15 @@ struct SimResult
     /** Canonical registry name of the scheme that produced the run. */
     std::string scheme = "baseline";
 
+    /**
+     * False for a degraded slot: the run failed, timed out, was
+     * skipped, or belongs to another shard. Identity fields above are
+     * filled in; every metric below is meaningless. Aggregations
+     * (rangeOver, ResultLookup) skip invalid slots so a harness
+     * renders "n/a" cells instead of poisoning group means.
+     */
+    bool valid = true;
+
     std::uint64_t instructions = 0;
     std::uint64_t cycles = 0;
     double ipc = 0;
@@ -103,13 +112,13 @@ rangeOver(const std::vector<SimResult> &results, bool fp_group, Fn &&fn)
 {
     std::vector<double> v;
     for (const SimResult &r : results) {
-        if (r.fp == fp_group)
+        if (r.valid && r.fp == fp_group)
             v.push_back(fn(r));
     }
     return makeRange(v);
 }
 
-/** Find the result for @p benchmark; fatal() if absent. */
+/** Find the result for @p benchmark; fatal() if absent or invalid. */
 const SimResult &findResult(const std::vector<SimResult> &results,
                             const std::string &benchmark);
 
@@ -127,8 +136,14 @@ class ResultLookup
 
     explicit ResultLookup(const std::vector<SimResult> &results);
 
-    /** The result for @p benchmark; fatal() if absent. */
+    /** The result for @p benchmark; fatal() if absent or invalid. */
     const SimResult &at(const std::string &benchmark) const;
+
+    /**
+     * Degradation-tolerant lookup: nullptr when @p benchmark is
+     * absent or its slot is invalid (failed / out-of-shard run).
+     */
+    const SimResult *find(const std::string &benchmark) const;
 
   private:
     const std::vector<SimResult> &results_;

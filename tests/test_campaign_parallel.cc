@@ -137,8 +137,8 @@ TEST_F(CampaignParallel, ParallelMatchesSerialElementwise)
     CampaignRunner parallel(
         config(ThreadPool::defaultConcurrency(), false));
 
-    const auto serial_res = serial.run(runs);
-    const auto parallel_res = parallel.run(runs);
+    const auto serial_res = serial.runChecked(runs).results;
+    const auto parallel_res = parallel.runChecked(runs).results;
 
     ASSERT_EQ(serial_res.size(), runs.size());
     ASSERT_EQ(parallel_res.size(), runs.size());
@@ -158,12 +158,12 @@ TEST_F(CampaignParallel, CacheHitsSkipSimulationAndMatch)
     const std::vector<SimOptions> runs = matrix();
 
     CampaignRunner runner(config(0, /*use_cache=*/true));
-    const auto cold = runner.run(runs);
+    const auto cold = runner.runChecked(runs).results;
     EXPECT_EQ(runner.lastStats().simulated, runs.size());
     EXPECT_EQ(runner.totalSimulated(), runs.size());
 
     // Second pass: served from the in-process map, zero simulations.
-    const auto warm = runner.run(runs);
+    const auto warm = runner.runChecked(runs).results;
     EXPECT_EQ(runner.lastStats().simulated, 0u);
     EXPECT_EQ(runner.lastStats().memoryHits, runs.size());
     EXPECT_EQ(runner.totalSimulated(), runs.size());
@@ -173,7 +173,7 @@ TEST_F(CampaignParallel, CacheHitsSkipSimulationAndMatch)
     // Fresh runner, same cache dir: served from disk (JSON
     // round-trip), still zero simulations and bit-identical.
     CampaignRunner fresh(config(0, true));
-    const auto disk = fresh.run(runs);
+    const auto disk = fresh.runChecked(runs).results;
     EXPECT_EQ(fresh.lastStats().simulated, 0u);
     EXPECT_EQ(fresh.lastStats().diskHits, runs.size());
     for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -191,7 +191,7 @@ TEST_F(CampaignParallel, DuplicateRunsSimulateOnce)
     std::vector<SimOptions> runs{opt, opt, opt};
 
     CampaignRunner runner(config(0, true));
-    const auto res = runner.run(runs);
+    const auto res = runner.runChecked(runs).results;
     EXPECT_EQ(runner.lastStats().simulated, 1u);
     expectIdentical(res[0], res[1]);
     expectIdentical(res[0], res[2]);

@@ -32,6 +32,8 @@
  *     --state=<path>        write a checkpoint manifest after each run
  *     --resume              resume the campaign in --state (completed
  *                           runs are served from the run cache)
+ *     --shard=<i>/<N>       run only shard i (0-based) of an N-way
+ *                           deterministic partition of the campaign
  *     --json=<path>         write the campaign journal / failure
  *                           manifest to <path>
  *     --json-deterministic  strip timestamps/wall-clock/attempts from
@@ -44,13 +46,18 @@
  * or every run failed. Deterministic chaos can be injected with
  * DMDC_FAULT=run-throw:p=0.1,run-hang:p=0.01,cache-corrupt:p=0.1.
  *
+ * Sharded campaigns: launch N processes with the same run set, a
+ * shared --cache-dir, per-process --json=shardK.json and --shard=K/N;
+ * then `journal_merge shard*.json --out=merged.json` reassembles a
+ * journal byte-identical to a single-process --json-deterministic run.
+ *
  * Repeat invocations with identical options are served from the run
  * cache (near-instant); --stats always re-simulates because the full
  * statistics tree only exists on a live pipeline.
  */
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -60,6 +67,7 @@
 #include "energy/energy_model.hh"
 #include "lsq/policy/registry.hh"
 #include "sim/campaign_runner.hh"
+#include "sim/cli_options.hh"
 #include "sim/run_error.hh"
 #include "sim/simulator.hh"
 #include "trace/spec_suite.hh"
@@ -112,24 +120,6 @@ printEnergy(const EnergyBreakdown &e)
                               : 0.0);
 }
 
-std::vector<std::string>
-splitList(const std::string &csv)
-{
-    std::vector<std::string> out;
-    std::size_t from = 0;
-    while (from <= csv.size()) {
-        const std::size_t comma = csv.find(',', from);
-        const std::string item = csv.substr(
-            from, comma == std::string::npos ? comma : comma - from);
-        if (!item.empty())
-            out.push_back(item);
-        if (comma == std::string::npos)
-            break;
-        from = comma + 1;
-    }
-    return out;
-}
-
 void
 printSingleResult(const SimResult &r, const SimOptions &opt)
 {
@@ -175,26 +165,35 @@ printSingleResult(const SimResult &r, const SimOptions &opt)
 }
 
 int
-runCampaign(const std::vector<SimOptions> &runs, bool fail_fast)
+runCampaign(const std::vector<SimOptions> &runs,
+            const CampaignConfig &cfg)
 {
     const CampaignResult cr =
         CampaignRunner::global().runChecked(runs, /*verbose=*/false);
 
-    std::printf("%-12s %-14s %3s  %-9s %8s %8s\n", "benchmark",
+    std::printf("%-12s %-14s %3s  %-12s %8s %8s\n", "benchmark",
                 "scheme", "cfg", "status", "ipc", "attempts");
     std::size_t ok = 0;
+    std::size_t in_shard = 0;
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const RunOutcome &oc = cr.outcomes[i];
+        if (oc.inShard())
+            ++in_shard;
         if (oc.ok()) {
             ++ok;
-            std::printf("%-12s %-14s %3u  %-9s %8.3f %8u%s\n",
+            std::printf("%-12s %-14s %3u  %-12s %8.3f %8u%s\n",
                         cr.results[i].benchmark.c_str(),
                         cr.results[i].scheme.c_str(),
                         cr.results[i].configLevel,
                         runStatusName(oc.status), cr.results[i].ipc,
                         oc.attempts, oc.cached ? "  (cached)" : "");
+        } else if (!oc.inShard()) {
+            std::printf("%-12s %-14s %3u  %-12s %8s %8s  shard %u\n",
+                        runs[i].benchmark.c_str(),
+                        runs[i].scheme.c_str(), runs[i].configLevel,
+                        runStatusName(oc.status), "-", "-", oc.shard);
         } else {
-            std::printf("%-12s %-14s %3u  %-9s %8s %8u  %s: %s\n",
+            std::printf("%-12s %-14s %3u  %-12s %8s %8u  %s: %s\n",
                         runs[i].benchmark.c_str(),
                         runs[i].scheme.c_str(), runs[i].configLevel,
                         runStatusName(oc.status), "-", oc.attempts,
@@ -202,17 +201,25 @@ runCampaign(const std::vector<SimOptions> &runs, bool fail_fast)
                         oc.error.c_str());
         }
     }
-    std::printf("\n%zu of %zu runs ok\n", ok, runs.size());
+    if (cfg.shard.active()) {
+        std::printf("\nshard %u/%u: %zu of %zu in-shard runs ok "
+                    "(%zu total)\n",
+                    cfg.shard.index, cfg.shard.count, ok, in_shard,
+                    runs.size());
+    } else {
+        std::printf("\n%zu of %zu runs ok\n", ok, runs.size());
+    }
     flushCampaignJournal();
 
     // A degraded campaign still exits 0 — the journal is the failure
     // manifest — but a campaign with nothing to show, or any failure
-    // under --fail-fast, is an error.
-    if (ok == 0)
-        return 1;
-    if (fail_fast && ok != runs.size())
-        return 1;
-    return 0;
+    // under --fail-fast, is an error. An empty shard slice (more
+    // shards than run groups) is not an error.
+    if (in_shard > 0 && ok == 0)
+        return kExitFailure;
+    if (cfg.failFast && ok != in_shard)
+        return kExitFailure;
+    return kExitOk;
 }
 
 } // namespace
@@ -225,138 +232,107 @@ main(int argc, char **argv)
     opt.runInsts = 500000;
     bool dump_stats = false;
     bool dump_energy = false;
-    bool json_deterministic = false;
-    std::string json_path;
-    std::string bench_list = "gzip";
-    std::string scheme_list;
-    std::string config_list = "2";
-    CampaignConfig campaign_cfg;
+    std::vector<std::string> benches{"gzip"};
+    std::vector<std::string> schemes;
+    std::vector<std::string> config_names{"2"};
+    CampaignCliOptions campaign;
+
+    CliParser cli(argv[0],
+                  "Single simulations and sharded fault-tolerant "
+                  "campaigns. Comma lists in --bench/--scheme/--config "
+                  "select campaign mode (the cross product); "
+                  "--shard=i/N runs one slice of it.");
+    cli.action("list",
+               [] {
+                   for (const auto &n : specAllNames())
+                       std::printf("%s%s\n", n.c_str(),
+                                   specIsFp(n) ? " (FP)" : " (INT)");
+                   std::exit(kExitOk);
+               },
+               "print the benchmark suite and exit");
+    cli.action("list-schemes",
+               [] {
+                   printSchemes();
+                   std::exit(kExitOk);
+               },
+               "print the scheme registry and exit");
+    cli.list("bench", &benches, "benchmark name(s)");
+    cli.list("scheme", &schemes, "scheme name(s) or alias(es)");
+    cli.list("config", &config_names, "paper Table 1 config(s)");
+    cli.value("insts", &opt.runInsts, "measured instructions");
+    cli.value("warmup", &opt.warmupInsts, "warm-up instructions");
+    cli.value("yla", &opt.numYlaQw, "quad-word YLA registers");
+    cli.value("table", &opt.tableEntriesOverride,
+              "checking-table entries (0 = per config)");
+    cli.value("queue", &opt.queueEntries, "checking-queue entries");
+    cli.valueAction("inv",
+                    [&opt](const std::string &v, std::string &err) {
+                        if (!parseCliDouble(
+                                v, opt.invalidationsPer1kCycles)) {
+                            err = "--inv expects a finite number, "
+                                  "got '" + v + "'";
+                            return false;
+                        }
+                        opt.coherence = true;
+                        return true;
+                    },
+                    "invalidations per 1000 cycles");
+    cli.flag("coherence", &opt.coherence,
+             "enable the coherence extension");
+    cli.action("no-safe-loads", [&opt] { opt.safeLoads = false; },
+               "disable safe-load detection (ablation)");
+    cli.flag("sq-filter", &opt.sqFilter,
+             "enable the Sec. 3 SQ-side age filter");
+    cli.flag("stats", &dump_stats,
+             "dump the full statistics tree (single run)");
+    cli.flag("energy", &dump_energy,
+             "dump the energy breakdown (single run)");
+    campaign.addTo(cli);
+    cli.parseOrExit(argc, argv);
 
   try {
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        auto val = [&a](const char *prefix) {
-            return a.substr(std::strlen(prefix));
-        };
-        if (a == "--list") {
-            for (const auto &n : specAllNames())
-                std::printf("%s%s\n", n.c_str(),
-                            specIsFp(n) ? " (FP)" : " (INT)");
-            return 0;
-        } else if (a == "--list-schemes") {
-            printSchemes();
-            return 0;
-        } else if (a.rfind("--bench=", 0) == 0) {
-            bench_list = val("--bench=");
-        } else if (a.rfind("--scheme=", 0) == 0) {
-            scheme_list = val("--scheme=");
-        } else if (a.rfind("--config=", 0) == 0) {
-            config_list = val("--config=");
-        } else if (a.rfind("--insts=", 0) == 0) {
-            opt.runInsts = std::stoull(val("--insts="));
-        } else if (a.rfind("--warmup=", 0) == 0) {
-            opt.warmupInsts = std::stoull(val("--warmup="));
-        } else if (a.rfind("--yla=", 0) == 0) {
-            opt.numYlaQw =
-                static_cast<unsigned>(std::stoul(val("--yla=")));
-        } else if (a.rfind("--table=", 0) == 0) {
-            opt.tableEntriesOverride =
-                static_cast<unsigned>(std::stoul(val("--table=")));
-        } else if (a.rfind("--queue=", 0) == 0) {
-            opt.queueEntries =
-                static_cast<unsigned>(std::stoul(val("--queue=")));
-        } else if (a.rfind("--inv=", 0) == 0) {
-            opt.invalidationsPer1kCycles = std::stod(val("--inv="));
-            opt.coherence = true;
-        } else if (a == "--coherence") {
-            opt.coherence = true;
-        } else if (a == "--no-safe-loads") {
-            opt.safeLoads = false;
-        } else if (a == "--sq-filter") {
-            opt.sqFilter = true;
-        } else if (a == "--stats") {
-            dump_stats = true;
-        } else if (a == "--energy") {
-            dump_energy = true;
-        } else if (a.rfind("--jobs=", 0) == 0) {
-            campaign_cfg.jobs =
-                static_cast<unsigned>(std::stoul(val("--jobs=")));
-        } else if (a == "--no-cache") {
-            campaign_cfg.useCache = false;
-        } else if (a.rfind("--cache-dir=", 0) == 0) {
-            campaign_cfg.cacheDir = val("--cache-dir=");
-        } else if (a.rfind("--cache-max-mb=", 0) == 0) {
-            campaign_cfg.cacheMaxBytes =
-                std::stoull(val("--cache-max-mb=")) * 1024 * 1024;
-        } else if (a.rfind("--timeout=", 0) == 0) {
-            campaign_cfg.timeoutMs = std::stod(val("--timeout="));
-            opt.timeoutMs = campaign_cfg.timeoutMs;
-        } else if (a.rfind("--max-retries=", 0) == 0) {
-            campaign_cfg.maxRetries = static_cast<unsigned>(
-                std::stoul(val("--max-retries=")));
-        } else if (a == "--fail-fast") {
-            campaign_cfg.failFast = true;
-        } else if (a.rfind("--state=", 0) == 0) {
-            campaign_cfg.statePath = val("--state=");
-        } else if (a == "--resume") {
-            campaign_cfg.resume = true;
-        } else if (a.rfind("--json=", 0) == 0) {
-            json_path = val("--json=");
-        } else if (a == "--json-deterministic") {
-            json_deterministic = true;
-        } else if (a == "--help" || a == "-h") {
-            std::printf("see the file header of tools/dmdc_sim.cc "
-                        "for options\n");
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            return 1;
-        }
-    }
+    std::string err;
+    if (!campaign.finalize(err))
+        cli.failUsage(err);
+    campaign.apply();
+    const CampaignConfig &campaign_cfg = campaign.config;
 
-    if (campaign_cfg.resume && campaign_cfg.statePath.empty()) {
-        std::fprintf(stderr, "dmdc_sim: --resume needs --state=\n");
-        return 1;
-    }
-
-    CampaignRunner::configureGlobal(campaign_cfg);
-    if (!json_path.empty())
-        setCampaignJournal(json_path, json_deterministic);
-
-    const std::vector<std::string> benches = splitList(bench_list);
-    const std::vector<std::string> schemes = splitList(
-        scheme_list.empty() ? opt.scheme : scheme_list);
-    const std::vector<std::string> configs = splitList(config_list);
-    if (benches.empty() || schemes.empty() || configs.empty()) {
-        std::fprintf(stderr,
-                     "dmdc_sim: empty --bench/--scheme/--config\n");
-        return 1;
-    }
-
+    if (schemes.empty())
+        schemes.push_back(opt.scheme);
     std::vector<SimOptions> runs;
     for (const std::string &bench : benches) {
         for (const std::string &scheme : schemes) {
-            for (const std::string &config : configs) {
+            for (const std::string &config : config_names) {
                 SimOptions r = opt;
                 r.benchmark = bench;
                 r.scheme = scheme;
-                r.configLevel =
-                    static_cast<unsigned>(std::stoul(config));
+                if (!parseCliUnsigned(config, r.configLevel))
+                    cli.failUsage("--config expects unsigned "
+                                  "integers, got '" + config + "'");
                 runs.push_back(std::move(r));
             }
         }
     }
 
-    if (runs.size() > 1) {
+    if (runs.size() > 1 || campaign_cfg.shard.active()) {
         if (dump_stats || dump_energy) {
             std::fprintf(stderr, "dmdc_sim: --stats/--energy need a "
                                  "single run, not a campaign\n");
-            return 1;
+            return kExitUsage;
         }
-        return runCampaign(runs, campaign_cfg.failFast);
+        return runCampaign(runs, campaign_cfg);
     }
 
     opt = runs.front();
+    // Reject bad machine configurations before simulating, with a
+    // usage-style exit code: a typo'd --config/--yla is a command
+    // line problem, not a runtime failure.
+    try {
+        validateSimOptions(opt);
+    } catch (const RunError &e) {
+        std::fprintf(stderr, "dmdc_sim: %s\n", e.what());
+        return kExitUsage;
+    }
 
     // --stats needs the live pipeline's statistics tree, so that mode
     // always simulates in-process; everything else goes through the

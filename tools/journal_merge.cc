@@ -1,0 +1,221 @@
+/**
+ * @file
+ * journal_merge — reassemble per-shard campaign journals.
+ *
+ * Usage:
+ *   journal_merge [options] shard0.json shard1.json ...
+ *     --out=<path>   write the merged journal to <path> (default stdout)
+ *     --selftest     run the built-in validation suite and exit
+ *
+ * Each input must be a deterministic journal written by a --shard=i/N
+ * campaign (dmdc_sim or any bench harness). The merger validates that
+ * the inputs are the complete, disjoint shard set of one campaign —
+ * same build commit, same campaign fingerprint, every shard index
+ * present exactly once, no run claimed by two shards, record count
+ * equal to the campaign's run total — and emits a journal
+ * byte-identical to what a single uninterrupted --json-deterministic
+ * run would have written.
+ *
+ * Exit codes: 0 merged OK; 1 the journals do not form one complete
+ * campaign; 2 usage, I/O, or JSON parse error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/campaign_shard.hh"
+#include "sim/cli_options.hh"
+
+using namespace dmdc;
+
+namespace
+{
+
+// ---- selftest --------------------------------------------------------
+
+/** Shorthand journal builder for the selftest fixtures. */
+std::string
+shardText(unsigned index, unsigned count, const std::string &campaign,
+          const std::string &commit, const std::string &records,
+          std::uint64_t runsTotal)
+{
+    std::ostringstream os;
+    os << "{\"version\":" << kJournalFormatVersion << ",\"commit\":\""
+       << commit << "\",\"campaign\":\"" << campaign
+       << "\",\"shard_index\":" << index << ",\"shard_count\":" << count
+       << ",\"runs_total\":" << runsTotal << ",\"results\":["
+       << records << "\n]}\n";
+    return os.str();
+}
+
+int
+failSelftest(const char *what, const std::string &detail)
+{
+    std::fprintf(stderr, "journal_merge --selftest FAILED: %s%s%s\n",
+                 what, detail.empty() ? "" : ": ", detail.c_str());
+    return kExitFailure;
+}
+
+/** Expect a parse + merge of @p texts to fail (any stage, any error). */
+bool
+mergeRejects(const std::vector<std::string> &texts)
+{
+    std::vector<ShardJournal> shards;
+    std::string err;
+    for (const std::string &t : texts) {
+        ShardJournal s;
+        if (!parseShardJournal(t, s, err))
+            return true;
+        shards.push_back(std::move(s));
+    }
+    ShardJournal merged;
+    return !mergeShardJournals(shards, merged, err);
+}
+
+int
+selftest()
+{
+    const std::string fp = "00c0ffee00c0ffee";
+    const std::string rec_gzip =
+        "\n  {\"benchmark\":\"gzip\",\"scheme\":\"yla\",\"config\":2,"
+        "\"status\":\"ok\",\"ipc\":1.5,\"cycles\":100}";
+    const std::string rec_mcf =
+        "\n  {\"benchmark\":\"mcf\",\"scheme\":\"yla\",\"config\":2,"
+        "\"status\":\"ok\",\"ipc\":0.59999999999999998,"
+        "\"cycles\":333333}";
+    const std::string rec_swim =
+        "\n  {\"benchmark\":\"swim\",\"scheme\":\"yla\",\"config\":2,"
+        "\"status\":\"failed\",\"category\":\"sim-invariant\","
+        "\"error\":\"injected fault: \\\"run-throw\\\"\"}";
+
+    const std::string shard0 =
+        shardText(0, 2, fp, "abc1234", rec_swim + "," + rec_gzip, 3);
+    const std::string shard1 =
+        shardText(1, 2, fp, "abc1234", rec_mcf, 3);
+
+    // Good merge: order-insensitive inputs, canonically sorted output.
+    std::vector<ShardJournal> shards(2);
+    std::string err;
+    if (!parseShardJournal(shard0, shards[1], err) ||
+        !parseShardJournal(shard1, shards[0], err))
+        return failSelftest("fixture journals must parse", err);
+    ShardJournal merged;
+    if (!mergeShardJournals(shards, merged, err))
+        return failSelftest("disjoint complete shards must merge", err);
+    std::ostringstream out;
+    writeMergedJournal(out, merged);
+    const std::string expect =
+        std::string("{\"version\":") +
+        std::to_string(kJournalFormatVersion) +
+        ",\"commit\":\"abc1234\",\"results\":[" + rec_gzip + "," +
+        rec_mcf + "," + rec_swim + "\n]}\n";
+    if (out.str() != expect) {
+        return failSelftest("merged journal must match the serial "
+                            "byte layout",
+                            "got:\n" + out.str() + "want:\n" + expect);
+    }
+
+    // A merged/serial journal (no shard header) must round-trip
+    // through the parser and re-serialize byte-identically.
+    ShardJournal reparsed;
+    if (!parseShardJournal(expect, reparsed, err) || reparsed.sharded)
+        return failSelftest("merged journal must re-parse unsharded",
+                            err);
+    std::ostringstream out2;
+    writeMergedJournal(out2, reparsed);
+    if (out2.str() != expect)
+        return failSelftest("re-serialization must be byte-stable", "");
+
+    // Rejections.
+    if (!mergeRejects({shard0}))
+        return failSelftest("incomplete shard set must be rejected", "");
+    if (!mergeRejects({shard0, shard0}))
+        return failSelftest("duplicate shard index must be rejected",
+                            "");
+    if (!mergeRejects(
+            {shard0, shardText(1, 2, "feedfacefeedface", "abc1234",
+                               rec_mcf, 3)}))
+        return failSelftest("foreign campaign fingerprint must be "
+                            "rejected", "");
+    if (!mergeRejects(
+            {shard0, shardText(1, 2, fp, "fff9999", rec_mcf, 3)}))
+        return failSelftest("commit mismatch must be rejected", "");
+    if (!mergeRejects({shard0, shardText(1, 2, fp, "abc1234",
+                                         rec_mcf + "," + rec_gzip, 3)}))
+        return failSelftest("overlapping slices must be rejected", "");
+    if (!mergeRejects(
+            {shard0, shardText(1, 2, fp, "abc1234", "", 3)}))
+        return failSelftest("missing records must be rejected", "");
+    if (!mergeRejects({shard0, expect}))
+        return failSelftest("journal without a shard header must be "
+                            "rejected", "");
+    if (!mergeRejects({shard0, "{\"version\":3,"}))
+        return failSelftest("malformed JSON must be rejected", "");
+
+    std::printf("journal_merge selftest: all checks passed\n");
+    return kExitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    bool run_selftest = false;
+    std::vector<std::string> paths;
+
+    CliParser cli(argv[0],
+                  "Merge per-shard --json-deterministic campaign "
+                  "journals into the single-process equivalent.");
+    cli.value("out", &out_path,
+              "merged journal path (default: stdout)");
+    cli.flag("selftest", &run_selftest,
+             "run the built-in validation suite and exit");
+    cli.positional(&paths, "shard journal files");
+    cli.parseOrExit(argc, argv);
+
+    if (run_selftest)
+        return selftest();
+    if (paths.empty())
+        cli.failUsage("no shard journals given");
+
+    std::vector<ShardJournal> shards;
+    shards.reserve(paths.size());
+    std::string err;
+    for (const std::string &path : paths) {
+        ShardJournal s;
+        if (!loadShardJournal(path, s, err)) {
+            std::fprintf(stderr, "journal_merge: %s\n", err.c_str());
+            return kExitUsage;
+        }
+        shards.push_back(std::move(s));
+    }
+
+    ShardJournal merged;
+    if (!mergeShardJournals(shards, merged, err)) {
+        std::fprintf(stderr, "journal_merge: %s\n", err.c_str());
+        return kExitFailure;
+    }
+
+    if (out_path.empty()) {
+        writeMergedJournal(std::cout, merged);
+    } else {
+        std::ofstream os(out_path, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "journal_merge: cannot write '%s'\n",
+                         out_path.c_str());
+            return kExitUsage;
+        }
+        writeMergedJournal(os, merged);
+    }
+    std::fprintf(stderr,
+                 "journal_merge: %zu shards, %zu records -> %s\n",
+                 shards.size(), merged.entries.size(),
+                 out_path.empty() ? "<stdout>" : out_path.c_str());
+    return kExitOk;
+}
