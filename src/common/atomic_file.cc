@@ -1,0 +1,36 @@
+#include "common/atomic_file.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace dmdc
+{
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    namespace fs = std::filesystem;
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        if (!os)
+            return false;
+        os << content;
+        os.flush();
+        if (!os)
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace dmdc

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Atomic whole-file publication: write-to-temp + rename.
+ *
+ * Several subsystems publish small state files that other processes
+ * read concurrently and that must survive a kill at any instant —
+ * checkpoint manifests, run-cache entries, campaign journals,
+ * heartbeats. POSIX rename() within one filesystem is atomic, so a
+ * reader either sees the previous complete file or the new complete
+ * file, never a torn one. This helper centralizes the pattern so no
+ * caller hand-rolls it with a plain std::ofstream again.
+ */
+
+#ifndef DMDC_COMMON_ATOMIC_FILE_HH
+#define DMDC_COMMON_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace dmdc
+{
+
+/**
+ * Write @p content to a temp file next to @p path and rename it into
+ * place. The temp name embeds the calling thread's id, so concurrent
+ * writers (threads or processes sharing a directory) never collide on
+ * the temp file and the last rename wins cleanly.
+ *
+ * Returns false when the temp file cannot be created/written or the
+ * rename fails (the temp file is removed in that case). Never throws;
+ * callers that treat publication as best-effort can ignore the result.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content);
+
+} // namespace dmdc
+
+#endif // DMDC_COMMON_ATOMIC_FILE_HH

@@ -21,12 +21,17 @@
 #include <sstream>
 #include <tuple>
 
+#include <csignal>
+#include <unistd.h>
+
+#include "common/atomic_file.hh"
 #include "common/crc32.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "lsq/policy/registry.hh"
 #include "sim/campaign_state.hh"
 #include "sim/fault_injector.hh"
+#include "sim/heartbeat.hh"
 #include "sim/thread_pool.hh"
 
 // Injected by the build (configure-time `git rev-parse`); journals
@@ -560,11 +565,11 @@ flushCampaignJournal()
     std::lock_guard<std::mutex> lock(j.mutex);
     if (j.path.empty())
         return;
-    std::ofstream os(j.path);
-    if (!os) {
-        warn("cannot write bench journal '%s'", j.path.c_str());
-        return;
-    }
+    // Serialize to memory and publish atomically: the journal is the
+    // campaign's failure manifest, and a worker killed mid-flush must
+    // leave either the previous complete journal or the new one on
+    // disk — never a torn file.
+    std::ostringstream os;
     os << "{\"version\":" << kCacheFormatVersion
        << ",\"commit\":\"" << DMDC_GIT_COMMIT << '"';
     if (!j.deterministic)
@@ -638,9 +643,51 @@ flushCampaignJournal()
         }
     }
     os << "\n]}\n";
+    if (!writeFileAtomic(j.path, os.str()))
+        warn("cannot write bench journal '%s'", j.path.c_str());
     // Records stay buffered: flush is idempotent, so an explicit
     // flush followed by the atexit flush rewrites the same content
     // instead of truncating the journal to an empty one.
+}
+
+// ---- cooperative interruption & supervised-worker chaos --------------
+
+namespace
+{
+
+std::atomic<bool> g_interruptRequested{false};
+
+/** Set once a worker-hang fault fires: heartbeats stop advancing so
+ *  the supervisor's staleness detector has something to detect. */
+std::atomic<bool> g_heartbeatSilenced{false};
+
+/** This worker's restart ordinal, set by the supervisor. Mixing it
+ *  into worker-crash/hang decisions lets a respawned worker re-roll
+ *  instead of replaying its predecessor's fate. */
+unsigned
+shardAttempt()
+{
+    static const unsigned attempt = [] {
+        const char *env = std::getenv("DMDC_SHARD_ATTEMPT");
+        return env ? static_cast<unsigned>(
+                         std::strtoul(env, nullptr, 10)) : 0u;
+    }();
+    return attempt;
+}
+
+} // namespace
+
+void
+requestCampaignInterrupt()
+{
+    // Async-signal-safe: a lock-free store is all a handler may do.
+    g_interruptRequested.store(true, std::memory_order_relaxed);
+}
+
+bool
+campaignInterruptRequested()
+{
+    return g_interruptRequested.load(std::memory_order_relaxed);
 }
 
 // ---- fingerprinting --------------------------------------------------
@@ -707,6 +754,57 @@ CampaignRunner::quarantine(const std::string &path, const char *reason)
     }
     warn("cache entry '%s' %s; quarantined and recomputing",
          path.c_str(), reason);
+    enforceQuarantineCap();
+}
+
+void
+CampaignRunner::enforceQuarantineCap()
+{
+    namespace fs = std::filesystem;
+    if (!config_.quarantineMaxEntries && !config_.quarantineMaxBytes)
+        return;
+    std::error_code ec;
+    const fs::path dir = fs::path(config_.cacheDir) / "quarantine";
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t size;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    for (const auto &de : fs::directory_iterator(
+             dir, fs::directory_options::skip_permission_denied, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        Entry e{de.path(), de.file_size(ec), de.last_write_time(ec)};
+        total += e.size;
+        entries.push_back(std::move(e));
+    }
+    auto over = [&](std::size_t count, std::uint64_t bytes) {
+        return (config_.quarantineMaxEntries &&
+                count > config_.quarantineMaxEntries) ||
+               (config_.quarantineMaxBytes &&
+                bytes > config_.quarantineMaxBytes);
+    };
+    if (!over(entries.size(), total))
+        return;
+    // Oldest first: recent quarantines are the ones someone is likely
+    // to want for a post-mortem.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    std::size_t count = entries.size();
+    for (const Entry &e : entries) {
+        if (!over(count, total))
+            break;
+        if (fs::remove(e.path, ec)) {
+            total -= e.size;
+            --count;
+            ++quarantineEvictedTotal_;
+        }
+    }
 }
 
 CampaignRunner::CacheLoad
@@ -819,22 +917,10 @@ CampaignRunner::storeToDisk(const std::string &key,
     if (FaultInjector::global().injectCacheCorrupt(key))
         payload.resize(payload.size() / 2);
 
-    // Write-to-temp + rename so concurrent bench binaries sharing the
-    // cache directory never observe a torn file.
-    std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << std::this_thread::get_id();
-    const std::string tmp = tmp_name.str();
-    {
-        std::ofstream os(tmp);
-        if (!os) {
-            warn("cannot write cache file '%s'", tmp.c_str());
-            return;
-        }
-        os << header << payload;
-    }
-    fs::rename(tmp, path, ec);
-    if (ec)
-        fs::remove(tmp, ec);
+    // Concurrent bench binaries share the cache directory and must
+    // never observe a torn file.
+    if (!writeFileAtomic(path, header + payload))
+        warn("cannot write cache file '%s'", path.c_str());
 }
 
 std::size_t
@@ -889,6 +975,8 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
     const auto t0 = Clock::now();
     CampaignStats stats;
     stats.runs = runs.size();
+    const std::size_t quarantine_evicted_before =
+        quarantineEvictedTotal_;
 
     CampaignResult cr;
     cr.results.resize(runs.size());
@@ -973,6 +1061,39 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
         saveCampaignState(statePath, state);
     };
 
+    // ---- heartbeat ---------------------------------------------------
+    // One atomic heartbeat file per shard process, advanced after
+    // every run that reaches a terminal status. Progress-based on
+    // purpose: a timer would keep beating while the simulation
+    // threads are wedged, which is exactly what a supervisor needs to
+    // detect (see heartbeat.hh).
+    const std::string heartbeatPath =
+        shardStatePath(config_.heartbeatPath, shard);
+    std::mutex hb_mutex;
+    HeartbeatRecord hb;
+    hb.pid = static_cast<int>(::getpid());
+    hb.runsTotal = runs.size();
+    auto beat = [&](HeartbeatPhase phase) {
+        if (heartbeatPath.empty() ||
+            g_heartbeatSilenced.load(std::memory_order_relaxed))
+            return;
+        std::lock_guard<std::mutex> lock(hb_mutex);
+        ++hb.counter;
+        hb.phase = phase;
+        writeHeartbeat(heartbeatPath, hb);
+    };
+    auto beat_progress = [&](const RunOutcome &oc) {
+        if (heartbeatPath.empty())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(hb_mutex);
+            if (oc.inShard())
+                ++hb.completed;
+        }
+        beat(HeartbeatPhase::Running);
+    };
+    beat(HeartbeatPhase::Starting);
+
     // ---- classify: cache hits, leaders, followers --------------------
     struct Pending
     {
@@ -1000,6 +1121,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                 oc.attempts = 0;
                 ++stats.outOfShard;
                 record_state(i, oc);
+                beat_progress(oc);
                 continue;
             }
         }
@@ -1020,6 +1142,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                     cr.outcomes[i].attempts = 0;
                     appendJournal(cr.results[i], cr.outcomes[i]);
                     record_state(i, cr.outcomes[i]);
+                    beat_progress(cr.outcomes[i]);
                     continue;
                 }
             }
@@ -1034,6 +1157,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                 cr.outcomes[i].attempts = 0;
                 appendJournal(cr.results[i], cr.outcomes[i]);
                 record_state(i, cr.outcomes[i]);
+                beat_progress(cr.outcomes[i]);
                 continue;
             }
         }
@@ -1055,21 +1179,25 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
         ThreadPool pool(jobs);
         for (const Pending &p : pending) {
             pool.submit([this, &runs, &cr, &p, verbose, &abort_flag,
-                         &record_state] {
+                         &record_state, &beat_progress] {
                 const auto run_t0 = Clock::now();
                 RunOutcome oc;
                 oc.shard = config_.shard.index;
-                if (abort_flag.load(std::memory_order_relaxed)) {
+                std::string id;
+                const bool interrupted = campaignInterruptRequested();
+                if (abort_flag.load(std::memory_order_relaxed) ||
+                    interrupted) {
                     oc.status = RunStatus::Skipped;
                     oc.category = RunErrorCategory::SimInvariant;
-                    oc.error =
-                        "skipped after earlier failure (fail-fast)";
+                    oc.error = interrupted
+                        ? "interrupted by signal"
+                        : "skipped after earlier failure (fail-fast)";
                     oc.attempts = 0;
                 } else {
                     SimOptions opt = runs[p.index];
                     if (opt.timeoutMs == 0.0)
                         opt.timeoutMs = config_.timeoutMs;
-                    const std::string id = runIdentity(opt);
+                    id = runIdentity(opt);
                     for (unsigned attempt = 0;; ++attempt) {
                         oc.attempts = attempt + 1;
                         try {
@@ -1156,6 +1284,35 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                 }
                 cr.outcomes[p.index] = oc;
                 record_state(p.index, oc);
+                beat_progress(oc);
+
+                // Process-level chaos for the supervisor. Fires only
+                // after a *freshly simulated* run has been
+                // checkpointed and cached, so every injected crash
+                // strictly follows progress: the restarted worker
+                // resumes past this run and a shard with R runs can
+                // absorb at most R crashes before finishing.
+                if (oc.ok() && !id.empty()) {
+                    FaultInjector &fi = FaultInjector::global();
+                    if (fi.injectWorkerCrash(id, shardAttempt())) {
+                        warn("injected fault: worker-crash after %s",
+                             id.c_str());
+                        std::raise(SIGKILL);
+                    }
+                    if (fi.injectWorkerHang(id, shardAttempt())) {
+                        warn("injected fault: worker-hang after %s "
+                             "(heartbeat silenced)", id.c_str());
+                        g_heartbeatSilenced.store(
+                            true, std::memory_order_relaxed);
+                        // Wedge far past any hang deadline; the
+                        // supervisor is expected to SIGKILL us first.
+                        for (int t = 0; t < 6000; ++t) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(100));
+                        }
+                        std::_Exit(3);
+                    }
+                }
             });
         }
         pool.wait();
@@ -1180,6 +1337,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
         }
         cr.outcomes[dst] = oc;
         record_state(dst, oc);
+        beat_progress(oc);
     }
 
     // ---- accounting + cache hygiene ----------------------------------
@@ -1196,6 +1354,11 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
     }
     if (config_.useCache)
         stats.evicted = enforceCacheCap();
+    stats.quarantineEvicted =
+        quarantineEvictedTotal_ - quarantine_evicted_before;
+
+    beat(campaignInterruptRequested() ? HeartbeatPhase::Interrupted
+                                      : HeartbeatPhase::Done);
 
     stats.wallMs = elapsedMs(t0);
     totalSimulated_ += stats.simulated;
@@ -1215,12 +1378,15 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                stats.simulated, stats.memoryHits, stats.diskHits,
                stats.uncacheable);
         if (stats.failed || stats.timedOut || stats.skipped ||
-            stats.retried || stats.quarantined || stats.evicted) {
+            stats.retried || stats.quarantined || stats.evicted ||
+            stats.quarantineEvicted) {
             inform("campaign health: %zu failed, %zu timed out, "
                    "%zu skipped, %zu retried, %zu cache entries "
-                   "quarantined, %zu evicted",
+                   "quarantined, %zu evicted, %zu quarantine files "
+                   "aged out",
                    stats.failed, stats.timedOut, stats.skipped,
-                   stats.retried, stats.quarantined, stats.evicted);
+                   stats.retried, stats.quarantined, stats.evicted,
+                   stats.quarantineEvicted);
         }
     }
     return cr;

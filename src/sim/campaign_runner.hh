@@ -89,6 +89,24 @@ struct CampaignConfig
      * manifest (shardStatePath()). Default 0/1 = the whole campaign.
      */
     ShardSpec shard;
+
+    /**
+     * Heartbeat file base path (--heartbeat); empty disables.
+     * Sharded processes derive their own file with shardStatePath(),
+     * exactly like the checkpoint manifest. A heartbeat is published
+     * atomically after every run that reaches a terminal status, so a
+     * supervisor can distinguish a slow worker from a hung one.
+     */
+    std::string heartbeatPath;
+
+    /**
+     * Caps on .dmdc_cache/quarantine/: corrupt cache entries are set
+     * aside there for post-mortems, but chaos campaigns would grow it
+     * without bound. Oldest entries are evicted first once either cap
+     * is exceeded. 0 = unlimited.
+     */
+    std::size_t quarantineMaxEntries = 32;
+    std::uint64_t quarantineMaxBytes = 8ull * 1024 * 1024;
 };
 
 /** Execution accounting of the most recent campaign. */
@@ -106,6 +124,7 @@ struct CampaignStats
     std::size_t retried = 0;     ///< runs that needed > 1 attempt
     std::size_t quarantined = 0; ///< corrupt cache entries set aside
     std::size_t evicted = 0;     ///< cache entries removed by the cap
+    std::size_t quarantineEvicted = 0; ///< quarantined files aged out
     double wallMs = 0.0;         ///< campaign wall-clock, milliseconds
 
     double
@@ -218,10 +237,12 @@ class CampaignRunner
     std::string diskPath(const std::string &key) const;
     void quarantine(const std::string &path, const char *reason);
     std::size_t enforceCacheCap() const;
+    void enforceQuarantineCap();
 
     CampaignConfig config_;
     CampaignStats lastStats_;
     std::uint64_t totalSimulated_ = 0;
+    std::size_t quarantineEvictedTotal_ = 0;
 
     std::mutex memMutex_;
     std::unordered_map<std::string, SimResult> memCache_;
@@ -259,6 +280,21 @@ void setCampaignJournal(const std::string &path,
 
 /** Write the journal now (no-op when no path is set). */
 void flushCampaignJournal();
+
+// ---- cooperative interruption (worker side of the supervisor) --------
+
+/**
+ * Request a graceful campaign interruption (async-signal-safe; called
+ * from the worker's SIGINT/SIGTERM handler). Runs not yet started
+ * complete as Skipped("interrupted by signal"), in-flight runs finish
+ * and are checkpointed/cached normally, and the campaign returns with
+ * its manifest and journal consistent — a --resume re-simulates only
+ * what the interrupt skipped.
+ */
+void requestCampaignInterrupt();
+
+/** Has requestCampaignInterrupt() been called in this process? */
+bool campaignInterruptRequested();
 
 } // namespace dmdc
 

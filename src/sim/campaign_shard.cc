@@ -648,20 +648,37 @@ mergeShardJournals(const std::vector<ShardJournal> &shards,
             return false;
         }
     }
-    if (shards.size() != first.shardCount) {
-        err = "incomplete shard set: have " +
-              std::to_string(shards.size()) + " journals, campaign has " +
-              std::to_string(first.shardCount) + " shards";
-        return false;
-    }
+    // Name the offender: "have 2 of 3 journals" sends the user
+    // hunting; "missing shard 1/3" tells them which worker's output
+    // to look for.
     std::vector<bool> seen(first.shardCount, false);
-    for (const ShardJournal &s : shards) {
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardJournal &s = shards[i];
         if (seen[s.shardIndex]) {
             err = "duplicate journal for shard " +
-                  std::to_string(s.shardIndex);
+                  std::to_string(s.shardIndex) + "/" +
+                  std::to_string(first.shardCount) +
+                  " (journal " + std::to_string(i) +
+                  " repeats an earlier slice)";
             return false;
         }
         seen[s.shardIndex] = true;
+    }
+    if (shards.size() != first.shardCount) {
+        std::string missing;
+        for (unsigned i = 0; i < first.shardCount; ++i) {
+            if (!seen[i]) {
+                if (!missing.empty())
+                    missing += ", ";
+                missing += std::to_string(i) + "/" +
+                           std::to_string(first.shardCount);
+            }
+        }
+        err = "incomplete shard set: have " +
+              std::to_string(shards.size()) + " of " +
+              std::to_string(first.shardCount) +
+              " journals; missing shard " + missing;
+        return false;
     }
 
     // Journal identities must be disjoint across shards: the
@@ -687,10 +704,20 @@ mergeShardJournals(const std::vector<ShardJournal> &shards,
         }
     }
     if (records != first.runsTotal) {
+        // Per-shard breakdown so the short slice is identifiable at a
+        // glance (a crashed worker's partial journal shows up here).
+        std::string breakdown;
+        for (const ShardJournal &s : shards) {
+            if (!breakdown.empty())
+                breakdown += ", ";
+            breakdown += "shard " + std::to_string(s.shardIndex) +
+                         ": " + std::to_string(s.entries.size());
+        }
         err = "shard journals hold " + std::to_string(records) +
               " records, campaign expects " +
               std::to_string(first.runsTotal) +
-              " (incomplete or over-complete slice union)";
+              " (incomplete or over-complete slice union; " +
+              breakdown + ")";
         return false;
     }
 

@@ -8,11 +8,10 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -269,7 +268,6 @@ loadCampaignState(const std::string &path, CampaignState &out,
 bool
 saveCampaignState(const std::string &path, const CampaignState &state)
 {
-    namespace fs = std::filesystem;
     std::ostringstream os;
     os << "{\"version\":" << kStateFormatVersion
        << ",\"fingerprint\":\"" << state.fingerprint
@@ -291,21 +289,7 @@ saveCampaignState(const std::string &path, const CampaignState &state)
     }
     os << "\n]}\n";
 
-    std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << std::this_thread::get_id();
-    const std::string tmp = tmp_name.str();
-    {
-        std::ofstream file(tmp);
-        if (!file) {
-            warn("cannot write campaign state '%s'", tmp.c_str());
-            return false;
-        }
-        file << os.str();
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        fs::remove(tmp, ec);
+    if (!writeFileAtomic(path, os.str())) {
         warn("cannot publish campaign state '%s'", path.c_str());
         return false;
     }

@@ -134,6 +134,12 @@ CliParser::positional(std::vector<std::string> *out,
     positionalLabel_ = label;
 }
 
+void
+CliParser::passthrough(std::vector<std::string> *out)
+{
+    passthrough_ = out;
+}
+
 const CliParser::Option *
 CliParser::findOption(const std::string &name) const
 {
@@ -214,6 +220,10 @@ CliParser::parse(int argc, char **argv, std::string &err)
                 positional_->push_back(arg);
                 continue;
             }
+            if (passthrough_) {
+                passthrough_->push_back(arg);
+                continue;
+            }
             err = "unexpected argument '" + arg + "'";
             return false;
         }
@@ -223,6 +233,10 @@ CliParser::parse(int argc, char **argv, std::string &err)
                                                    : eq - 2);
         const Option *opt = findOption(name);
         if (!opt) {
+            if (passthrough_) {
+                passthrough_->push_back(arg);
+                continue;
+            }
             err = "unknown option '--" + name + "'";
             return false;
         }
@@ -327,6 +341,8 @@ CampaignCliOptions::addTo(CliParser &parser)
     parser.value("json", &jsonPath, "write the campaign journal here");
     parser.flag("json-deterministic", &jsonDeterministic,
                 "strip nondeterministic journal fields + sort");
+    parser.value("heartbeat", &config.heartbeatPath,
+                 "publish per-run heartbeats at this base path");
 }
 
 bool
@@ -341,6 +357,7 @@ CampaignCliOptions::finalize(std::string &err)
         return false;
     }
     config.cacheMaxBytes = cacheMaxMb * 1024ull * 1024ull;
+    workerMode = !config.heartbeatPath.empty();
     return true;
 }
 
@@ -350,6 +367,65 @@ CampaignCliOptions::apply() const
     CampaignRunner::configureGlobal(config);
     if (!jsonPath.empty())
         setCampaignJournal(jsonPath, jsonDeterministic);
+}
+
+// ---- supervisor flag bundle ------------------------------------------
+
+void
+SupervisorCliOptions::addTo(CliParser &parser)
+{
+    parser.value("procs", &options.procs,
+                 "shard worker processes to launch");
+    parser.value("heartbeat-interval", &options.pollIntervalMs,
+                 "supervisor poll cadence, ms");
+    parser.value("hang-deadline", &options.hangDeadlineMs,
+                 "heartbeat staleness before a kill, ms (0 = off)");
+    parser.value("shard-retries", &options.shardRetries,
+                 "restarts allowed per shard");
+    parser.value("launch-dir", &options.launchDir,
+                 "scratch dir for state/heartbeats/journals/logs");
+    parser.value("worker", &options.workerBinary,
+                 "worker binary (default: dmdc_sim next to launcher)");
+    parser.value("out", &options.journalPath,
+                 "merged journal path (default <launch-dir>/merged.json)");
+    parser.flag("resume", &options.resume,
+                "resume an interrupted launch");
+    parser.flag("verbose", &options.verbose,
+                "log every supervision event");
+    parser.passthrough(&options.workerArgs);
+}
+
+bool
+SupervisorCliOptions::finalize(const std::string &argv0,
+                               std::string &err)
+{
+    if (options.procs == 0) {
+        err = "--procs must be at least 1";
+        return false;
+    }
+    if (options.workerBinary.empty()) {
+        const std::size_t slash = argv0.find_last_of('/');
+        const std::string dir = slash == std::string::npos
+            ? std::string(".") : argv0.substr(0, slash);
+        options.workerBinary = dir + "/dmdc_sim";
+    }
+    // The supervisor owns the sharding, journaling, and checkpoint
+    // topology; a forwarded flag in that namespace would silently
+    // fight it.
+    static const char *const kReserved[] = {
+        "--shard", "--json", "--json-deterministic", "--state",
+        "--heartbeat", "--resume",
+    };
+    for (const std::string &arg : options.workerArgs) {
+        for (const char *r : kReserved) {
+            if (arg == r || arg.rfind(std::string(r) + "=", 0) == 0) {
+                err = "'" + arg + "' is managed by the launcher and "
+                      "cannot be forwarded to workers";
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 } // namespace dmdc

@@ -24,6 +24,7 @@
 
 #include "sim/campaign_runner.hh"
 #include "sim/campaign_shard.hh"
+#include "sim/supervisor.hh"
 
 namespace dmdc
 {
@@ -33,6 +34,11 @@ constexpr int kExitOk = 0;       ///< success
 constexpr int kExitFailure = 1;  ///< operation failed (all runs, merge)
 constexpr int kExitUsage = 2;    ///< bad command line / bad config
 constexpr int kExitDegraded = 4; ///< finished, but some runs degraded
+/** Interrupted by SIGINT/SIGTERM after a graceful drain: checkpoint
+ *  manifest and journal are flushed and --resume will converge.
+ *  Distinct from kExitFailure so a supervisor can tell "stop
+ *  requested" from "worker broke". */
+constexpr int kExitInterrupted = 5;
 
 /**
  * Strict unsigned decimal parse: the whole token must be digits and
@@ -84,6 +90,16 @@ class CliParser
     /** Collect bare (non --option) arguments; error when absent. */
     void positional(std::vector<std::string> *out,
                     const std::string &label);
+    /**
+     * Collect *unrecognized* arguments instead of rejecting them:
+     * unknown `--name[=value]` tokens (and, without a positional sink,
+     * bare arguments) are appended to @p out verbatim, in order. This
+     * is how the launcher forwards campaign flags it doesn't know to
+     * its workers. Forwarded options must use the `--name=value`
+     * one-token spelling — a detached value after an unknown option
+     * is indistinguishable from a bare argument.
+     */
+    void passthrough(std::vector<std::string> *out);
 
     /** Parse argv; false + @p err on any problem (nothing printed). */
     bool parse(int argc, char **argv, std::string &err);
@@ -126,6 +142,7 @@ class CliParser
     std::vector<Option> options_;
     std::vector<std::string> *positional_ = nullptr;
     std::string positionalLabel_;
+    std::vector<std::string> *passthrough_ = nullptr;
 };
 
 /**
@@ -137,6 +154,7 @@ struct CampaignCliOptions
     CampaignConfig config;        ///< assembled runner configuration
     std::string jsonPath;         ///< --json journal target
     bool jsonDeterministic = false;
+    bool workerMode = false;      ///< --heartbeat given (supervised)
     std::uint64_t cacheMaxMb = 0; ///< --cache-max-mb (0 = unlimited)
     std::string shardText;        ///< raw --shard=i/N value
     bool noCache = false;         ///< --no-cache
@@ -152,6 +170,30 @@ struct CampaignCliOptions
 
     /** Configure the process-wide runner and journal from this. */
     void apply() const;
+};
+
+/**
+ * The supervisor flag bundle of tools/campaign_launch. Everything the
+ * launcher's own parser doesn't recognize is forwarded to the workers
+ * via CliParser::passthrough().
+ */
+struct SupervisorCliOptions
+{
+    SupervisorOptions options;
+
+    /** Register --procs/--heartbeat-interval/--hang-deadline/
+     *  --shard-retries/--launch-dir/--worker/--out/--resume/--verbose
+     *  on @p parser and hook the passthrough sink. */
+    void addTo(CliParser &parser);
+
+    /**
+     * Cross-validate: procs >= 1, a usable worker binary (defaulted
+     * from @p argv0's directory when --worker is absent), and no
+     * forwarded flag that the supervisor itself owns (--shard, --json,
+     * --state, --heartbeat, --resume, ...). False + @p err on
+     * conflict.
+     */
+    bool finalize(const std::string &argv0, std::string &err);
 };
 
 } // namespace dmdc

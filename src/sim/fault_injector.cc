@@ -56,9 +56,14 @@ applyItem(FaultSpec &spec, const std::string &item, std::string &err)
         spec.runThrowP = p;
     else if (site == "run-hang")
         spec.runHangP = p;
+    else if (site == "worker-crash")
+        spec.workerCrashP = p;
+    else if (site == "worker-hang")
+        spec.workerHangP = p;
     else {
         err = "unknown fault site '" + site +
-            "' (sites: cache-corrupt, run-throw, run-hang)";
+            "' (sites: cache-corrupt, run-throw, run-hang, "
+            "worker-crash, worker-hang)";
         return false;
     }
     return true;
@@ -140,6 +145,20 @@ bool
 FaultInjector::injectCacheCorrupt(const std::string &key) const
 {
     return decide("cache-corrupt", key, 0, spec_.cacheCorruptP);
+}
+
+bool
+FaultInjector::injectWorkerCrash(const std::string &key,
+                                 unsigned attempt) const
+{
+    return decide("worker-crash", key, attempt, spec_.workerCrashP);
+}
+
+bool
+FaultInjector::injectWorkerHang(const std::string &key,
+                                unsigned attempt) const
+{
+    return decide("worker-hang", key, attempt, spec_.workerHangP);
 }
 
 } // namespace dmdc

@@ -17,6 +17,19 @@
  *   run-throw     throw a transient RunError before simulating
  *   run-hang      wedge the run (caught by the simulator watchdog)
  *   cache-corrupt write a deliberately corrupt .dmdc_cache/ entry
+ *   worker-crash  SIGKILL the whole worker process right after a
+ *                 freshly simulated run checkpoints (supervisor chaos)
+ *   worker-hang   stop the worker's heartbeat after a freshly
+ *                 simulated run and wedge (supervisor chaos)
+ *
+ * The worker-* sites model process-level failures for the shard
+ * supervisor. They fire only after a *freshly simulated* run has been
+ * checkpointed and cached, so every crash/hang strictly follows
+ * progress: a restarted worker resumes from the cache and a campaign
+ * with R runs can suffer at most R injected worker faults per shard.
+ * Decisions additionally mix in the worker's restart attempt (the
+ * DMDC_SHARD_ATTEMPT environment variable the supervisor sets), so a
+ * restart re-rolls rather than replaying its predecessor's fate.
  */
 
 #ifndef DMDC_SIM_FAULT_INJECTOR_HH
@@ -34,13 +47,15 @@ struct FaultSpec
     double cacheCorruptP = 0.0;
     double runThrowP = 0.0;
     double runHangP = 0.0;
+    double workerCrashP = 0.0;
+    double workerHangP = 0.0;
     std::uint64_t seed = 0;
 
     bool
     any() const
     {
         return cacheCorruptP > 0.0 || runThrowP > 0.0 ||
-            runHangP > 0.0;
+            runHangP > 0.0 || workerCrashP > 0.0 || workerHangP > 0.0;
     }
 };
 
@@ -80,6 +95,17 @@ class FaultInjector
 
     /** Corrupt the cache entry being written for @p key? */
     bool injectCacheCorrupt(const std::string &key) const;
+
+    /** Kill the worker process after the freshly simulated run
+     *  identified by @p key checkpoints? @p attempt is the worker's
+     *  restart count (DMDC_SHARD_ATTEMPT), so each respawn re-rolls. */
+    bool injectWorkerCrash(const std::string &key,
+                           unsigned attempt) const;
+
+    /** Silence the worker's heartbeat and wedge after the freshly
+     *  simulated run identified by @p key? */
+    bool injectWorkerHang(const std::string &key,
+                          unsigned attempt) const;
 
   private:
     bool decide(const char *site, const std::string &key,

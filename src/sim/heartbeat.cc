@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Heartbeat serialization and the supervisor-side staleness monitor.
+ */
+
+#include "sim/heartbeat.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+constexpr unsigned kHeartbeatFormatVersion = 1;
+
+} // namespace
+
+const char *
+heartbeatPhaseName(HeartbeatPhase phase)
+{
+    switch (phase) {
+      case HeartbeatPhase::Starting:    return "starting";
+      case HeartbeatPhase::Running:     return "running";
+      case HeartbeatPhase::Interrupted: return "interrupted";
+      case HeartbeatPhase::Done:        return "done";
+    }
+    return "?";
+}
+
+bool
+parseHeartbeatPhase(const std::string &text, HeartbeatPhase &out)
+{
+    for (HeartbeatPhase p :
+         {HeartbeatPhase::Starting, HeartbeatPhase::Running,
+          HeartbeatPhase::Interrupted, HeartbeatPhase::Done}) {
+        if (text == heartbeatPhaseName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+writeHeartbeat(const std::string &path, const HeartbeatRecord &record)
+{
+    std::ostringstream os;
+    os << "{\"version\":" << kHeartbeatFormatVersion
+       << ",\"pid\":" << record.pid
+       << ",\"counter\":" << record.counter
+       << ",\"completed\":" << record.completed
+       << ",\"runs_total\":" << record.runsTotal
+       << ",\"phase\":\"" << heartbeatPhaseName(record.phase)
+       << "\"}\n";
+    return writeFileAtomic(path, os.str());
+}
+
+bool
+readHeartbeat(const std::string &path, HeartbeatRecord &out,
+              std::string &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err = "cannot open heartbeat '" + path + "'";
+        return false;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+
+    // Flat single-object grammar, exactly what writeHeartbeat() emits.
+    HeartbeatRecord rec;
+    std::size_t pos = 0;
+    auto skipWs = [&] {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    };
+    auto consume = [&](char c) {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    };
+    auto quoted = [&](std::string &s) {
+        if (!consume('"'))
+            return false;
+        s.clear();
+        while (pos < text.size() && text[pos] != '"')
+            s.push_back(text[pos++]);
+        return consume('"');
+    };
+    auto scalar = [&](std::string &s) {
+        if (text[pos] == '"')
+            return quoted(s);
+        s.clear();
+        while (pos < text.size() && text[pos] != ',' &&
+               text[pos] != '}' &&
+               !std::isspace(static_cast<unsigned char>(text[pos])))
+            s.push_back(text[pos++]);
+        return !s.empty();
+    };
+
+    skipWs();
+    if (!consume('{')) {
+        err = "heartbeat '" + path + "' is not a JSON object";
+        return false;
+    }
+    skipWs();
+    bool version_ok = false;
+    while (!consume('}')) {
+        std::string key, value;
+        if (!quoted(key) || (skipWs(), !consume(':')) ||
+            (skipWs(), !scalar(value))) {
+            err = "heartbeat '" + path + "' is malformed";
+            return false;
+        }
+        if (key == "version") {
+            version_ok = std::strtoul(value.c_str(), nullptr, 10) ==
+                kHeartbeatFormatVersion;
+        } else if (key == "pid") {
+            rec.pid = static_cast<int>(
+                std::strtol(value.c_str(), nullptr, 10));
+        } else if (key == "counter") {
+            rec.counter = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "completed") {
+            rec.completed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "runs_total") {
+            rec.runsTotal = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "phase") {
+            if (!parseHeartbeatPhase(value, rec.phase)) {
+                err = "heartbeat '" + path + "' has unknown phase '" +
+                      value + "'";
+                return false;
+            }
+        }
+        skipWs();
+        if (consume(','))
+            skipWs();
+    }
+    if (!version_ok) {
+        err = "heartbeat '" + path + "' has a foreign format version";
+        return false;
+    }
+    out = rec;
+    return true;
+}
+
+// ---- HeartbeatMonitor ------------------------------------------------
+
+void
+HeartbeatMonitor::track(unsigned shard, double nowMs)
+{
+    State s;
+    s.lastChangeMs = nowMs;
+    shards_[shard] = s;
+}
+
+void
+HeartbeatMonitor::observe(unsigned shard, std::uint64_t counter,
+                          double nowMs)
+{
+    auto it = shards_.find(shard);
+    if (it == shards_.end())
+        return;
+    State &s = it->second;
+    if (!s.observed || s.counter != counter) {
+        s.observed = true;
+        s.counter = counter;
+        s.lastChangeMs = nowMs;
+    }
+}
+
+void
+HeartbeatMonitor::forget(unsigned shard)
+{
+    shards_.erase(shard);
+}
+
+double
+HeartbeatMonitor::silentMs(unsigned shard, double nowMs) const
+{
+    auto it = shards_.find(shard);
+    if (it == shards_.end())
+        return 0.0;
+    return nowMs - it->second.lastChangeMs;
+}
+
+bool
+HeartbeatMonitor::hung(unsigned shard, double nowMs) const
+{
+    if (deadlineMs_ <= 0.0 || !shards_.count(shard))
+        return false;
+    return silentMs(shard, nowMs) > deadlineMs_;
+}
+
+} // namespace dmdc

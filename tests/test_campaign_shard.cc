@@ -345,14 +345,17 @@ TEST_F(CampaignShard, MergerRejectsBadShardSets)
     }
     ShardJournal merged;
 
-    // Incomplete set.
+    // Incomplete set: the message must name the absent slice, not
+    // just count journals.
     EXPECT_FALSE(mergeShardJournals({shards[0]}, merged, err));
     EXPECT_NE(err.find("incomplete"), std::string::npos) << err;
+    EXPECT_NE(err.find("missing shard 1/2"), std::string::npos) << err;
 
-    // Duplicate shard.
+    // Duplicate shard, named by its coordinates.
     EXPECT_FALSE(
         mergeShardJournals({shards[0], shards[0]}, merged, err));
     EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+    EXPECT_NE(err.find("shard 0/2"), std::string::npos) << err;
 
     // Foreign campaign fingerprint.
     {
@@ -381,13 +384,23 @@ TEST_F(CampaignShard, MergerRejectsBadShardSets)
         EXPECT_NE(err.find("overlapping"), std::string::npos) << err;
     }
 
-    // Lost records: the union no longer covers the campaign.
+    // Lost records: the union no longer covers the campaign, and the
+    // per-shard breakdown fingers the short slice (a crashed worker's
+    // partial journal shows up exactly like this).
     {
         std::vector<ShardJournal> bad = shards;
         ASSERT_FALSE(bad[1].entries.empty());
         bad[1].entries.pop_back();
         EXPECT_FALSE(mergeShardJournals(bad, merged, err));
         EXPECT_NE(err.find("incomplete or over-complete"),
+                  std::string::npos)
+            << err;
+        EXPECT_NE(err.find("shard 0: " +
+                           std::to_string(bad[0].entries.size())),
+                  std::string::npos)
+            << err;
+        EXPECT_NE(err.find("shard 1: " +
+                           std::to_string(bad[1].entries.size())),
                   std::string::npos)
             << err;
     }

@@ -38,6 +38,9 @@
  *                           manifest to <path>
  *     --json-deterministic  strip timestamps/wall-clock/attempts from
  *                           the journal and sort records canonically
+ *     --heartbeat=<path>    publish an atomic per-run heartbeat file
+ *                           (supervised-worker mode: SIGINT/SIGTERM
+ *                           drain gracefully and exit 5)
  *
  * Comma-separated --bench / --scheme / --config values select campaign
  * mode: the cross product runs through the fault-isolated campaign
@@ -70,6 +73,7 @@
 #include "sim/cli_options.hh"
 #include "sim/run_error.hh"
 #include "sim/simulator.hh"
+#include "sim/supervisor.hh"
 #include "trace/spec_suite.hh"
 
 using namespace dmdc;
@@ -211,6 +215,17 @@ runCampaign(const std::vector<SimOptions> &runs,
     }
     flushCampaignJournal();
 
+    // A signal-interrupted campaign has flushed its manifest and
+    // journal; the distinct exit code tells a supervisor (or script)
+    // that --resume will converge. Checked before the failure rules:
+    // an interrupt that lands before any run succeeds is still an
+    // interrupt, not a failed campaign.
+    if (campaignInterruptRequested()) {
+        std::printf("campaign interrupted; state checkpointed, "
+                    "--resume to continue\n");
+        return kExitInterrupted;
+    }
+
     // A degraded campaign still exits 0 — the journal is the failure
     // manifest — but a campaign with nothing to show, or any failure
     // under --fail-fast, is an error. An empty shard slice (more
@@ -314,12 +329,19 @@ main(int argc, char **argv)
         }
     }
 
-    if (runs.size() > 1 || campaign_cfg.shard.active()) {
+    // --heartbeat marks a supervised worker: always campaign mode
+    // (heartbeats, journal, kExitInterrupted) even for one run.
+    if (runs.size() > 1 || campaign_cfg.shard.active() ||
+        campaign.workerMode) {
         if (dump_stats || dump_energy) {
             std::fprintf(stderr, "dmdc_sim: --stats/--energy need a "
                                  "single run, not a campaign\n");
             return kExitUsage;
         }
+        // Two-stage SIGINT/SIGTERM: finish the in-flight run,
+        // checkpoint, flush the journal, exit kExitInterrupted;
+        // signal again to die immediately.
+        installWorkerSignalHandlers();
         return runCampaign(runs, campaign_cfg);
     }
 

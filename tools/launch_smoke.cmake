@@ -1,0 +1,51 @@
+# Supervised-launcher smoke test (driven by ctest, see CMakeLists.txt).
+#
+# Runs one small campaign serially, then through campaign_launch with
+# three supervised shard workers under worker-crash chaos (workers
+# SIGKILL themselves after freshly simulated runs; the supervisor must
+# restart them until the campaign converges), and asserts the merged
+# journal is byte-identical to the serial --json-deterministic one.
+#
+# The chaos run uses its own cache directory: sharing the serial run's
+# cache would serve every run as a hit, simulate nothing fresh, and
+# never trigger a single crash.
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(campaign
+    --bench=gzip,swim --scheme=baseline,yla --insts=20000 --warmup=2000)
+
+execute_process(
+    COMMAND ${DMDC_SIM} ${campaign} --cache-dir=${WORK_DIR}/serial_cache
+            --json-deterministic --json=${WORK_DIR}/serial.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serial campaign failed (exit ${rc})")
+endif()
+
+set(ENV{DMDC_FAULT} "worker-crash:p=0.3,seed=11")
+execute_process(
+    COMMAND ${CAMPAIGN_LAUNCH} --procs=3 --shard-retries=8
+            --heartbeat-interval=50 --launch-dir=${WORK_DIR}/launch
+            --out=${WORK_DIR}/merged.json --verbose
+            ${campaign} --cache-dir=${WORK_DIR}/chaos_cache --jobs=2
+    RESULT_VARIABLE rc)
+unset(ENV{DMDC_FAULT})
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "supervised chaos launch failed (exit ${rc}); see "
+        "${WORK_DIR}/launch/shard*.log")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/serial.json ${WORK_DIR}/merged.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "merged journal differs from the serial journal")
+endif()
+
+message(STATUS "launch smoke: supervised merged journal is "
+               "byte-identical under worker-crash chaos")
