@@ -1,0 +1,232 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator kernel fast
+ * paths: DynInst pool recycling vs. heap allocation, the store
+ * queue's O(1) safe-load check and binary-search load probe, the
+ * checking table's occupancy pre-filter, and the cost of an empty
+ * pipeline tick vs. one bulk-skipped idle cycle. These document the
+ * kernel-performance architecture (DESIGN.md Sec. 15) and guard the
+ * fast paths against accidental complexity regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/object_pool.hh"
+#include "common/random.hh"
+#include "core/pipeline.hh"
+#include "lsq/checking_table.hh"
+#include "lsq/store_queue.hh"
+#include "sim/machine_config.hh"
+#include "trace/spec_suite.hh"
+
+namespace
+{
+
+using namespace dmdc;
+
+// ---- DynInst lifetime: pool recycling vs. the heap ------------------
+
+void
+BM_PoolAcquireRelease(benchmark::State &state)
+{
+    ObjectPool<DynInst> pool(256);
+    for (auto _ : state) {
+        DynInst *inst = pool.acquire();
+        inst->seq = 1;
+        benchmark::DoNotOptimize(inst);
+        pool.release(inst);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAcquireRelease);
+
+void
+BM_HeapAllocFree(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto inst = std::make_unique<DynInst>();
+        inst->seq = 1;
+        benchmark::DoNotOptimize(inst.get());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapAllocFree);
+
+// Steady-state churn at ROB-ish occupancy: allocate a burst, retire
+// the oldest — the pipeline's actual usage pattern.
+void
+BM_PoolChurn(benchmark::State &state)
+{
+    const unsigned live = static_cast<unsigned>(state.range(0));
+    ObjectPool<DynInst> pool(live + 8);
+    std::vector<DynInst *> window;
+    for (unsigned i = 0; i < live; ++i)
+        window.push_back(pool.acquire());
+    std::size_t head = 0;
+    for (auto _ : state) {
+        pool.release(window[head]);
+        window[head] = pool.acquire();
+        head = (head + 1) % window.size();
+    }
+    for (DynInst *inst : window)
+        pool.release(inst);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolChurn)->Arg(64)->Arg(256);
+
+// ---- store queue fast paths -----------------------------------------
+
+/** Build a full SQ; @p unresolved_every marks every Nth store
+ *  address-unresolved (0 = all resolved). */
+std::vector<std::unique_ptr<DynInst>>
+makeStores(StoreQueue &sq, unsigned count, unsigned unresolved_every)
+{
+    Rng rng(7);
+    std::vector<std::unique_ptr<DynInst>> stores;
+    for (unsigned i = 0; i < count; ++i) {
+        auto inst = std::make_unique<DynInst>();
+        inst->seq = i + 1;
+        inst->op.cls = OpClass::Store;
+        inst->op.effAddr = rng.range(1 << 20) & ~Addr{7};
+        inst->op.memSize = 8;
+        inst->sqAddrReady =
+            !(unresolved_every && (i % unresolved_every) == 0);
+        inst->sqDataReady = inst->sqAddrReady;
+        sq.allocate(inst.get());
+        stores.push_back(std::move(inst));
+    }
+    return stores;
+}
+
+void
+BM_SqAllOlderResolved(benchmark::State &state)
+{
+    const unsigned sq_size = static_cast<unsigned>(state.range(0));
+    StoreQueue sq(sq_size);
+    auto stores = makeStores(sq, sq_size, 8);
+    SeqNum seq = 0;
+    for (auto _ : state) {
+        seq = (seq + 1) % (sq_size + 2);
+        benchmark::DoNotOptimize(sq.allOlderResolved(seq));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqAllOlderResolved)->Arg(48)->Arg(192);
+
+/**
+ * checkLoad for a load OLDER than most of the queue: the binary
+ * search skips the younger suffix instead of walking it entry by
+ * entry, so cost no longer scales with SQ occupancy.
+ */
+void
+BM_SqCheckLoadOldLoad(benchmark::State &state)
+{
+    const unsigned sq_size = static_cast<unsigned>(state.range(0));
+    StoreQueue sq(sq_size);
+    auto stores = makeStores(sq, sq_size, 0);
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 8) & ((1 << 20) - 1);
+        benchmark::DoNotOptimize(sq.checkLoad(2, addr & ~Addr{7}, 8));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqCheckLoadOldLoad)->Arg(48)->Arg(192);
+
+/** checkLoad for a load younger than the whole queue (full scan). */
+void
+BM_SqCheckLoadYoungLoad(benchmark::State &state)
+{
+    const unsigned sq_size = static_cast<unsigned>(state.range(0));
+    StoreQueue sq(sq_size);
+    auto stores = makeStores(sq, sq_size, 0);
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 8) & ((1 << 20) - 1);
+        benchmark::DoNotOptimize(
+            sq.checkLoad(sq_size + 1, addr & ~Addr{7}, 8));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqCheckLoadYoungLoad)->Arg(48)->Arg(192);
+
+// ---- checking-table occupancy pre-filter ----------------------------
+
+void
+BM_CheckingTableMissFastPath(benchmark::State &state)
+{
+    CheckingTable table(2048);
+    GhostStoreRecord g;
+    g.addr = 0x1000;
+    g.size = 8;
+    table.markStore(0x1000, 8, g);
+    // Probe a sweep of addresses; almost every probe misses and takes
+    // the occupancy-word early-out.
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 8) & ((1 << 22) - 1);
+        benchmark::DoNotOptimize(table.checkLoad(addr & ~Addr{7}, 8));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckingTableMissFastPath);
+
+// ---- empty tick vs. skipped tick ------------------------------------
+
+/**
+ * A pipeline that can never fetch (fetch queue size 0) executes a
+ * pure empty tick every cycle: the full stage walk with nothing to
+ * do. skipIdleCycles() is the bulk replacement the event-driven
+ * skip substitutes for those ticks.
+ */
+CoreParams
+idleParams()
+{
+    CoreParams p = makeMachineConfig(2);
+    applyScheme(p, "dmdc-global");
+    p.fetchQueueSize = 0;
+    return p;
+}
+
+void
+BM_EmptyTick(benchmark::State &state)
+{
+    auto w = makeSpecWorkload("gzip");
+    Pipeline pipe(idleParams(), *w);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.tick());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmptyTick);
+
+void
+BM_SkippedTick(benchmark::State &state)
+{
+    auto w = makeSpecWorkload("gzip");
+    Pipeline pipe(idleParams(), *w);
+    for (auto _ : state)
+        pipe.skipIdleCycles(1);
+    benchmark::DoNotOptimize(pipe.now());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkippedTick);
+
+void
+BM_SkippedTickBulk(benchmark::State &state)
+{
+    auto w = makeSpecWorkload("gzip");
+    Pipeline pipe(idleParams(), *w);
+    for (auto _ : state)
+        pipe.skipIdleCycles(1024);
+    benchmark::DoNotOptimize(pipe.now());
+    // One skip call covers 1024 cycles.
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SkippedTickBulk);
+
+} // namespace
+
+BENCHMARK_MAIN();

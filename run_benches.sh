@@ -19,8 +19,13 @@ for b in fig2_yla_filtering fig3_bloom_filter fig4_dmdc_main \
     ./build/bench/$b --json=bench_json/BENCH_$b.json "$@" 2>/dev/null \
         | tee -a bench_output.txt
 done
+# Plain-double min_time: the "0.05s" suffixed spelling is rejected by
+# older google-benchmark releases, which made this step silently no-op.
 echo "=== running micro_structures ===" | tee -a bench_output.txt
-./build/bench/micro_structures --benchmark_min_time=0.05s 2>/dev/null \
+./build/bench/micro_structures --benchmark_min_time=0.05 2>/dev/null \
+    | tee -a bench_output.txt
+echo "=== running micro_kernel ===" | tee -a bench_output.txt
+./build/bench/micro_kernel --benchmark_min_time=0.05 2>/dev/null \
     | tee -a bench_output.txt
 elapsed=$(( $(date +%s) - start ))
 echo "ALL BENCHES DONE in ${elapsed}s" | tee -a bench_output.txt

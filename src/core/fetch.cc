@@ -11,9 +11,10 @@ namespace dmdc
 {
 
 FetchStage::FetchStage(const FetchParams &params, Workload &workload,
-                       BranchPredictor &predictor, MemoryHierarchy &mem)
+                       BranchPredictor &predictor, MemoryHierarchy &mem,
+                       ObjectPool<DynInst> &pool)
     : params_(params), workload_(workload), predictor_(predictor),
-      mem_(mem)
+      mem_(mem), pool_(pool)
 {
     fetchPc_ = workload_.op(0).pc;
 }
@@ -27,10 +28,10 @@ FetchStage::regStats(StatGroup &parent)
     parent.addChild(&stats_);
 }
 
-std::unique_ptr<DynInst>
+DynInst *
 FetchStage::makeInst(const MicroOp &op, bool wrong_path, Cycle now)
 {
-    auto inst = std::make_unique<DynInst>();
+    DynInst *inst = pool_.acquire();
     inst->op = op;
     inst->seq = ++seqCounter_;
     inst->wrongPath = wrong_path;
@@ -40,7 +41,7 @@ FetchStage::makeInst(const MicroOp &op, bool wrong_path, Cycle now)
 }
 
 void
-FetchStage::tick(Cycle now, std::vector<std::unique_ptr<DynInst>> &out,
+FetchStage::tick(Cycle now, RingBuffer<DynInst *> &out,
                  std::size_t max_count)
 {
     if (now < stallUntil_) {
@@ -71,7 +72,7 @@ FetchStage::tick(Cycle now, std::vector<std::unique_ptr<DynInst>> &out,
         else
             op = workload_.wrongPathOp(fetchPc_, wrongPathSalt_++);
 
-        auto inst = makeInst(op, wrong_path, now);
+        DynInst *inst = makeInst(op, wrong_path, now);
         ++fetchedTotal;
         if (wrong_path)
             ++fetchedWrongPath;
@@ -95,7 +96,7 @@ FetchStage::tick(Cycle now, std::vector<std::unique_ptr<DynInst>> &out,
         }
 
         fetchPc_ = next_pc;
-        out.push_back(std::move(inst));
+        out.push_back(inst);
 
         // Fetch does not continue past a predicted-taken branch in the
         // same cycle.

@@ -8,10 +8,8 @@
 #ifndef DMDC_CORE_FETCH_HH
 #define DMDC_CORE_FETCH_HH
 
-#include <memory>
-#include <vector>
-
 #include "branch/predictor.hh"
+#include "common/object_pool.hh"
 #include "common/stats.hh"
 #include "core/inst.hh"
 #include "mem/hierarchy.hh"
@@ -32,14 +30,15 @@ class FetchStage
 {
   public:
     FetchStage(const FetchParams &params, Workload &workload,
-               BranchPredictor &predictor, MemoryHierarchy &mem);
+               BranchPredictor &predictor, MemoryHierarchy &mem,
+               ObjectPool<DynInst> &pool);
 
     /**
      * Fetch up to min(fetchWidth, @p max_count) micro-ops this cycle,
-     * appending fresh DynInsts to @p out. Fetch stops at a
+     * appending pool-allocated DynInsts to @p out. Fetch stops at a
      * predicted-taken branch and on I-cache misses.
      */
-    void tick(Cycle now, std::vector<std::unique_ptr<DynInst>> &out,
+    void tick(Cycle now, RingBuffer<DynInst *> &out,
               std::size_t max_count);
 
     /** Redirect to correct-path index @p trace_index at @p resume. */
@@ -54,6 +53,17 @@ class FetchStage
     bool onWrongPath() const { return wrongPathMode_; }
     SeqNum lastSeq() const { return seqCounter_; }
 
+    /** True when an I-cache miss is stalling fetch at @p now. */
+    bool stalled(Cycle now) const { return now < stallUntil_; }
+    /** Cycle the current I-cache stall ends (idle-skip wake event). */
+    Cycle stallUntil() const { return stallUntil_; }
+
+    /**
+     * Account @p n skipped idle cycles that would each have ticked a
+     * stalled fetch stage (see Pipeline::skipIdleCycles).
+     */
+    void noteIdleStallCycles(Cycle n) { icacheStallCycles += n; }
+
     void regStats(StatGroup &parent);
 
     Counter fetchedTotal;
@@ -61,13 +71,13 @@ class FetchStage
     Counter icacheStallCycles;
 
   private:
-    std::unique_ptr<DynInst> makeInst(const MicroOp &op, bool wrong_path,
-                                      Cycle now);
+    DynInst *makeInst(const MicroOp &op, bool wrong_path, Cycle now);
 
     FetchParams params_;
     Workload &workload_;
     BranchPredictor &predictor_;
     MemoryHierarchy &mem_;
+    ObjectPool<DynInst> &pool_;
 
     Addr fetchPc_;
     std::uint64_t nextTraceIndex_ = 0;

@@ -53,6 +53,10 @@ class FuPool
 
     const FuPoolParams &params() const { return params_; }
 
+    /** Unpipelined-divider busy horizons (idle-skip wake events). */
+    Cycle intDivBusyUntil() const { return intDivBusyUntil_; }
+    Cycle fpDivBusyUntil() const { return fpDivBusyUntil_; }
+
   private:
     enum Family : unsigned
     {

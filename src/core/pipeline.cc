@@ -22,17 +22,23 @@ constexpr Cycle deadlockThreshold = 200000;
 
 Pipeline::Pipeline(const CoreParams &params, Workload &workload)
     : params_(params), workload_(workload),
+      // Live instructions are bounded by ROB + fetch queue occupancy;
+      // one slab of that size makes the pool allocation-free at
+      // steady state.
+      pool_(params.robSize + params.fetchQueueSize),
       mem_(params.mem),
       predictor_(params.bp),
-      fetch_(params.fetchParams(), workload, predictor_, mem_),
-      rob_(params.robSize),
+      fetch_(params.fetchParams(), workload, predictor_, mem_, pool_),
+      rob_(params.robSize, pool_),
       rename_(params.intRegs, params.fpRegs),
       intIq_(params.intIqSize),
       fpIq_(params.fpIqSize),
       fuPool_(params.fu),
       lsq_(params.lsq),
+      fetchQueue_(params.fetchQueueSize),
       root_("sim")
 {
+    issueScratch_.reserve(params.issueWidth);
     regStats(root_);
 }
 
@@ -116,7 +122,7 @@ Pipeline::scheduleCompletion(DynInst *inst, Cycle when)
                    });
 }
 
-void
+unsigned
 Pipeline::tick()
 {
     ++now_;
@@ -124,10 +130,11 @@ Pipeline::tick()
     dcachePortsUsed_ = 0;
     fuPool_.tick(now_);
 
-    doCompletions();
-    scanStoreData();
-    doCommit();
-    doIssue();
+    unsigned progress = 0;
+    progress += doCompletions();
+    progress += scanStoreData();
+    progress += doCommit();
+    progress += doIssue();
     if (pendingReplay_ && pendingAgeReplay_) {
         // Keep whichever squash reaches further back; the other's
         // range is contained in it.
@@ -140,6 +147,7 @@ Pipeline::tick()
         DynInst *victim = pendingReplay_;
         pendingReplay_ = nullptr;
         replayFrom(victim);
+        ++progress;
     }
     if (pendingAgeReplay_) {
         DynInst *store = pendingAgeReplay_;
@@ -155,10 +163,53 @@ Pipeline::tick()
         else
             fetch_.redirectToTrace(trace_index + 1,
                                    now_ + params_.redirectPenalty);
+        ++progress;
     }
-    doDispatch();
-    doFetch();
+    progress += doDispatch();
+    progress += doFetch();
     lsq_.tick();
+    return progress;
+}
+
+Cycle
+Pipeline::nextEventCycle() const
+{
+    Cycle wake = 0;
+    const auto consider = [&](Cycle c) {
+        if (c > now_ && (wake == 0 || c < wake))
+            wake = c;
+    };
+    if (!completions_.empty())
+        consider(completions_.front().when);
+    if (!fetchQueue_.empty())
+        consider(fetchQueue_.front()->fetchReadyCycle);
+    consider(fetch_.stallUntil());
+    for (const DynInst *load : retryLoads_)
+        consider(load->retryCycle);
+    consider(fuPool_.intDivBusyUntil());
+    consider(fuPool_.fpDivBusyUntil());
+    return wake;
+}
+
+void
+Pipeline::skipIdleCycles(Cycle n)
+{
+    if (n == 0)
+        return;
+    now_ += n;
+    stats_.cycles += n;
+    // An empty tick has exactly two conditional per-cycle side
+    // effects beyond the counters above. First: when the fetch queue
+    // has space, fetch must have been stalled on an I-cache miss
+    // (otherwise it would have made progress), and each skipped cycle
+    // would have counted an icache_stall_cycle. The skip never
+    // crosses stallUntil_, so the condition holds for every skipped
+    // cycle.
+    if (fetchQueue_.size() < params_.fetchQueueSize)
+        fetch_.noteIdleStallCycles(n);
+    // Second: the dependence policy's per-cycle bookkeeping (DMDC
+    // checking-mode cycle counting).
+    lsq_.idleTicks(n);
 }
 
 void
@@ -166,13 +217,27 @@ Pipeline::run(std::uint64_t num_insts)
 {
     const std::uint64_t target = committed() + num_insts;
     while (committed() < target) {
-        tick();
+        const unsigned progress = tick();
         if (now_ - lastCommitCycle_ > deadlockThreshold)
             panic("pipeline deadlock: no commit since cycle %llu "
                   "(now %llu, workload '%s')",
                   static_cast<unsigned long long>(lastCommitCycle_),
                   static_cast<unsigned long long>(now_),
                   workload_.name().c_str());
+        if (progress == 0 && committed() < target) {
+            // Event-driven idle skip: jump to just before the next
+            // wake event, capped so the deadlock panic above still
+            // fires at the exact cycle it would have without skipping.
+            const Cycle wake = nextEventCycle();
+            if (wake > now_ + 1) {
+                Cycle n = wake - now_ - 1;
+                const Cycle panic_at =
+                    lastCommitCycle_ + deadlockThreshold;
+                if (now_ + n > panic_at)
+                    n = panic_at > now_ ? panic_at - now_ : 0;
+                skipIdleCycles(n);
+            }
+        }
     }
 }
 
@@ -180,38 +245,43 @@ Pipeline::run(std::uint64_t num_insts)
 // Fetch and dispatch
 // --------------------------------------------------------------------
 
-void
+unsigned
 Pipeline::doFetch()
 {
     if (fetchQueue_.size() >= params_.fetchQueueSize)
-        return;
-    std::vector<std::unique_ptr<DynInst>> fresh;
-    fetch_.tick(now_, fresh, params_.fetchQueueSize - fetchQueue_.size());
-    for (auto &inst : fresh)
-        fetchQueue_.push_back(std::move(inst));
+        return 0;
+    // An unstalled fetch with queue space always makes progress: it
+    // either produces instructions or performs the I-cache access
+    // that starts a new stall. A stalled fetch only counts its stall
+    // cycle (reproduced by skipIdleCycles).
+    const bool was_stalled = fetch_.stalled(now_);
+    fetch_.tick(now_, fetchQueue_,
+                params_.fetchQueueSize - fetchQueue_.size());
+    return was_stalled ? 0 : 1;
 }
 
-void
+unsigned
 Pipeline::doDispatch()
 {
+    unsigned dispatched = 0;
     for (unsigned n = 0; n < params_.decodeWidth; ++n) {
         if (fetchQueue_.empty())
-            return;
-        DynInst *inst = fetchQueue_.front().get();
+            break;
+        DynInst *inst = fetchQueue_.front();
         if (inst->fetchReadyCycle > now_)
-            return;
+            break;
         if (rob_.full() || !rename_.canRename(inst->op))
-            return;
+            break;
         IssueQueue &iq = inst->op.isFp() ? fpIq_ : intIq_;
         if (iq.full())
-            return;
+            break;
         if (inst->isLoad() && !lsq_.canDispatchLoad())
-            return;
+            break;
         if (inst->isStore() && !lsq_.canDispatchStore())
-            return;
+            break;
 
         rename_.rename(inst);
-        DynInst *owned = rob_.allocate(std::move(fetchQueue_.front()));
+        DynInst *owned = rob_.allocate(inst);
         fetchQueue_.pop_front();
         iq.insert(owned);
         if (owned->isLoad())
@@ -219,8 +289,11 @@ Pipeline::doDispatch()
         if (owned->isStore())
             lsq_.dispatchStore(owned);
         owned->stage = InstStage::Dispatched;
-        ++stats_.dispatched;
+        ++dispatched;
     }
+    if (dispatched)
+        stats_.dispatched += dispatched;
+    return dispatched;
 }
 
 // --------------------------------------------------------------------
@@ -255,10 +328,14 @@ Pipeline::issueLoad(DynInst *inst)
     }
 }
 
-void
+unsigned
 Pipeline::doIssue()
 {
+    unsigned progress = 0;
+
     // Rejected loads retry ahead of new issues (they are older).
+    // Every attempt — even a re-rejection — changes state (search
+    // counters, retry cycle) and therefore counts as progress.
     for (auto it = retryLoads_.begin(); it != retryLoads_.end();) {
         DynInst *load = *it;
         if (load->retryCycle > now_ ||
@@ -266,6 +343,7 @@ Pipeline::doIssue()
             ++it;
             continue;
         }
+        ++progress;
         SqCheckResult check = lsq_.loadIssue(load, now_);
         if (check.outcome == SqCheck::Reject) {
             ++stats_.loadRejections;
@@ -295,7 +373,8 @@ Pipeline::doIssue()
     std::size_t fi = 0;
     const auto &iv = intIq_.entries();
     const auto &fv = fpIq_.entries();
-    std::vector<DynInst *> picked;
+    std::vector<DynInst *> &picked = issueScratch_;
+    picked.clear();
 
     while (issued + static_cast<unsigned>(picked.size()) <
                params_.issueWidth &&
@@ -318,7 +397,6 @@ Pipeline::doIssue()
         inst->stage = InstStage::Issued;
         inst->issueCycle = now_;
         regfile_.noteIssueReads(inst);
-        ++stats_.issued;
         picked.push_back(inst);
 
         if (inst->isLoad()) {
@@ -343,24 +421,31 @@ Pipeline::doIssue()
         else
             intIq_.remove(inst);
     }
+    if (!picked.empty())
+        stats_.issued += picked.size();
+    progress += static_cast<unsigned>(picked.size());
+    return progress;
 }
 
 // --------------------------------------------------------------------
 // Completion, branch resolution, store resolution
 // --------------------------------------------------------------------
 
-void
+unsigned
 Pipeline::doCompletions()
 {
     auto cmp = [](const Event &a, const Event &b) {
         return a.when > b.when || (a.when == b.when && a.seq > b.seq);
     };
+    unsigned completed = 0;
     while (!completions_.empty() && completions_.front().when <= now_) {
         std::pop_heap(completions_.begin(), completions_.end(), cmp);
         Event ev = completions_.back();
         completions_.pop_back();
         completeInst(ev.inst);
+        ++completed;
     }
+    return completed;
 }
 
 void
@@ -428,35 +513,43 @@ Pipeline::resolveBranch(DynInst *inst)
                            now_ + params_.redirectPenalty);
 }
 
-void
+unsigned
 Pipeline::scanStoreData()
 {
-    lsq_.storeQueue().forEach([this](DynInst *store) {
+    unsigned became_ready = 0;
+    lsq_.storeQueue().forEach([this, &became_ready](DynInst *store) {
         if (!store->sqDataReady &&
             producerDone(store->src3Producer, store->src3ProducerSeq)) {
             lsq_.storeDataReady(store);
+            ++became_ready;
         }
     });
+    return became_ready;
 }
 
 // --------------------------------------------------------------------
 // Commit
 // --------------------------------------------------------------------
 
-void
+unsigned
 Pipeline::doCommit()
 {
+    unsigned progress = 0;
+    unsigned committed = 0;
+    unsigned loads = 0;
+    unsigned stores = 0;
+    unsigned branches = 0;
     for (unsigned n = 0; n < params_.commitWidth; ++n) {
         DynInst *head = rob_.head();
         if (!head || head->stage != InstStage::Done)
-            return;
+            break;
         if (head->wrongPath)
             panic("wrong-path instruction reached the ROB head");
         if (head->isStore()) {
             if (!head->sqDataReady)
-                return;
+                break;
             if (dcachePortsUsed_ >= params_.l1dPorts)
-                return;
+                break;
         }
 
         // A load that was already replayed once re-executed with no
@@ -491,27 +584,41 @@ Pipeline::doCommit()
             squashFrom(head->seq);
             fetch_.redirectToTrace(trace_index,
                                    now_ + params_.redirectPenalty);
-            return;
+            ++progress;
+            break;
         }
 
         if (head->isStore()) {
             mem_.accessData(head->op.effAddr, true);
             ++dcachePortsUsed_;
-            ++stats_.committedStores;
+            ++stores;
         } else if (head->isLoad()) {
-            ++stats_.committedLoads;
+            ++loads;
         } else if (head->isBranch()) {
-            ++stats_.committedBranches;
+            ++branches;
             predictor_.update(head->op.pc, head->op.branch, head->pred,
                               head->op.taken, head->op.targetPc);
         }
 
         rename_.release(head);
         workload_.discardBefore(head->traceIndex);
-        ++stats_.committedInsts;
+        ++committed;
         lastCommitCycle_ = now_;
         rob_.retireHead();
     }
+    // Flush the batched commit counters once per tick instead of
+    // touching four Counter objects per committed instruction.
+    if (committed) {
+        stats_.committedInsts += committed;
+        if (loads)
+            stats_.committedLoads += loads;
+        if (stores)
+            stats_.committedStores += stores;
+        if (branches)
+            stats_.committedBranches += branches;
+        progress += committed;
+    }
+    return progress;
 }
 
 // --------------------------------------------------------------------
@@ -540,6 +647,7 @@ Pipeline::squashFrom(SeqNum from_seq)
 
     while (!fetchQueue_.empty() &&
            fetchQueue_.back()->seq >= from_seq) {
+        pool_.release(fetchQueue_.back());
         fetchQueue_.pop_back();
     }
 

@@ -9,11 +9,10 @@
 #ifndef DMDC_CORE_PIPELINE_HH
 #define DMDC_CORE_PIPELINE_HH
 
-#include <deque>
-#include <memory>
 #include <vector>
 
 #include "branch/predictor.hh"
+#include "common/object_pool.hh"
 #include "common/stats.hh"
 #include "core/fetch.hh"
 #include "core/fu_pool.hh"
@@ -92,8 +91,37 @@ class Pipeline
     Pipeline(const CoreParams &params, Workload &workload);
     ~Pipeline();
 
-    /** Advance one cycle. */
-    void tick();
+    /**
+     * Advance one cycle.
+     * @return how many pipeline events made progress this cycle
+     *         (fetched, dispatched, issued, completed, committed,
+     *         retried, squashed, ...). A return of 0 certifies an
+     *         empty tick: no stage changed any state beyond the
+     *         per-cycle bookkeeping that skipIdleCycles() reproduces,
+     *         so the cycle counter may be jumped to nextEventCycle()
+     *         with bit-identical results.
+     */
+    unsigned tick();
+
+    /**
+     * The earliest future cycle at which a stage could make progress
+     * again after an empty tick: the next completion event, the fetch
+     * queue head's decode-ready cycle, the end of an I-cache stall,
+     * the earliest load-retry cycle, or an unpipelined divider
+     * freeing up. Conservative (waking early is harmless — the tick
+     * is empty again and skipping resumes). @return 0 when no future
+     * event exists (a wedged pipeline the watchdogs must catch).
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Account @p n skipped empty cycles in bulk: advances now_ and
+     * the cycle counter, and reproduces the only two per-cycle side
+     * effects an empty tick has (fetch I-cache stall accounting and
+     * the policy's checking-cycle counting). Caller must have just
+     * observed tick() == 0 and must not skip past nextEventCycle()-1.
+     */
+    void skipIdleCycles(Cycle n);
 
     /** Run until @p num_insts instructions have committed. */
     void run(std::uint64_t num_insts);
@@ -144,22 +172,23 @@ class Pipeline
     bool operandsReady(const DynInst *inst) const;
     bool producerDone(const DynInst *producer, SeqNum pseq) const;
     void scheduleCompletion(DynInst *inst, Cycle when);
-    void doFetch();
-    void doDispatch();
-    void doIssue();
+    unsigned doFetch();
+    unsigned doDispatch();
+    unsigned doIssue();
     void issueLoad(DynInst *inst);
     void resolveStore(DynInst *inst);
-    void doCompletions();
+    unsigned doCompletions();
     void completeInst(DynInst *inst);
     void resolveBranch(DynInst *inst);
-    void scanStoreData();
-    void doCommit();
+    unsigned scanStoreData();
+    unsigned doCommit();
     void squashFrom(SeqNum from_seq);
     void replayFrom(DynInst *load);
 
     CoreParams params_;
     Workload &workload_;
 
+    DynInstPool pool_;
     MemoryHierarchy mem_;
     BranchPredictor predictor_;
     FetchStage fetch_;
@@ -172,9 +201,10 @@ class Pipeline
     LsqUnit lsq_;
 
     Cycle now_ = 0;
-    std::deque<std::unique_ptr<DynInst>> fetchQueue_;
+    RingBuffer<DynInst *> fetchQueue_;
     std::vector<Event> completions_;    ///< min-heap on (when, seq)
     std::vector<DynInst *> retryLoads_; ///< rejected loads awaiting retry
+    std::vector<DynInst *> issueScratch_; ///< per-tick issue pick list
     unsigned dcachePortsUsed_ = 0;
     Cycle lastCommitCycle_ = 0;
     std::uint64_t lastDmdcReplayIndex_ = ~std::uint64_t{0};

@@ -10,21 +10,22 @@
 namespace dmdc
 {
 
-Rob::Rob(unsigned capacity) : capacity_(capacity)
+Rob::Rob(unsigned capacity, DynInstPool &pool)
+    : insts_(capacity), pool_(pool)
 {
     if (capacity == 0)
         fatal("ROB capacity must be non-zero");
 }
 
 DynInst *
-Rob::allocate(std::unique_ptr<DynInst> inst)
+Rob::allocate(DynInst *inst)
 {
     if (full())
         panic("ROB allocate on full ROB");
     if (!insts_.empty() && inst->seq <= insts_.back()->seq)
         panic("ROB allocation out of age order");
-    insts_.push_back(std::move(inst));
-    return insts_.back().get();
+    insts_.push_back(inst);
+    return inst;
 }
 
 void
@@ -32,7 +33,9 @@ Rob::retireHead()
 {
     if (insts_.empty())
         panic("ROB retire on empty ROB");
+    DynInst *inst = insts_.front();
     insts_.pop_front();
+    pool_.release(inst);
 }
 
 void
@@ -40,10 +43,11 @@ Rob::squashFrom(SeqNum from_seq,
                 const std::function<void(DynInst *)> &on_squash)
 {
     while (!insts_.empty() && insts_.back()->seq >= from_seq) {
-        DynInst *inst = insts_.back().get();
+        DynInst *inst = insts_.back();
         inst->stage = InstStage::Squashed;
         on_squash(inst);
         insts_.pop_back();
+        pool_.release(inst);
     }
 }
 

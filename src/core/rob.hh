@@ -1,58 +1,66 @@
 /**
  * @file
  * Reorder buffer: age-ordered window of in-flight instructions. Owns
- * the DynInst objects for the whole pipeline.
+ * the DynInst objects for the whole pipeline — entries come from the
+ * pipeline's DynInstPool and are recycled to it on retire/squash.
  */
 
 #ifndef DMDC_CORE_ROB_HH
 #define DMDC_CORE_ROB_HH
 
-#include <deque>
 #include <functional>
-#include <memory>
 
+#include "common/object_pool.hh"
 #include "core/inst.hh"
 
 namespace dmdc
 {
 
+/** Pool all in-flight DynInsts are drawn from. */
+using DynInstPool = ObjectPool<DynInst>;
+
 /**
  * The ROB owns every in-flight instruction; other structures (issue
  * queues, LSQ) hold non-owning pointers that must be dropped when the
- * ROB squashes.
+ * ROB squashes. "Owns" means: retiring or squashing an entry returns
+ * it to the pool, after which any surviving pointer is dangling and
+ * must only be dereferenced behind a sequence-number guard.
  */
 class Rob
 {
   public:
-    explicit Rob(unsigned capacity);
+    Rob(unsigned capacity, DynInstPool &pool);
 
-    bool full() const { return insts_.size() >= capacity_; }
+    bool full() const { return insts_.full(); }
     bool empty() const { return insts_.empty(); }
     std::size_t size() const { return insts_.size(); }
-    unsigned capacity() const { return capacity_; }
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(insts_.capacity());
+    }
 
     /** Append at the tail (program order). The ROB takes ownership. */
-    DynInst *allocate(std::unique_ptr<DynInst> inst);
+    DynInst *allocate(DynInst *inst);
 
     /** Oldest instruction, or nullptr when empty. */
     DynInst *head() { return insts_.empty() ? nullptr
-                                            : insts_.front().get(); }
+                                            : insts_.front(); }
     const DynInst *
     head() const
     {
-        return insts_.empty() ? nullptr : insts_.front().get();
+        return insts_.empty() ? nullptr : insts_.front();
     }
 
     /** Youngest instruction, or nullptr when empty. */
     DynInst *tail() { return insts_.empty() ? nullptr
-                                            : insts_.back().get(); }
+                                            : insts_.back(); }
 
-    /** Retire the head instruction (must exist). */
+    /** Retire the head instruction (must exist); recycles it. */
     void retireHead();
 
     /**
      * Remove all instructions with seq >= @p from_seq (inclusive
-     * squash), invoking @p on_squash on each before destruction,
+     * squash), invoking @p on_squash on each before recycling,
      * youngest first.
      */
     void squashFrom(SeqNum from_seq,
@@ -63,13 +71,13 @@ class Rob
     void
     forEach(Fn &&fn)
     {
-        for (auto &inst : insts_)
-            fn(inst.get());
+        for (std::size_t i = 0; i < insts_.size(); ++i)
+            fn(insts_[i]);
     }
 
   private:
-    std::deque<std::unique_ptr<DynInst>> insts_;
-    unsigned capacity_;
+    RingBuffer<DynInst *> insts_;
+    DynInstPool &pool_;
 };
 
 } // namespace dmdc

@@ -5,13 +5,16 @@
 
 #include "lsq/checking_table.hh"
 
+#include <algorithm>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 
 namespace dmdc
 {
 
-CheckingTable::CheckingTable(unsigned entries) : entries_(entries)
+CheckingTable::CheckingTable(unsigned entries)
+    : entries_(entries), occupied_((entries + 63) / 64)
 {
     if (!isPowerOf2(entries))
         fatal("checking table size must be a power of two");
@@ -60,6 +63,7 @@ CheckingTable::markStore(Addr addr, unsigned size,
     Entry &e = touch(addr);
     e.wrtBits |= chunkMask(addr, size);
     e.ghosts.push_back(ghost);
+    setOccupied(index(addr));
 }
 
 void
@@ -69,6 +73,7 @@ CheckingTable::markInvalidation(Addr line_addr, unsigned line_bytes)
     for (Addr qw = base; qw < base + line_bytes; qw += quadWordBytes) {
         Entry &e = touch(qw);
         e.invBits = 0xf;
+        setOccupied(index(qw));
     }
 }
 
@@ -76,6 +81,13 @@ TableCheck
 CheckingTable::checkLoad(Addr addr, unsigned size)
 {
     TableCheck result;
+    // Pre-filter: an unoccupied entry cannot hit, and skipping its
+    // lazy epoch reset is invisible (the next marking touch()es it).
+    if (!occupied(index(addr))) {
+        static const std::vector<GhostStoreRecord> no_ghosts;
+        result.ghosts = &no_ghosts;
+        return result;
+    }
     Entry &e = touch(addr);
     const std::uint8_t m = chunkMask(addr, size);
     result.wrtHit = (e.wrtBits & m) != 0;
@@ -94,16 +106,17 @@ void
 CheckingTable::clear()
 {
     ++epoch_;
+    std::fill(occupied_.begin(), occupied_.end(), 0);
 }
 
 unsigned
 CheckingTable::countMarked() const
 {
+    // The occupancy invariant (bit set iff current-epoch and marked)
+    // makes this a popcount instead of a full table walk.
     unsigned n = 0;
-    for (const Entry &e : entries_) {
-        if (e.epoch == epoch_ && (e.wrtBits != 0 || e.invBits != 0))
-            ++n;
-    }
+    for (std::uint64_t word : occupied_)
+        n += static_cast<unsigned>(__builtin_popcountll(word));
     return n;
 }
 

@@ -88,7 +88,26 @@ class CheckingTable
     Entry &touch(Addr addr);
     static std::uint8_t chunkMask(Addr addr, unsigned size);
 
+    bool
+    occupied(unsigned idx) const
+    {
+        return (occupied_[idx >> 6] >> (idx & 63)) & 1u;
+    }
+    void
+    setOccupied(unsigned idx)
+    {
+        occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    }
+
     std::vector<Entry> entries_;
+    /**
+     * Occupancy bitmap, one bit per entry: set iff the entry is
+     * current-epoch and has any WRT/INV bit marked. Marked bits never
+     * clear before the epoch does (INV->WRT promotion keeps the entry
+     * nonzero), so the common-case load probe of an unmarked entry is
+     * a single word test instead of an Entry access.
+     */
+    std::vector<std::uint64_t> occupied_;
     unsigned indexBits_;
     std::uint64_t epoch_ = 1;
 };

@@ -336,4 +336,13 @@ DmdcEngine::tick()
         ++stats_->checkingCycles;
 }
 
+void
+DmdcEngine::idleTicks(std::uint64_t n)
+{
+    // checking_ only changes on LSQ events, none of which occur during
+    // skipped idle cycles, so n ticks collapse to one addition.
+    if (checking_)
+        stats_->checkingCycles += n;
+}
+
 } // namespace dmdc

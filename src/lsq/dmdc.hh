@@ -102,6 +102,9 @@ class DmdcEngine
     /** Per-cycle bookkeeping (checking-mode cycle counting). */
     void tick();
 
+    /** Closed form of @p n consecutive tick() calls (idle skipping). */
+    void idleTicks(std::uint64_t n);
+
     bool checkingActive() const { return checking_; }
     SeqNum endCheck() const { return endCheck_; }
     const DmdcParams &params() const { return params_; }

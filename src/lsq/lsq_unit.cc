@@ -129,8 +129,10 @@ LsqUnit::dispatchLoad(DynInst *inst)
     lq_.allocate(inst);
     ++activity_.lqInserts;
     policy_->loadDispatched(inst);
-    for (FilterObserver *obs : observers_)
-        obs->loadDispatched(inst->op.effAddr);
+    if (hasObservers_) {
+        for (FilterObserver *obs : observers_)
+            obs->loadDispatched(inst->op.effAddr);
+    }
 }
 
 void
@@ -178,8 +180,10 @@ LsqUnit::loadComplete(DynInst *inst, Cycle now, SeqNum forwarded_from)
     inst->forwardedFrom = forwarded_from;
 
     policy_->loadIssued(inst);
-    for (FilterObserver *obs : observers_)
-        obs->loadIssued(inst->op.effAddr, inst->seq);
+    if (hasObservers_) {
+        for (FilterObserver *obs : observers_)
+            obs->loadIssued(inst->op.effAddr, inst->seq);
+    }
 }
 
 StoreResolveResult
@@ -187,8 +191,10 @@ LsqUnit::storeResolve(DynInst *inst, Cycle now)
 {
     sq_.setAddress(inst);
 
-    for (FilterObserver *obs : observers_)
-        obs->storeResolved(inst->op.effAddr, inst->seq);
+    if (hasObservers_) {
+        for (FilterObserver *obs : observers_)
+            obs->storeResolved(inst->op.effAddr, inst->seq);
+    }
 
     return policy_->storeResolved(inst, now);
 }
@@ -212,8 +218,10 @@ LsqUnit::commit(DynInst *inst, Cycle now, bool suppress_replay)
 
     if (inst->isLoad()) {
         policy_->loadRemoved(inst);
-        for (FilterObserver *obs : observers_)
-            obs->loadRemoved(inst->op.effAddr);
+        if (hasObservers_) {
+            for (FilterObserver *obs : observers_)
+                obs->loadRemoved(inst->op.effAddr);
+        }
         lq_.releaseHead(inst);
     } else if (inst->isStore()) {
         sq_.releaseHead(inst);
@@ -229,8 +237,10 @@ LsqUnit::squashFrom(SeqNum from_seq)
     lq_.forEach([this, from_seq](DynInst *load) {
         if (load->seq >= from_seq) {
             policy_->loadRemoved(load);
-            for (FilterObserver *obs : observers_)
-                obs->loadRemoved(load->op.effAddr);
+            if (hasObservers_) {
+                for (FilterObserver *obs : observers_)
+                    obs->loadRemoved(load->op.effAddr);
+            }
         }
     });
     lq_.squashFrom(from_seq);
@@ -241,8 +251,10 @@ void
 LsqUnit::branchRecovery(SeqNum branch_seq)
 {
     policy_->branchRecovery(branch_seq);
-    for (FilterObserver *obs : observers_)
-        obs->branchRecovery(branch_seq);
+    if (hasObservers_) {
+        for (FilterObserver *obs : observers_)
+            obs->branchRecovery(branch_seq);
+    }
 }
 
 void
@@ -256,6 +268,12 @@ void
 LsqUnit::tick()
 {
     policy_->tick();
+}
+
+void
+LsqUnit::idleTicks(std::uint64_t n)
+{
+    policy_->idleTicks(n);
 }
 
 } // namespace dmdc

@@ -202,7 +202,19 @@ class LsqUnit
     /** Per-cycle hook. */
     void tick();
 
-    void addObserver(FilterObserver *obs) { observers_.push_back(obs); }
+    /**
+     * Account @p n empty pipeline cycles in bulk (idle skipping);
+     * equivalent to calling tick() @p n times during cycles in which
+     * no LSQ event occurred.
+     */
+    void idleTicks(std::uint64_t n);
+
+    void
+    addObserver(FilterObserver *obs)
+    {
+        observers_.push_back(obs);
+        hasObservers_ = true;
+    }
 
     const StoreQueue &storeQueue() const { return sq_; }
     const LoadQueue &loadQueue() const { return lq_; }
@@ -246,6 +258,12 @@ class LsqUnit
     LoadQueue lq_;
     std::unique_ptr<DependencePolicy> policy_;
     std::vector<FilterObserver *> observers_;
+    /**
+     * Cached observers_.empty() negation: observers exist only in the
+     * shadow-filter harnesses, so the hot path skips the dispatch
+     * loops (and their branch setup) entirely in normal runs.
+     */
+    bool hasObservers_ = false;
     Activity activity_;
     StatGroup statGroup_;
 };

@@ -85,6 +85,15 @@ DependencePolicy::tick()
 {
 }
 
+void
+DependencePolicy::idleTicks(std::uint64_t n)
+{
+    // Correct for any policy: replay the per-cycle hook. Policies with
+    // O(1) per-cycle bookkeeping override this with a closed form.
+    for (std::uint64_t i = 0; i < n; ++i)
+        tick();
+}
+
 DmdcEngine *
 DependencePolicy::dmdcEngine()
 {

@@ -126,6 +126,14 @@ class DependencePolicy
     /** Per-cycle hook. */
     virtual void tick();
 
+    /**
+     * Account @p n cycles during which no LSQ event occurred (the
+     * pipeline's event-driven idle skip). The default calls tick()
+     * @p n times — always correct; policies whose per-cycle work is
+     * O(1) bookkeeping override it with a closed form.
+     */
+    virtual void idleTicks(std::uint64_t n);
+
     // ---- introspection ----
 
     /**

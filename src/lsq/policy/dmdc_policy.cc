@@ -89,6 +89,12 @@ class DmdcPolicy : public DependencePolicy
         engine_->tick();
     }
 
+    void
+    idleTicks(std::uint64_t n) override
+    {
+        engine_->idleTicks(n);
+    }
+
     DmdcEngine *
     dmdcEngine() override
     {

@@ -5,6 +5,8 @@
 
 #include "lsq/store_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace dmdc
@@ -24,12 +26,39 @@ StoreQueue::allocate(DynInst *store)
     if (!entries_.empty() && store->seq <= entries_.back()->seq)
         panic("SQ allocation out of age order");
     entries_.push_back(store);
+    if (!store->sqAddrReady) {
+        ++unresolved_;
+        // Age-ordered allocation: a new unresolved store is only the
+        // oldest when it is the first one.
+        if (unresolved_ == 1)
+            oldestUnresolvedSeq_ = store->seq;
+    }
 }
 
 void
 StoreQueue::setAddress(DynInst *store)
 {
+    if (store->sqAddrReady)
+        return;
     store->sqAddrReady = true;
+    --unresolved_;
+    if (unresolved_ == 0)
+        oldestUnresolvedSeq_ = invalidSeqNum;
+    else if (store->seq == oldestUnresolvedSeq_)
+        recomputeOldestUnresolved();
+}
+
+void
+StoreQueue::recomputeOldestUnresolved()
+{
+    for (DynInst *store : entries_) {
+        if (!store->sqAddrReady) {
+            oldestUnresolvedSeq_ = store->seq;
+            return;
+        }
+    }
+    panic("SQ unresolved count %u with no unresolved entry",
+          unresolved_);
 }
 
 SqCheckResult
@@ -38,10 +67,17 @@ StoreQueue::checkLoad(SeqNum load_seq, Addr addr, unsigned size) const
     SqCheckResult result;
     // Youngest-first scan over stores older than the load; the first
     // address match decides the outcome (it is the youngest producer).
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    // Entries are age-ordered, so binary-search past the stores
+    // younger than the load instead of skipping them one by one — a
+    // load near the SQ head no longer pays for the whole queue.
+    const auto first_younger = std::lower_bound(
+        entries_.begin(), entries_.end(), load_seq,
+        [](const DynInst *store, SeqNum seq) {
+            return store->seq < seq;
+        });
+    for (auto it = std::make_reverse_iterator(first_younger);
+         it != entries_.rend(); ++it) {
         DynInst *store = *it;
-        if (store->seq >= load_seq)
-            continue;
         if (!store->sqAddrReady) {
             result.sawUnresolvedOlder = true;
             continue;
@@ -66,19 +102,6 @@ StoreQueue::checkLoad(SeqNum load_seq, Addr addr, unsigned size) const
     return result;
 }
 
-bool
-StoreQueue::allOlderResolved(SeqNum load_seq) const
-{
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-        DynInst *store = *it;
-        if (store->seq >= load_seq)
-            continue;
-        if (!store->sqAddrReady)
-            return false;
-    }
-    return true;
-}
-
 SeqNum
 StoreQueue::oldestStoreSeq() const
 {
@@ -91,13 +114,28 @@ StoreQueue::releaseHead(DynInst *store)
     if (entries_.empty() || entries_.front() != store)
         panic("SQ release of a non-head store");
     entries_.pop_front();
+    if (!store->sqAddrReady) {
+        --unresolved_;
+        if (unresolved_ == 0)
+            oldestUnresolvedSeq_ = invalidSeqNum;
+        else
+            recomputeOldestUnresolved();
+    }
 }
 
 void
 StoreQueue::squashFrom(SeqNum from_seq)
 {
-    while (!entries_.empty() && entries_.back()->seq >= from_seq)
+    while (!entries_.empty() && entries_.back()->seq >= from_seq) {
+        if (!entries_.back()->sqAddrReady)
+            --unresolved_;
         entries_.pop_back();
+    }
+    // The squash removes a suffix; the oldest unresolved store either
+    // survives untouched or every unresolved store was younger than
+    // from_seq and the count dropped to zero.
+    if (unresolved_ == 0)
+        oldestUnresolvedSeq_ = invalidSeqNum;
 }
 
 } // namespace dmdc

@@ -57,9 +57,24 @@ class StoreQueue
 
     /**
      * Safe-load detection (Fig. 1b logic): true iff every store older
-     * than @p load_seq has a resolved address.
+     * than @p load_seq has a resolved address. O(1): the queue tracks
+     * its unresolved-store count and the oldest unresolved age
+     * incrementally.
      */
-    bool allOlderResolved(SeqNum load_seq) const;
+    bool
+    allOlderResolved(SeqNum load_seq) const
+    {
+        return unresolved_ == 0 || oldestUnresolvedSeq_ >= load_seq;
+    }
+
+    /** Number of address-unresolved stores in flight. */
+    unsigned unresolvedCount() const { return unresolved_; }
+
+    /**
+     * Age of the oldest address-unresolved store, or invalidSeqNum
+     * when every in-flight store is resolved.
+     */
+    SeqNum oldestUnresolvedSeq() const { return oldestUnresolvedSeq_; }
 
     /**
      * Age of the oldest in-flight store, or invalidSeqNum when empty.
@@ -84,8 +99,19 @@ class StoreQueue
     }
 
   private:
+    /** Re-derive oldestUnresolvedSeq_ after the oldest one resolved. */
+    void recomputeOldestUnresolved();
+
     std::deque<DynInst *> entries_;
     unsigned capacity_;
+    /**
+     * Incrementally maintained: how many entries have !sqAddrReady,
+     * and the minimum seq among them. Gives O(1) allOlderResolved()
+     * and lets checkLoad() skip its unresolved bookkeeping when the
+     * queue is fully resolved.
+     */
+    unsigned unresolved_ = 0;
+    SeqNum oldestUnresolvedSeq_ = invalidSeqNum;
 };
 
 } // namespace dmdc

@@ -449,6 +449,7 @@ struct JournalRecord
     double ipc;
     std::uint64_t cycles;
     double wallMs;
+    double simKhz;  ///< simulated kilocycles per wall second; 0 cached
     bool cached;
     RunStatus status;
     std::string category; ///< empty when ok
@@ -488,9 +489,14 @@ appendJournal(const SimResult &r, const RunOutcome &oc)
     std::lock_guard<std::mutex> lock(j.mutex);
     if (j.path.empty())
         return;
+    // cycles per wall millisecond == simulated kilocycles per second.
+    // A cached result cost no simulation time; record 0 rather than a
+    // nonsense rate derived from the cache-lookup latency.
+    const double sim_khz = (!oc.cached && oc.wallMs > 0.0)
+        ? static_cast<double>(r.cycles) / oc.wallMs : 0.0;
     j.records.push_back({r.benchmark, r.scheme, r.configLevel, r.ipc,
-                         r.cycles, oc.wallMs, oc.cached, oc.status,
-                         "", "", oc.attempts, oc.shard});
+                         r.cycles, oc.wallMs, sim_khz, oc.cached,
+                         oc.status, "", "", oc.attempts, oc.shard});
 }
 
 void
@@ -501,7 +507,7 @@ appendJournalFailure(const SimOptions &opt, const RunOutcome &oc)
     if (j.path.empty())
         return;
     j.records.push_back({opt.benchmark, opt.scheme, opt.configLevel,
-                         0.0, 0, oc.wallMs, false, oc.status,
+                         0.0, 0, oc.wallMs, 0.0, false, oc.status,
                          runErrorCategoryName(oc.category), oc.error,
                          oc.attempts, oc.shard});
 }
@@ -636,6 +642,7 @@ flushCampaignJournal()
             }
             os << ",\"attempts\":" << rec.attempts
                << ",\"wall_ms\":" << doubleToken(rec.wallMs)
+               << ",\"sim_khz\":" << doubleToken(rec.simKhz)
                << ",\"cached\":" << (rec.cached ? "true" : "false");
             if (j.sharded)
                 os << ",\"shard\":" << rec.shard;

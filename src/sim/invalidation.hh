@@ -31,6 +31,13 @@ class InvalidationInjector
     /** Call once per simulated cycle. */
     void tick(Pipeline &pipe);
 
+    /**
+     * Whether this injector can ever inject (rate > 0). An inactive
+     * injector draws no random numbers, so idle cycles may be skipped
+     * in bulk around it without perturbing the RNG stream.
+     */
+    bool active() const { return probPerCycle_ > 0.0; }
+
     std::uint64_t injected() const { return injected_; }
 
   private:

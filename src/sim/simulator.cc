@@ -116,8 +116,16 @@ Simulator::run()
     // structured RunError(Timeout) instead of a hung worker: a
     // cycle-budget watchdog (no commit progress for stallCycleLimit
     // consecutive cycles — deterministic, catches pipeline deadlock)
-    // and an optional wall-clock deadline (checked every 4096 ticks
-    // to keep the hot loop free of clock syscalls).
+    // and an optional wall-clock deadline, checked once every
+    // wallCheckIntervalTicks loop iterations to keep the hot loop
+    // free of clock syscalls. The interval counts loop iterations,
+    // not simulated cycles: a bulk idle skip advances many cycles in
+    // one iteration, and the deadline guards wall time, which scales
+    // with iterations.
+    constexpr std::uint64_t wallCheckIntervalTicks = 4096;
+    static_assert((wallCheckIntervalTicks &
+                   (wallCheckIntervalTicks - 1)) == 0,
+                  "wall-check interval must be a power of two");
     using WallClock = std::chrono::steady_clock;
     const WallClock::time_point wall_deadline = WallClock::now() +
         std::chrono::duration_cast<WallClock::duration>(
@@ -144,8 +152,10 @@ Simulator::run()
         std::uint64_t last_committed = pipe_->committed();
         std::uint64_t stall_cycles = 0;
         while (pipe_->committed() < target || hang_injected) {
+            unsigned progress = 0;
+            const std::uint64_t injected_before = injector.injected();
             if (!hang_injected) {
-                pipe_->tick();
+                progress = pipe_->tick();
                 injector.tick(*pipe_);
             }
             if (hang_injected || pipe_->committed() == last_committed) {
@@ -163,7 +173,42 @@ Simulator::run()
                 stall_cycles = 0;
                 last_committed = pipe_->committed();
             }
-            if (wall_limited && (++ticks & 0xfffu) == 0 &&
+            // Event-driven idle skip: after an empty tick with no
+            // injection, jump to just before the next pipeline event.
+            if (!hang_injected && progress == 0 &&
+                injector.injected() == injected_before &&
+                pipe_->committed() < target) {
+                const Cycle wake = pipe_->nextEventCycle();
+                Cycle n = wake > pipe_->now() + 1
+                    ? wake - pipe_->now() - 1 : 0;
+                // Each skipped cycle is a commit-free cycle; cap the
+                // jump so the stall watchdog above still throws at
+                // the exact cycle it would have without skipping.
+                if (stall_limit && n > stall_limit - stall_cycles)
+                    n = stall_limit - stall_cycles;
+                if (n > 0) {
+                    if (injector.active()) {
+                        // Bulk skipping would perturb the injector's
+                        // per-cycle RNG stream: replay it cycle by
+                        // cycle, and stop skipping the moment it
+                        // injects (the pipeline is no longer idle).
+                        Cycle skipped = 0;
+                        while (skipped < n) {
+                            pipe_->skipIdleCycles(1);
+                            ++skipped;
+                            injector.tick(*pipe_);
+                            if (injector.injected() != injected_before)
+                                break;
+                        }
+                        stall_cycles += skipped;
+                    } else {
+                        pipe_->skipIdleCycles(n);
+                        stall_cycles += n;
+                    }
+                }
+            }
+            if (wall_limited &&
+                (++ticks & (wallCheckIntervalTicks - 1)) == 0 &&
                 WallClock::now() > wall_deadline)
                 throw RunError(
                     RunErrorCategory::Timeout,

@@ -33,25 +33,36 @@ makeInst(SeqNum seq, OpClass cls = OpClass::IntAlu,
     return inst;
 }
 
+DynInst *
+poolInst(DynInstPool &pool, SeqNum seq)
+{
+    DynInst *inst = pool.acquire();
+    inst->seq = seq;
+    return inst;
+}
+
 TEST(Rob, FifoOrderAndCapacity)
 {
-    Rob rob(4);
+    DynInstPool pool(4);
+    Rob rob(4, pool);
     EXPECT_TRUE(rob.empty());
     for (SeqNum s = 1; s <= 4; ++s)
-        rob.allocate(makeInst(s));
+        rob.allocate(poolInst(pool, s));
     EXPECT_TRUE(rob.full());
     EXPECT_EQ(rob.head()->seq, 1u);
     EXPECT_EQ(rob.tail()->seq, 4u);
     rob.retireHead();
     EXPECT_EQ(rob.head()->seq, 2u);
     EXPECT_FALSE(rob.full());
+    EXPECT_EQ(pool.liveCount(), 3u);
 }
 
 TEST(Rob, SquashFromRemovesSuffixYoungestFirst)
 {
-    Rob rob(8);
+    DynInstPool pool(8);
+    Rob rob(8, pool);
     for (SeqNum s = 1; s <= 6; ++s)
-        rob.allocate(makeInst(s));
+        rob.allocate(poolInst(pool, s));
     std::vector<SeqNum> squashed;
     rob.squashFrom(4, [&](DynInst *inst) {
         squashed.push_back(inst->seq);
@@ -62,13 +73,15 @@ TEST(Rob, SquashFromRemovesSuffixYoungestFirst)
     EXPECT_EQ(squashed[1], 5u);
     EXPECT_EQ(squashed[2], 4u);
     EXPECT_EQ(rob.tail()->seq, 3u);
+    EXPECT_EQ(pool.liveCount(), 3u);
 }
 
 TEST(Rob, OutOfOrderAllocationPanics)
 {
-    Rob rob(8);
-    rob.allocate(makeInst(5));
-    EXPECT_DEATH(rob.allocate(makeInst(3)), ".*age order.*");
+    DynInstPool pool(8);
+    Rob rob(8, pool);
+    rob.allocate(poolInst(pool, 5));
+    EXPECT_DEATH(rob.allocate(poolInst(pool, 3)), ".*age order.*");
 }
 
 TEST(Rename, BindsProducersAndTracksFreeRegs)

@@ -83,6 +83,16 @@ const GoldenRun kGolden[] = {
     {"swim", "age-table", 60000ull, 82075ull, 0ull, 0ull, 27292ull,
      0ull, 0ull, 10ull, 13ull,
      0.73103868413036854, 0, 5252.8000000000002, 2114217.8479999993},
+    // bloom-yla captured later (pre-kernel-refactor tree) so every
+    // registered scheme is pinned; same config/warmup/run as above.
+    {"gzip", "bloom-yla", 60000ull, 90253ull, 36ull, 5873ull, 15842ull,
+     0ull, 5ull, 5ull, 0ull,
+     0.66479784605497882, 1683634.0172968169, 30933.311999999998,
+     583551.09279999998},
+    {"swim", "bloom-yla", 60000ull, 82151ull, 43ull, 4902ull, 27239ull,
+     0ull, 11ull, 11ull, 0ull,
+     0.73036238146827182, 1719125.7547713844, 32182.464,
+     597412.10528000002},
 };
 
 class GoldenValues : public ::testing::TestWithParam<GoldenRun>

@@ -207,6 +207,7 @@ struct BenchPoint
 {
     double ipc = 0.0;
     double wallMs = -1.0;   ///< fastest non-cached run; <0 if none
+    double simKhz = -1.0;   ///< best non-cached sim-kHz; <0 if none
 };
 
 struct Journal
@@ -266,9 +267,25 @@ parseJournal(const std::string &text, Journal &out, std::string &err)
         p.ipc = ipc->number;   // deterministic; any record will do
         const JsonValue *cached = rec.get("cached");
         const JsonValue *wall = rec.get("wall_ms");
-        if (wall && (!cached || !cached->boolean) &&
+        const bool uncached = !cached || !cached->boolean;
+        if (wall && uncached &&
             (p.wallMs < 0.0 || wall->number < p.wallMs))
             p.wallMs = wall->number;
+        // Simulation throughput: prefer the recorded sim_khz; derive
+        // it from cycles/wall_ms for journals predating the field.
+        double khz = -1.0;
+        const JsonValue *sim_khz = rec.get("sim_khz");
+        if (sim_khz && sim_khz->kind == JsonValue::Kind::Number &&
+            sim_khz->number > 0.0) {
+            khz = sim_khz->number;
+        } else if (uncached && wall && wall->number > 0.0) {
+            const JsonValue *cycles = rec.get("cycles");
+            if (cycles && cycles->kind == JsonValue::Kind::Number &&
+                cycles->number > 0.0)
+                khz = cycles->number / wall->number;
+        }
+        if (khz > p.simKhz)
+            p.simKhz = khz;
     }
     return true;
 }
@@ -299,6 +316,13 @@ struct CompareOptions
 {
     double maxIpcDrop = 0.02;       ///< relative, e.g. 0.02 = -2%
     double maxWallIncrease = 0.50;  ///< relative, e.g. 0.50 = +50%
+    /**
+     * Advisory sim-kHz drop threshold (relative, e.g. 0.25 = -25%).
+     * Throughput deltas are always reported; when this is set, drops
+     * beyond it are flagged in the output — but they never change the
+     * exit code (sim-kHz is machine- and load-dependent).
+     */
+    double perfThreshold = -1.0;    ///< disabled when < 0
 };
 
 /**
@@ -323,8 +347,10 @@ compareJournals(const Journal &base, const Journal &cur,
                     base.notOk, base.unusable, cur.notOk,
                     cur.unusable);
     }
-    std::printf("\n%-34s %10s %10s %9s %9s\n", "benchmark|scheme|cfg",
-                "base ipc", "cur ipc", "d(ipc)", "d(wall)");
+    std::size_t perf_flags = 0;
+    std::printf("\n%-34s %10s %10s %9s %9s %9s\n",
+                "benchmark|scheme|cfg", "base ipc", "cur ipc",
+                "d(ipc)", "d(wall)", "d(khz)");
     for (const auto &[key, b] : base.points) {
         auto it = cur.points.find(key);
         if (it == cur.points.end()) {
@@ -340,11 +366,21 @@ compareJournals(const Journal &base, const Journal &cur,
         const double wall_delta =
             have_wall ? (c.wallMs - b.wallMs) / b.wallMs : 0.0;
 
+        const bool have_khz = b.simKhz > 0.0 && c.simKhz > 0.0;
+        const double khz_delta =
+            have_khz ? (c.simKhz - b.simKhz) / b.simKhz : 0.0;
+
         const bool ipc_bad = ipc_delta < -opt.maxIpcDrop;
         const bool wall_bad = have_wall &&
             wall_delta > opt.maxWallIncrease;
         if (ipc_bad || wall_bad)
             ++regressions;
+        // Advisory only: throughput is machine-dependent, so a flag
+        // here annotates the report without failing the comparison.
+        const bool khz_slow = opt.perfThreshold >= 0.0 && have_khz &&
+            khz_delta < -opt.perfThreshold;
+        if (khz_slow)
+            ++perf_flags;
 
         char wall_text[32];
         if (have_wall)
@@ -352,12 +388,19 @@ compareJournals(const Journal &base, const Journal &cur,
                           100.0 * wall_delta);
         else
             std::snprintf(wall_text, sizeof(wall_text), "%9s", "-");
-        std::printf("%-34s %10.4f %10.4f %+8.2f%% %s%s\n",
+        char khz_text[32];
+        if (have_khz)
+            std::snprintf(khz_text, sizeof(khz_text), "%+8.1f%%",
+                          100.0 * khz_delta);
+        else
+            std::snprintf(khz_text, sizeof(khz_text), "%9s", "-");
+        std::printf("%-34s %10.4f %10.4f %+8.2f%% %s %s%s\n",
                     key.c_str(), b.ipc, c.ipc, 100.0 * ipc_delta,
-                    wall_text,
+                    wall_text, khz_text,
                     ipc_bad ? "  << IPC REGRESSION"
                             : (wall_bad ? "  << WALL REGRESSION"
-                                        : ""));
+                               : (khz_slow ? "  << slow (advisory)"
+                                           : "")));
     }
     for (const auto &[key, c] : cur.points) {
         (void)c;
@@ -376,6 +419,10 @@ compareJournals(const Journal &base, const Journal &cur,
     else
         std::printf("\nno regressions beyond thresholds "
                     "(%zu record(s) compared)\n", compared);
+    if (perf_flags)
+        std::printf("advisory: %zu record(s) lost more than %.1f%% "
+                    "sim-kHz (does not affect the exit code)\n",
+                    perf_flags, 100.0 * opt.perfThreshold);
     return regressions;
 }
 
@@ -393,19 +440,21 @@ selfTest()
         "\"2026-01-01T00:00:00Z\",\"results\":[\n"
         "  {\"benchmark\":\"gzip\",\"scheme\":\"baseline\","
         "\"config\":2,\"ipc\":0.664,\"cycles\":90253,"
-        "\"wall_ms\":120.0,\"cached\":false},\n"
+        "\"wall_ms\":120.0,\"sim_khz\":752.1,\"cached\":false},\n"
         "  {\"benchmark\":\"gzip\",\"scheme\":\"dmdc-global\","
         "\"config\":2,\"ipc\":0.665,\"cycles\":90171,"
-        "\"wall_ms\":0.0,\"cached\":true}\n]}\n";
+        "\"wall_ms\":0.0,\"sim_khz\":0.0,\"cached\":true}\n]}\n";
 
-    auto variant = [&](double ipc, double wall) {
+    auto variant = [&](double ipc, double wall, double khz = -1.0) {
         std::ostringstream os;
         os << "{\"version\":2,\"commit\":\"bbbb\",\"generated_utc\":"
               "\"2026-01-02T00:00:00Z\",\"results\":["
               "{\"benchmark\":\"gzip\",\"scheme\":\"baseline\","
               "\"config\":2,\"ipc\":"
-           << ipc << ",\"cycles\":90253,\"wall_ms\":" << wall
-           << ",\"cached\":false},"
+           << ipc << ",\"cycles\":90253,\"wall_ms\":" << wall;
+        if (khz >= 0.0)
+            os << ",\"sim_khz\":" << khz;
+        os << ",\"cached\":false},"
               "{\"benchmark\":\"gzip\",\"scheme\":\"dmdc-global\","
               "\"config\":2,\"ipc\":0.665,\"cycles\":90171,"
               "\"wall_ms\":0.0,\"cached\":true}]}";
@@ -429,6 +478,10 @@ selfTest()
     // Cached record must not contribute a wall-clock measurement.
     expect(base.points["gzip|dmdc-global|2"].wallMs < 0.0,
            "cached wall skipped");
+    expect(base.points["gzip|baseline|2"].simKhz == 752.1,
+           "recorded sim_khz wins");
+    expect(base.points["gzip|dmdc-global|2"].simKhz < 0.0,
+           "cached zero sim_khz skipped");
 
     const CompareOptions opt;
     std::size_t compared = 0;
@@ -446,6 +499,26 @@ selfTest()
            "wall-clock blowup is a regression");
     expect(compareJournals(base, worse, opt, false, compared) == 1,
            "ipc drop is a regression");
+
+    // sim-kHz is derived from cycles/wall_ms when the field is
+    // missing, and a drop past --perf-threshold is advisory: flagged
+    // in the report, never counted as a regression.
+    Journal derived;
+    expect(parseJournal(variant(0.664, 130.0), derived, err),
+           "parse khz-less journal");
+    const double want_khz = 90253.0 / 130.0;
+    const double got_khz = derived.points["gzip|baseline|2"].simKhz;
+    expect(std::fabs(got_khz - want_khz) < 1e-9,
+           "sim_khz derived from cycles/wall_ms");
+    CompareOptions perf_opt;
+    perf_opt.maxWallIncrease = 100.0;   // isolate the advisory path
+    perf_opt.perfThreshold = 0.25;
+    Journal crawl;
+    expect(parseJournal(variant(0.664, 121.0, 100.0), crawl, err),
+           "parse slow-khz journal");
+    expect(compareJournals(base, crawl, perf_opt, false,
+                           compared) == 0,
+           "sim-khz drop past --perf-threshold stays advisory");
 
     Journal bad;
     expect(!parseJournal("{\"results\":42}", bad, err),
@@ -499,14 +572,17 @@ usage(const char *argv0)
         "usage: %s <baseline.json> <current.json>\n"
         "         [--max-ipc-drop=FRAC]       default 0.02\n"
         "         [--max-wall-increase=FRAC]  default 0.50\n"
+        "         [--perf-threshold=FRAC]     advisory, off by default\n"
         "         [--verbose]\n"
         "       %s --selftest\n"
         "\n"
         "Diffs two bench journals produced by --json= and exits 1\n"
         "when the current one regresses IPC or wall clock beyond\n"
-        "the thresholds. Failed-run records and records without a\n"
-        "finite IPC are excluded; journals sharing no comparable\n"
-        "record exit 3 (incomparable).\n",
+        "the thresholds. Simulation throughput (sim-kHz) deltas are\n"
+        "always reported; --perf-threshold flags drops beyond FRAC\n"
+        "in the report without affecting the exit code. Failed-run\n"
+        "records and records without a finite IPC are excluded;\n"
+        "journals sharing no comparable record exit 3 (incomparable).\n",
         argv0, argv0);
 }
 
@@ -528,6 +604,8 @@ main(int argc, char **argv)
             opt.maxIpcDrop = std::atof(arg.c_str() + 15);
         } else if (arg.rfind("--max-wall-increase=", 0) == 0) {
             opt.maxWallIncrease = std::atof(arg.c_str() + 20);
+        } else if (arg.rfind("--perf-threshold=", 0) == 0) {
+            opt.perfThreshold = std::atof(arg.c_str() + 17);
         } else if (arg.rfind("--", 0) == 0) {
             usage(argv[0]);
             return 2;
