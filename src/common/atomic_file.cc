@@ -5,6 +5,8 @@
 #include <sstream>
 #include <thread>
 
+#include <unistd.h>
+
 namespace dmdc
 {
 
@@ -13,7 +15,11 @@ writeFileAtomic(const std::string &path, const std::string &content)
 {
     namespace fs = std::filesystem;
     std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    // pid + thread id: thread ids alone can collide *across*
+    // processes (every process's main thread may share one), and
+    // cache/heartbeat directories are shared between processes.
+    tmp_name << path << ".tmp." << ::getpid() << '.'
+             << std::this_thread::get_id();
     const std::string tmp = tmp_name.str();
     {
         std::ofstream os(tmp, std::ios::binary);

@@ -21,9 +21,9 @@ namespace dmdc
 
 /**
  * Write @p content to a temp file next to @p path and rename it into
- * place. The temp name embeds the calling thread's id, so concurrent
- * writers (threads or processes sharing a directory) never collide on
- * the temp file and the last rename wins cleanly.
+ * place. The temp name embeds the caller's pid and thread id, so
+ * concurrent writers (threads or processes sharing a directory) never
+ * collide on the temp file and the last rename wins cleanly.
  *
  * Returns false when the temp file cannot be created/written or the
  * rename fails (the temp file is removed in that case). Never throws;

@@ -1,0 +1,17 @@
+#include "common/build_info.hh"
+
+// Injected by the build (configure-time `git rev-parse`).
+#ifndef DMDC_GIT_COMMIT
+#define DMDC_GIT_COMMIT "unknown"
+#endif
+
+namespace dmdc
+{
+
+const char *
+buildCommit()
+{
+    return DMDC_GIT_COMMIT;
+}
+
+} // namespace dmdc

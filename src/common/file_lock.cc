@@ -1,0 +1,63 @@
+#include "common/file_lock.hh"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace dmdc
+{
+
+FileLock::FileLock(const std::string &path, Mode mode, bool block)
+{
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return;
+    int op = mode == Mode::Exclusive ? LOCK_EX : LOCK_SH;
+    if (!block)
+        op |= LOCK_NB;
+    int rc;
+    do {
+        rc = ::flock(fd, op);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);
+        return;
+    }
+    fd_ = fd;
+}
+
+FileLock::~FileLock()
+{
+    release();
+}
+
+FileLock::FileLock(FileLock &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+FileLock &
+FileLock::operator=(FileLock &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+FileLock::release()
+{
+    if (fd_ >= 0) {
+        // close() drops the flock; no explicit LOCK_UN needed.
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace dmdc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Advisory cross-process file locking (flock) behind an RAII guard.
+ *
+ * The cache storage engine coordinates index compaction between
+ * processes sharing one `.dmdc_cache/` directory: appenders hold the
+ * lock shared while they add a record to the index log, the compactor
+ * holds it exclusive while it rewrites the log. flock() is used rather
+ * than a create-exclusive lock file because the kernel releases it
+ * automatically when the holder dies, so a crashed compactor can never
+ * wedge every future writer.
+ *
+ * The lock file itself is a zero-byte sibling that is never renamed or
+ * deleted; locking the *log* fd would silently stop coordinating the
+ * moment compaction renames a fresh log into place.
+ */
+
+#ifndef DMDC_COMMON_FILE_LOCK_HH
+#define DMDC_COMMON_FILE_LOCK_HH
+
+#include <string>
+
+namespace dmdc
+{
+
+/** One acquired (or failed) advisory lock; releases on destruction. */
+class FileLock
+{
+  public:
+    enum class Mode
+    {
+        Shared,    ///< many holders (index appenders)
+        Exclusive, ///< sole holder (index compaction / rebuild)
+    };
+
+    FileLock() = default;
+
+    /** Acquire @p path in @p mode. @p block false = try-lock: held()
+     *  is false when another process holds a conflicting lock. The
+     *  lock file is created on demand (0644). */
+    FileLock(const std::string &path, Mode mode, bool block = true);
+
+    ~FileLock();
+
+    FileLock(FileLock &&other) noexcept;
+    FileLock &operator=(FileLock &&other) noexcept;
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    /** True when the lock was acquired and is still held. */
+    bool held() const { return fd_ >= 0; }
+
+    /** Release early (idempotent). */
+    void release();
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_COMMON_FILE_LOCK_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal JSON value tree + strict parser.
+ *
+ * Grown out of the journal merger and shared with the dmdc_serve
+ * protocol. Two properties matter more than generality:
+ *
+ *  - numbers keep their raw source token, so a parsed journal can be
+ *    re-serialized byte-identically (the merge and service layers both
+ *    promise bit-exact journals);
+ *  - parsing is strict (no trailing content, no unknown escapes), so
+ *    a torn or hand-mangled document fails loudly instead of yielding
+ *    a half-read record.
+ *
+ * Writing stays with the callers — each emitter owns its exact byte
+ * layout — but jsonEscapeString() is shared so every emitter escapes
+ * control characters the same reversible way.
+ */
+
+#ifndef DMDC_COMMON_JSON_HH
+#define DMDC_COMMON_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmdc
+{
+
+/** One JSON value; object fields keep their source order. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text; ///< string value (unescaped) or raw number token
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &f : fields) {
+            if (f.first == key)
+                return &f.second;
+        }
+        return nullptr;
+    }
+};
+
+/** Parse @p text into @p out. False + @p err on any syntax error
+ *  (including trailing content after the document). */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &err);
+
+/**
+ * Escape @p s for embedding in a JSON string literal, reversibly:
+ * quotes and backslashes are backslash-escaped, control characters
+ * become \n/\r/\t/\u00XX. (The journal writers intentionally use a
+ * lossy space-substitution instead — journal bytes are contractual —
+ * so this is for protocol payloads, not journals.)
+ */
+std::string jsonEscapeString(const std::string &s);
+
+} // namespace dmdc
+
+#endif // DMDC_COMMON_JSON_HH

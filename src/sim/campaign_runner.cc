@@ -19,12 +19,14 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <tuple>
 
 #include <csignal>
 #include <unistd.h>
 
 #include "common/atomic_file.hh"
+#include "common/build_info.hh"
 #include "common/crc32.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -34,25 +36,11 @@
 #include "sim/heartbeat.hh"
 #include "sim/thread_pool.hh"
 
-// Injected by the build (configure-time `git rev-parse`); journals
-// record which sources produced them.
-#ifndef DMDC_GIT_COMMIT
-#define DMDC_GIT_COMMIT "unknown"
-#endif
-
 namespace dmdc
 {
 
 namespace
 {
-
-/**
- * Bump when the key schema or the JSON layout changes. v3: cache
- * entries carry a CRC32 header line ({"dmdc_cache":3,...}) so
- * truncation and bit corruption are detected, and journals record
- * per-run status/category/attempts (the failure manifest).
- */
-constexpr unsigned kCacheFormatVersion = 3;
 
 using Clock = std::chrono::steady_clock;
 
@@ -577,7 +565,7 @@ flushCampaignJournal()
     // disk — never a torn file.
     std::ostringstream os;
     os << "{\"version\":" << kCacheFormatVersion
-       << ",\"commit\":\"" << DMDC_GIT_COMMIT << '"';
+       << ",\"commit\":\"" << buildCommit() << '"';
     if (!j.deterministic)
         os << ",\"generated_utc\":\"" << utcTimestamp() << '"';
     if (j.sharded) {
@@ -705,6 +693,12 @@ cacheableOptions(const SimOptions &opt)
     return opt.observers.empty() && !opt.tweak;
 }
 
+const std::string &
+policySourceFingerprint()
+{
+    return sourceFingerprint();
+}
+
 std::string
 cacheKey(const SimOptions &opt)
 {
@@ -733,137 +727,31 @@ cacheKey(const SimOptions &opt)
 CampaignRunner::CampaignRunner(CampaignConfig config)
     : config_(std::move(config))
 {
-}
-
-std::string
-CampaignRunner::diskPath(const std::string &key) const
-{
-    char name[32];
-    std::snprintf(name, sizeof(name), "%016llx.json",
-                  static_cast<unsigned long long>(
-                      hashBytes(key.data(), key.size())));
-    return config_.cacheDir + "/" + name;
-}
-
-void
-CampaignRunner::quarantine(const std::string &path, const char *reason)
-{
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    const fs::path src(path);
-    const fs::path dir = fs::path(config_.cacheDir) / "quarantine";
-    fs::create_directories(dir, ec);
-    fs::rename(src, dir / src.filename(), ec);
-    if (ec) {
-        // Rename failed (e.g. cross-device); never trust the entry —
-        // drop it instead.
-        fs::remove(src, ec);
-    }
-    warn("cache entry '%s' %s; quarantined and recomputing",
-         path.c_str(), reason);
-    enforceQuarantineCap();
-}
-
-void
-CampaignRunner::enforceQuarantineCap()
-{
-    namespace fs = std::filesystem;
-    if (!config_.quarantineMaxEntries && !config_.quarantineMaxBytes)
-        return;
-    std::error_code ec;
-    const fs::path dir = fs::path(config_.cacheDir) / "quarantine";
-    struct Entry
-    {
-        fs::path path;
-        std::uint64_t size;
-        fs::file_time_type mtime;
-    };
-    std::vector<Entry> entries;
-    std::uint64_t total = 0;
-    for (const auto &de : fs::directory_iterator(
-             dir, fs::directory_options::skip_permission_denied, ec)) {
-        if (!de.is_regular_file(ec))
-            continue;
-        Entry e{de.path(), de.file_size(ec), de.last_write_time(ec)};
-        total += e.size;
-        entries.push_back(std::move(e));
-    }
-    auto over = [&](std::size_t count, std::uint64_t bytes) {
-        return (config_.quarantineMaxEntries &&
-                count > config_.quarantineMaxEntries) ||
-               (config_.quarantineMaxBytes &&
-                bytes > config_.quarantineMaxBytes);
-    };
-    if (!over(entries.size(), total))
-        return;
-    // Oldest first: recent quarantines are the ones someone is likely
-    // to want for a post-mortem.
-    std::sort(entries.begin(), entries.end(),
-              [](const Entry &a, const Entry &b) {
-                  return a.mtime < b.mtime;
-              });
-    std::size_t count = entries.size();
-    for (const Entry &e : entries) {
-        if (!over(count, total))
-            break;
-        if (fs::remove(e.path, ec)) {
-            total -= e.size;
-            --count;
-            ++quarantineEvictedTotal_;
-        }
-    }
+    CacheStoreConfig sc;
+    sc.dir = config_.cacheDir;
+    sc.maxBytes = config_.cacheMaxBytes;
+    sc.quarantineMaxEntries = config_.quarantineMaxEntries;
+    sc.quarantineMaxBytes = config_.quarantineMaxBytes;
+    diskStore_ = std::make_unique<CacheStore>(sc);
 }
 
 CampaignRunner::CacheLoad
 CampaignRunner::loadFromDisk(const std::string &key, SimResult &out)
 {
-    const std::string path = diskPath(key);
-    std::ifstream is(path);
-    if (!is)
+    // The store owns the framing (CRC header, truncation, version);
+    // the runner owns the payload schema on top of it.
+    std::string payload;
+    switch (diskStore_->load(key, payload)) {
+      case CacheStore::Load::Miss:
         return CacheLoad::Miss;
-    std::stringstream buf;
-    buf << is.rdbuf();
-    const std::string text = buf.str();
-
-    // v3 layout: a one-line CRC header followed by the JSON payload.
-    //   {"dmdc_cache":3,"crc":"xxxxxxxx","len":N}\n{...payload...}\n
-    if (text.empty()) {
-        quarantine(path, "is zero-byte");
+      case CacheStore::Load::Corrupt:
         return CacheLoad::Corrupt;
+      case CacheStore::Load::Hit:
+        break;
     }
-    const std::size_t nl = text.find('\n');
-    if (nl == std::string::npos) {
-        quarantine(path, "has no header line");
-        return CacheLoad::Corrupt;
-    }
-    JsonReader::Map header;
-    if (!JsonReader::parse(text.substr(0, nl), header) ||
-        !header.count("dmdc_cache") || !header.count("crc") ||
-        !header.count("len")) {
-        quarantine(path, "has an unrecognized header (old format?)");
-        return CacheLoad::Corrupt;
-    }
-    if (header["dmdc_cache"] != std::to_string(kCacheFormatVersion)) {
-        quarantine(path, "has a mismatched format version");
-        return CacheLoad::Corrupt;
-    }
-    const std::string payload = text.substr(nl + 1);
-    const std::size_t expected_len =
-        std::strtoull(header["len"].c_str(), nullptr, 10);
-    if (payload.size() != expected_len) {
-        quarantine(path, "is truncated");
-        return CacheLoad::Corrupt;
-    }
-    const std::uint32_t expected_crc = static_cast<std::uint32_t>(
-        std::strtoul(header["crc"].c_str(), nullptr, 16));
-    if (crc32(payload.data(), payload.size()) != expected_crc) {
-        quarantine(path, "fails its checksum");
-        return CacheLoad::Corrupt;
-    }
-
     JsonReader::Map m;
     if (!JsonReader::parse(payload, m)) {
-        quarantine(path, "has an unparsable payload");
+        diskStore_->quarantineKey(key, "has an unparsable payload");
         return CacheLoad::Corrupt;
     }
     // A hash collision surfaces as a key mismatch; that is a plain
@@ -872,32 +760,15 @@ CampaignRunner::loadFromDisk(const std::string &key, SimResult &out)
     if (it == m.end() || it->second != key)
         return CacheLoad::Miss;
     if (!readResult(m, out)) {
-        quarantine(path, "is missing result fields");
+        diskStore_->quarantineKey(key, "is missing result fields");
         return CacheLoad::Corrupt;
-    }
-    // Touch for LRU: a hit makes the entry recently-used.
-    if (config_.cacheMaxBytes) {
-        std::error_code ec;
-        std::filesystem::last_write_time(
-            path, std::filesystem::file_time_type::clock::now(), ec);
     }
     return CacheLoad::Hit;
 }
 
 void
-CampaignRunner::storeToDisk(const std::string &key,
-                            const SimResult &r) const
+CampaignRunner::storeToDisk(const std::string &key, const SimResult &r)
 {
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    fs::create_directories(config_.cacheDir, ec);
-    if (ec) {
-        warn("cannot create cache dir '%s': %s",
-             config_.cacheDir.c_str(), ec.message().c_str());
-        return;
-    }
-    const std::string path = diskPath(key);
-
     std::ostringstream payload_os;
     {
         JsonWriter w(payload_os);
@@ -909,70 +780,7 @@ CampaignRunner::storeToDisk(const std::string &key,
         w.close();
         payload_os << '\n';
     }
-    std::string payload = payload_os.str();
-
-    char header[64];
-    std::snprintf(header, sizeof(header),
-                  "{\"dmdc_cache\":%u,\"crc\":\"%08x\",\"len\":%llu}\n",
-                  kCacheFormatVersion,
-                  crc32(payload.data(), payload.size()),
-                  static_cast<unsigned long long>(payload.size()));
-
-    // Deterministic chaos: emit a truncated payload under the intact
-    // header, exactly what a torn write or disk fault produces. The
-    // next reader must quarantine and recompute.
-    if (FaultInjector::global().injectCacheCorrupt(key))
-        payload.resize(payload.size() / 2);
-
-    // Concurrent bench binaries share the cache directory and must
-    // never observe a torn file.
-    if (!writeFileAtomic(path, header + payload))
-        warn("cannot write cache file '%s'", path.c_str());
-}
-
-std::size_t
-CampaignRunner::enforceCacheCap() const
-{
-    namespace fs = std::filesystem;
-    if (!config_.cacheMaxBytes)
-        return 0;
-    std::error_code ec;
-    struct Entry
-    {
-        fs::path path;
-        std::uint64_t size;
-        fs::file_time_type mtime;
-    };
-    std::vector<Entry> entries;
-    std::uint64_t total = 0;
-    for (const auto &de : fs::directory_iterator(
-             config_.cacheDir,
-             fs::directory_options::skip_permission_denied, ec)) {
-        if (!de.is_regular_file(ec))
-            continue;
-        if (de.path().extension() != ".json")
-            continue;
-        Entry e{de.path(), de.file_size(ec),
-                de.last_write_time(ec)};
-        total += e.size;
-        entries.push_back(std::move(e));
-    }
-    if (total <= config_.cacheMaxBytes)
-        return 0;
-    std::sort(entries.begin(), entries.end(),
-              [](const Entry &a, const Entry &b) {
-                  return a.mtime < b.mtime;
-              });
-    std::size_t evicted = 0;
-    for (const Entry &e : entries) {
-        if (total <= config_.cacheMaxBytes)
-            break;
-        if (fs::remove(e.path, ec)) {
-            total -= e.size;
-            ++evicted;
-        }
-    }
-    return evicted;
+    diskStore_->store(key, payload_os.str());
 }
 
 CampaignResult
@@ -983,7 +791,8 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
     CampaignStats stats;
     stats.runs = runs.size();
     const std::size_t quarantine_evicted_before =
-        quarantineEvictedTotal_;
+        diskStore_->stats().quarantineEvicted;
+    const std::size_t evicted_before = diskStore_->stats().evicted;
 
     CampaignResult cr;
     cr.results.resize(runs.size());
@@ -1183,10 +992,10 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
         unsigned jobs = config_.jobs
             ? config_.jobs : ThreadPool::defaultConcurrency();
         jobs = std::min<std::size_t>(jobs, pending.size());
-        ThreadPool pool(jobs);
-        for (const Pending &p : pending) {
-            pool.submit([this, &runs, &cr, &p, verbose, &abort_flag,
-                         &record_state, &beat_progress] {
+
+        auto execute_run =
+            [this, &runs, &cr, verbose, &abort_flag, &record_state,
+             &beat_progress](const Pending &p) {
                 const auto run_t0 = Clock::now();
                 RunOutcome oc;
                 oc.shard = config_.shard.index;
@@ -1320,9 +1129,38 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                         std::_Exit(3);
                     }
                 }
+            };
+
+        // The scheduler decides placement (see run_scheduler.hh):
+        // runs land on per-worker queues keyed by journal identity,
+        // and each worker drains its queue — stealing from the others
+        // under the default work-stealing policy — until no unclaimed
+        // run remains.
+        std::vector<ScheduledRun> items;
+        items.reserve(pending.size());
+        for (std::size_t s = 0; s < pending.size(); ++s) {
+            const SimOptions &opt = runs[pending[s].index];
+            items.push_back(
+                {s,
+                 journalIdentity(opt.benchmark, opt.scheme,
+                                 opt.configLevel),
+                 static_cast<double>(opt.warmupInsts) +
+                     static_cast<double>(opt.runInsts)});
+        }
+        std::unique_ptr<RunScheduler> scheduler =
+            makeRunScheduler(config_.scheduler);
+        scheduler->seed(std::move(items), jobs);
+        std::vector<std::thread> workers;
+        workers.reserve(jobs);
+        for (unsigned w = 0; w < jobs; ++w) {
+            workers.emplace_back([&, w] {
+                ScheduledRun item;
+                while (scheduler->next(w, item))
+                    execute_run(pending[item.index]);
             });
         }
-        pool.wait();
+        for (std::thread &t : workers)
+            t.join();
     }
 
     // ---- duplicate runs copy their leader ----------------------------
@@ -1359,10 +1197,13 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
         if (oc.attempts > 1)
             ++stats.retried;
     }
-    if (config_.useCache)
-        stats.evicted = enforceCacheCap();
+    if (config_.useCache) {
+        diskStore_->evictToCap();
+        stats.evicted = diskStore_->stats().evicted - evicted_before;
+    }
     stats.quarantineEvicted =
-        quarantineEvictedTotal_ - quarantine_evicted_before;
+        diskStore_->stats().quarantineEvicted -
+        quarantine_evicted_before;
 
     beat(campaignInterruptRequested() ? HeartbeatPhase::Interrupted
                                       : HeartbeatPhase::Done);

@@ -30,13 +30,16 @@
 #define DMDC_SIM_CAMPAIGN_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/cache_store.hh"
 #include "sim/campaign_shard.hh"
 #include "sim/run_error.hh"
+#include "sim/run_scheduler.hh"
 #include "sim/simulator.hh"
 
 namespace dmdc
@@ -47,6 +50,13 @@ struct CampaignConfig
 {
     /** Worker threads; 0 selects ThreadPool::defaultConcurrency(). */
     unsigned jobs = 0;
+    /**
+     * How runs are placed on worker threads (--scheduler). Both
+     * policies seed per-worker queues with the same LPT partition
+     * --shard uses; WorkStealing additionally rebalances when cost
+     * estimates miss (see run_scheduler.hh).
+     */
+    SchedulerKind scheduler = SchedulerKind::WorkStealing;
     /** Enable the in-process + on-disk run cache. */
     bool useCache = true;
     /** On-disk cache directory (created on demand). */
@@ -228,21 +238,24 @@ class CampaignRunner
      */
     static void configureGlobal(const CampaignConfig &config);
 
+    /** The on-disk half of the run cache (see cache_store.hh). */
+    CacheStore &diskStore() { return *diskStore_; }
+
   private:
     /** Disk-cache probe result. */
     enum class CacheLoad { Hit, Miss, Corrupt };
 
     CacheLoad loadFromDisk(const std::string &key, SimResult &out);
-    void storeToDisk(const std::string &key, const SimResult &r) const;
-    std::string diskPath(const std::string &key) const;
-    void quarantine(const std::string &path, const char *reason);
-    std::size_t enforceCacheCap() const;
-    void enforceQuarantineCap();
+    void storeToDisk(const std::string &key, const SimResult &r);
 
     CampaignConfig config_;
     CampaignStats lastStats_;
     std::uint64_t totalSimulated_ = 0;
-    std::size_t quarantineEvictedTotal_ = 0;
+
+    /** Owns the on-disk layout: CRC framing, quarantine, the index
+     *  log, LRU eviction. The runner keeps the SimResult <-> JSON
+     *  translation and key validation. */
+    std::unique_ptr<CacheStore> diskStore_;
 
     std::mutex memMutex_;
     std::unordered_map<std::string, SimResult> memCache_;
@@ -261,6 +274,14 @@ bool cacheableOptions(const SimOptions &opt);
  * bit-identical SimResults. Precondition: cacheableOptions(opt).
  */
 std::string cacheKey(const SimOptions &opt);
+
+/**
+ * Hash of the policy registry's version string (API version + every
+ * scheme@revision): the simulator-behavior half of every cache key,
+ * and the revision the dmdc_serve handshake compares so a client
+ * never trusts results from a daemon with different policies.
+ */
+const std::string &policySourceFingerprint();
 
 // ---- machine-readable campaign journal (bench --json) ----
 

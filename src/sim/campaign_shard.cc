@@ -10,15 +10,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/json.hh"
 #include "common/random.hh"
+#include "sim/run_scheduler.hh"
 
 namespace dmdc
 {
 
-namespace
-{
-
-/** Journal identity of one run: the fields a journal record carries. */
 std::string
 journalIdentity(const std::string &benchmark, const std::string &scheme,
                 unsigned config)
@@ -30,6 +28,9 @@ journalIdentity(const std::string &benchmark, const std::string &scheme,
     id += std::to_string(config);
     return id;
 }
+
+namespace
+{
 
 /** Same escaping the journal writer applies to string fields. */
 std::string
@@ -128,54 +129,15 @@ shardAssignment(const std::vector<SimOptions> &runs, unsigned shardCount)
     // Group by journal identity so repeated (benchmark, scheme,
     // config) triples — legal within one campaign — can never be split
     // across shards, which would break the merger's disjointness
-    // invariant.
-    struct Group
-    {
-        std::string key;
-        std::uint64_t hash = 0;
-        double cost = 0.0;
-        std::vector<std::size_t> members;
-    };
-    std::vector<Group> groups;
-    std::unordered_map<std::string, std::size_t> byKey;
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        const SimOptions &opt = runs[i];
-        const std::string key = journalIdentity(
-            opt.benchmark, opt.scheme, opt.configLevel);
-        auto it = byKey.find(key);
-        if (it == byKey.end()) {
-            it = byKey.emplace(key, groups.size()).first;
-            groups.push_back(
-                {key, hashBytes(key.data(), key.size()), 0.0, {}});
-        }
-        Group &g = groups[it->second];
-        // Simulation cost is linear in the instruction budget; the
-        // budget is the best machine-independent estimate available
-        // before running.
-        g.cost += static_cast<double>(opt.warmupInsts) +
-                  static_cast<double>(opt.runInsts);
-        g.members.push_back(i);
-    }
-
-    // Longest-processing-time greedy: place big groups first, each on
-    // the currently least-loaded shard. The (hash, key) tie-breakers
-    // make the order — and therefore the whole assignment — a pure
-    // function of the run list.
-    std::sort(groups.begin(), groups.end(),
-              [](const Group &a, const Group &b) {
-                  return std::tie(b.cost, a.hash, a.key) <
-                         std::tie(a.cost, b.hash, b.key);
-              });
-    std::vector<double> load(shardCount, 0.0);
-    for (const Group &g : groups) {
-        std::size_t target = 0;
-        for (std::size_t s = 1; s < load.size(); ++s) {
-            if (load[s] < load[target])
-                target = s;
-        }
-        load[target] += g.cost;
-        for (std::size_t member : g.members)
-            assignment[member] = static_cast<unsigned>(target);
+    // invariant. The grouping + LPT greedy live in run_scheduler.cc
+    // now, shared with the thread-level schedulers; the assignment is
+    // still byte-for-byte the one earlier releases computed.
+    const std::vector<RunGroup> groups = groupRunsByIdentity(runs);
+    const std::vector<unsigned> bins =
+        lptAssignGroups(groups, shardCount);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::size_t member : groups[g].members)
+            assignment[member] = bins[g];
     }
     return assignment;
 }
@@ -211,244 +173,6 @@ writeJournalEntry(std::ostream &os, const JournalEntry &e)
 namespace
 {
 
-/**
- * Minimal JSON value tree. Numbers keep their raw source token so a
- * parsed journal can be re-serialized byte-identically.
- */
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    std::string text; ///< string value (unescaped) or raw number token
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> fields;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &f : fields) {
-            if (f.first == key)
-                return &f.second;
-        }
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    JsonParser(const std::string &text, std::string &err)
-        : text_(text), err_(err)
-    {
-    }
-
-    bool
-    parse(JsonValue &out)
-    {
-        if (!value(out))
-            return false;
-        skipWs();
-        if (pos_ != text_.size())
-            return fail("trailing content after JSON document");
-        return true;
-    }
-
-  private:
-    bool
-    fail(const std::string &msg)
-    {
-        err_ = msg + " (at byte " + std::to_string(pos_) + ")";
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::size_t len = std::strlen(word);
-        if (text_.compare(pos_, len, word) != 0)
-            return fail(std::string("expected '") + word + "'");
-        pos_ += len;
-        return true;
-    }
-
-    bool
-    value(JsonValue &out)
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            return fail("unexpected end of input");
-        const char c = text_[pos_];
-        if (c == '{')
-            return object(out);
-        if (c == '[')
-            return array(out);
-        if (c == '"') {
-            out.kind = JsonValue::Kind::String;
-            return string(out.text);
-        }
-        if (c == 't' || c == 'f') {
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = (c == 't');
-            return literal(c == 't' ? "true" : "false");
-        }
-        if (c == 'n') {
-            out.kind = JsonValue::Kind::Null;
-            return literal("null");
-        }
-        return number(out);
-    }
-
-    bool
-    object(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Object;
-        ++pos_; // '{'
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            std::string key;
-            if (pos_ >= text_.size() || text_[pos_] != '"')
-                return fail("expected object key");
-            if (!string(key))
-                return false;
-            skipWs();
-            if (pos_ >= text_.size() || text_[pos_] != ':')
-                return fail("expected ':' after object key");
-            ++pos_;
-            JsonValue v;
-            if (!value(v))
-                return false;
-            out.fields.emplace_back(std::move(key), std::move(v));
-            skipWs();
-            if (pos_ >= text_.size())
-                return fail("unterminated object");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or '}' in object");
-        }
-    }
-
-    bool
-    array(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Array;
-        ++pos_; // '['
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            JsonValue v;
-            if (!value(v))
-                return false;
-            out.items.push_back(std::move(v));
-            skipWs();
-            if (pos_ >= text_.size())
-                return fail("unterminated array");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or ']' in array");
-        }
-    }
-
-    bool
-    string(std::string &out)
-    {
-        ++pos_; // '"'
-        out.clear();
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c != '\\') {
-                out.push_back(c);
-                continue;
-            }
-            if (pos_ >= text_.size())
-                return fail("unterminated string escape");
-            const char esc = text_[pos_++];
-            switch (esc) {
-              case '"':  out.push_back('"'); break;
-              case '\\': out.push_back('\\'); break;
-              case '/':  out.push_back('/'); break;
-              case 'b':  out.push_back('\b'); break;
-              case 'f':  out.push_back('\f'); break;
-              case 'n':  out.push_back('\n'); break;
-              case 'r':  out.push_back('\r'); break;
-              case 't':  out.push_back('\t'); break;
-              case 'u':
-                // Journals never emit \u escapes; tolerate them as a
-                // placeholder rather than decoding UTF-16 here.
-                if (pos_ + 4 > text_.size())
-                    return fail("truncated \\u escape");
-                pos_ += 4;
-                out.push_back('?');
-                break;
-              default:
-                return fail("unknown string escape");
-            }
-        }
-        return fail("unterminated string");
-    }
-
-    bool
-    number(JsonValue &out)
-    {
-        const std::size_t start = pos_;
-        if (pos_ < text_.size() &&
-            (text_[pos_] == '-' || text_[pos_] == '+'))
-            ++pos_;
-        bool digits = false;
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_];
-            if (std::isdigit(static_cast<unsigned char>(c))) {
-                digits = true;
-                ++pos_;
-            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
-                       c == '-') {
-                ++pos_;
-            } else {
-                break;
-            }
-        }
-        if (!digits)
-            return fail("expected a JSON value");
-        out.kind = JsonValue::Kind::Number;
-        out.text = text_.substr(start, pos_ - start);
-        return true;
-    }
-
-    const std::string &text_;
-    std::string &err_;
-    std::size_t pos_ = 0;
-};
-
 bool
 numberField(const JsonValue &obj, const char *key, std::uint64_t &out,
             std::string &err)
@@ -476,8 +200,7 @@ parseShardJournal(const std::string &text, ShardJournal &out,
 {
     out = ShardJournal{};
     JsonValue root;
-    JsonParser parser(text, err);
-    if (!parser.parse(root))
+    if (!parseJson(text, root, err))
         return false;
     if (root.kind != JsonValue::Kind::Object) {
         err = "journal is not a JSON object";

@@ -90,6 +90,14 @@ std::string shardStatePath(const std::string &statePath,
 std::vector<unsigned> shardAssignment(const std::vector<SimOptions> &runs,
                                       unsigned shardCount);
 
+/**
+ * Journal identity of one run ("benchmark|scheme|config"): the
+ * co-location key shared by the shard partitioner, the run
+ * schedulers, and the dmdc_serve dedup map.
+ */
+std::string journalIdentity(const std::string &benchmark,
+                            const std::string &scheme, unsigned config);
+
 // ---- journal model (shared by the runner's writer and the merger) ----
 
 /**

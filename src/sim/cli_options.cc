@@ -343,6 +343,8 @@ CampaignCliOptions::addTo(CliParser &parser)
                 "strip nondeterministic journal fields + sort");
     parser.value("heartbeat", &config.heartbeatPath,
                  "publish per-run heartbeats at this base path");
+    parser.value("scheduler", &schedulerText,
+                 "run placement: work-stealing (default) or static-lpt");
 }
 
 bool
@@ -356,6 +358,9 @@ CampaignCliOptions::finalize(std::string &err)
         err = "--resume requires --state=<path>";
         return false;
     }
+    if (!schedulerText.empty() &&
+        !parseSchedulerKind(schedulerText, config.scheduler, err))
+        return false;
     config.cacheMaxBytes = cacheMaxMb * 1024ull * 1024ull;
     workerMode = !config.heartbeatPath.empty();
     return true;

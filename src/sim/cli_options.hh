@@ -157,6 +157,7 @@ struct CampaignCliOptions
     bool workerMode = false;      ///< --heartbeat given (supervised)
     std::uint64_t cacheMaxMb = 0; ///< --cache-max-mb (0 = unlimited)
     std::string shardText;        ///< raw --shard=i/N value
+    std::string schedulerText;    ///< raw --scheduler value
     bool noCache = false;         ///< --no-cache
 
     /** Register the shared flags on @p parser. */

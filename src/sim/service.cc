@@ -1,0 +1,985 @@
+#include "sim/service.hh"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/build_info.hh"
+#include "common/logging.hh"
+#include "sim/heartbeat.hh"
+#include "sim/run_error.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+/** Same "%.17g" token the journal writer uses (campaign_runner.cc):
+ *  the daemon re-derives journal bytes, so the spelling must match. */
+std::string
+journalDoubleToken(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+bool
+readExact(int fd, void *buf, std::size_t len, bool &eofAtStart,
+          std::string &err)
+{
+    auto *p = static_cast<unsigned char *>(buf);
+    std::size_t got = 0;
+    eofAtStart = false;
+    while (got < len) {
+        const ssize_t n = ::read(fd, p + got, len - got);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            eofAtStart = (got == 0);
+            err = eofAtStart ? "" : "connection closed mid-frame";
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        err = std::string("read failed: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+writeExact(int fd, const void *buf, std::size_t len, std::string &err)
+{
+    const auto *p = static_cast<const unsigned char *>(buf);
+    std::size_t put = 0;
+    while (put < len) {
+        const ssize_t n = ::write(fd, p + put, len - put);
+        if (n > 0) {
+            put += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        err = std::string("write failed: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+// ---- reply/JSON helpers ----------------------------------------------
+
+std::string
+errorReply(const std::string &message)
+{
+    return "{\"ok\":false,\"error\":\"" + jsonEscapeString(message) +
+           "\"}";
+}
+
+bool
+fieldString(const JsonValue &obj, const char *key, std::string &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->kind != JsonValue::Kind::String)
+        return false;
+    out = v->text;
+    return true;
+}
+
+bool
+fieldU64(const JsonValue &obj, const char *key, std::uint64_t &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->kind != JsonValue::Kind::Number)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long n =
+        std::strtoull(v->text.c_str(), &end, 10);
+    if (errno == ERANGE || end != v->text.c_str() + v->text.size())
+        return false;
+    out = n;
+    return true;
+}
+
+bool
+fieldDouble(const JsonValue &obj, const char *key, double &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->kind != JsonValue::Kind::Number)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double d = std::strtod(v->text.c_str(), &end);
+    if (errno == ERANGE || end != v->text.c_str() + v->text.size())
+        return false;
+    out = d;
+    return true;
+}
+
+bool
+fieldBool(const JsonValue &obj, const char *key, bool &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->kind != JsonValue::Kind::Bool)
+        return false;
+    out = v->boolean;
+    return true;
+}
+
+int
+connectUnixSocket(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "cannot connect to '" + path + "': " +
+              std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+// ---- frame I/O -------------------------------------------------------
+
+bool
+writeFrame(int fd, const std::string &payload, std::string &err)
+{
+    if (payload.size() > kServiceMaxFrame) {
+        err = "frame payload too large";
+        return false;
+    }
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    unsigned char hdr[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    return writeExact(fd, hdr, sizeof(hdr), err) &&
+           writeExact(fd, payload.data(), payload.size(), err);
+}
+
+bool
+readFrame(int fd, std::string &out, std::string &err)
+{
+    unsigned char hdr[4];
+    bool eof = false;
+    if (!readExact(fd, hdr, sizeof(hdr), eof, err))
+        return false;
+    const std::uint32_t len =
+        (static_cast<std::uint32_t>(hdr[0]) << 24) |
+        (static_cast<std::uint32_t>(hdr[1]) << 16) |
+        (static_cast<std::uint32_t>(hdr[2]) << 8) |
+        static_cast<std::uint32_t>(hdr[3]);
+    if (len > kServiceMaxFrame) {
+        err = "frame length " + std::to_string(len) +
+              " exceeds the protocol maximum";
+        return false;
+    }
+    out.resize(len);
+    if (len == 0)
+        return true;
+    return readExact(fd, &out[0], len, eof, err);
+}
+
+// ---- handshake -------------------------------------------------------
+
+ServiceIdentity
+localServiceIdentity()
+{
+    ServiceIdentity id;
+    id.commit = buildCommit();
+    id.cacheFormat = kCacheFormatVersion;
+    id.policyRevision = policySourceFingerprint();
+    return id;
+}
+
+// ---- run spec --------------------------------------------------------
+
+std::string
+serviceRunSpecJson(const SimOptions &opt)
+{
+    std::ostringstream os;
+    os << "{\"benchmark\":\"" << jsonEscapeString(opt.benchmark)
+       << "\",\"scheme\":\"" << jsonEscapeString(opt.scheme)
+       << "\",\"config\":" << opt.configLevel
+       << ",\"warmup\":" << opt.warmupInsts
+       << ",\"insts\":" << opt.runInsts
+       << ",\"inv\":"
+       << journalDoubleToken(opt.invalidationsPer1kCycles)
+       << ",\"coherence\":" << (opt.coherence ? "true" : "false")
+       << ",\"safe_loads\":" << (opt.safeLoads ? "true" : "false")
+       << ",\"sq_filter\":" << (opt.sqFilter ? "true" : "false")
+       << ",\"yla\":" << opt.numYlaQw
+       << ",\"table\":" << opt.tableEntriesOverride
+       << ",\"queue\":" << opt.queueEntries
+       << ",\"stall_limit\":" << opt.stallCycleLimit << '}';
+    return os.str();
+}
+
+bool
+parseServiceRunSpec(const JsonValue &spec, SimOptions &out,
+                    std::string &err)
+{
+    if (spec.kind != JsonValue::Kind::Object) {
+        err = "run spec is not a JSON object";
+        return false;
+    }
+    out = SimOptions{};
+    if (!fieldString(spec, "benchmark", out.benchmark) ||
+        !fieldString(spec, "scheme", out.scheme)) {
+        err = "run spec needs string 'benchmark' and 'scheme' fields";
+        return false;
+    }
+    std::uint64_t u = 0;
+    if (fieldU64(spec, "config", u))
+        out.configLevel = static_cast<unsigned>(u);
+    if (fieldU64(spec, "warmup", u))
+        out.warmupInsts = u;
+    if (fieldU64(spec, "insts", u))
+        out.runInsts = u;
+    if (fieldU64(spec, "yla", u))
+        out.numYlaQw = static_cast<unsigned>(u);
+    if (fieldU64(spec, "table", u))
+        out.tableEntriesOverride = static_cast<unsigned>(u);
+    if (fieldU64(spec, "queue", u))
+        out.queueEntries = static_cast<unsigned>(u);
+    if (fieldU64(spec, "stall_limit", u))
+        out.stallCycleLimit = u;
+    double d = 0.0;
+    if (fieldDouble(spec, "inv", d))
+        out.invalidationsPer1kCycles = d;
+    bool b = false;
+    if (fieldBool(spec, "coherence", b))
+        out.coherence = b;
+    if (fieldBool(spec, "safe_loads", b))
+        out.safeLoads = b;
+    if (fieldBool(spec, "sq_filter", b))
+        out.sqFilter = b;
+    return true;
+}
+
+// ---- daemon ----------------------------------------------------------
+
+/**
+ * All mutable daemon state lives here, behind one mutex. Simulation
+ * happens outside the lock; everything else (ticket dedup, campaign
+ * bookkeeping, journal assembly) is cheap and stays inside it.
+ */
+struct ServiceDaemon::Impl
+{
+    /** One deduplicated unit of work: every campaign that submits a
+     *  run with this cache key shares this ticket. */
+    struct Ticket
+    {
+        SimOptions opt;
+        std::string identity; ///< journal identity (co-location key)
+        int activeRefs = 0;   ///< references from live campaigns
+        bool done = false;
+        bool ran = false;     ///< executed (vs. skipped/cancelled)
+        SimResult result;
+        RunOutcome outcome;
+    };
+
+    struct Campaign
+    {
+        std::vector<std::size_t> runTickets; ///< per submitted run
+        bool cancelled = false;
+    };
+
+    explicit Impl(ServiceDaemon &owner) : daemon(owner) {}
+
+    ServiceDaemon &daemon;
+
+    std::mutex m;
+    std::condition_variable workCv; ///< workers: new ticket queued
+    std::condition_variable doneCv; ///< waiters: a ticket completed
+
+    std::vector<std::unique_ptr<Ticket>> tickets;
+    std::unordered_map<std::string, std::size_t> ticketByKey;
+    std::unordered_map<std::string, Campaign> campaigns;
+    unsigned nextCampaignId = 1;
+    std::size_t queued = 0; ///< tickets submitted, not yet claimed
+    bool draining = false;  ///< stop accepted; skip queued tickets
+
+    std::unique_ptr<RunScheduler> sched;
+    std::vector<std::thread> workers;
+    std::vector<std::thread> connections;
+    std::unordered_set<int> liveFds; ///< open connection sockets
+    int listenFd = -1;
+
+    ServiceStats stats;
+    std::uint64_t beatCounter = 0;
+
+    // ---- heartbeat (same layer the shard supervisor watches) ----
+
+    void
+    publishHeartbeatLocked(HeartbeatPhase phase)
+    {
+        if (daemon.options_.heartbeatPath.empty())
+            return;
+        HeartbeatRecord rec;
+        rec.counter = ++beatCounter;
+        rec.completed = stats.executed;
+        rec.runsTotal = stats.unique;
+        rec.pid = static_cast<int>(::getpid());
+        rec.phase = phase;
+        writeHeartbeat(daemon.options_.heartbeatPath, rec);
+    }
+
+    // ---- worker pool ----
+
+    void
+    workerLoop(unsigned w)
+    {
+        // Each worker owns a single-threaded CampaignRunner over the
+        // shared cache directory: CacheStore instances coordinate via
+        // the index lock exactly as separate processes would, and
+        // cross-campaign dedup is the ticket map's job, not the
+        // runner's memo cache's.
+        CampaignConfig wc = daemon.options_.campaign;
+        wc.jobs = 1;
+        wc.scheduler = SchedulerKind::StaticLpt;
+        wc.shard = ShardSpec{};
+        wc.statePath.clear();
+        wc.resume = false;
+        wc.heartbeatPath.clear();
+        wc.failFast = false;
+        CampaignRunner runner(wc);
+
+        for (;;) {
+            ScheduledRun item;
+            {
+                std::unique_lock<std::mutex> lock(m);
+                workCv.wait(lock, [&] {
+                    return queued > 0 || daemon.stopRequested_.load();
+                });
+                if (queued == 0)
+                    return; // stopping and drained
+                --queued;
+            }
+            if (!sched->next(w, item)) {
+                // A stale size hint made the claim miss; put it back
+                // and retry (the mutex round-trip resynchronizes).
+                std::lock_guard<std::mutex> lock(m);
+                ++queued;
+                continue;
+            }
+            executeTicket(runner, item.index);
+        }
+    }
+
+    void
+    executeTicket(CampaignRunner &runner, std::size_t idx)
+    {
+        Ticket *t = nullptr;
+        bool skip = false;
+        {
+            std::lock_guard<std::mutex> lock(m);
+            t = tickets[idx].get();
+            skip = (t->activeRefs == 0) || draining;
+        }
+        SimResult result;
+        RunOutcome outcome;
+        if (skip) {
+            outcome.status = RunStatus::Skipped;
+            outcome.category = RunErrorCategory::SimInvariant;
+            outcome.error = draining ? "daemon shutting down"
+                                     : "campaign cancelled";
+        } else {
+            const CampaignResult cr = runner.runChecked({t->opt});
+            result = cr.results.front();
+            outcome = cr.outcomes.front();
+        }
+        {
+            std::lock_guard<std::mutex> lock(m);
+            t->result = std::move(result);
+            t->outcome = std::move(outcome);
+            t->ran = !skip;
+            t->done = true;
+            if (!skip) {
+                ++stats.executed;
+                if (!t->outcome.cached)
+                    ++stats.simulated;
+            }
+            publishHeartbeatLocked(HeartbeatPhase::Running);
+            if (daemon.options_.verbose) {
+                inform("serve: %s -> %s%s", t->identity.c_str(),
+                       runStatusName(t->outcome.status),
+                       t->outcome.cached ? " (cached)" : "");
+            }
+        }
+        doneCv.notify_all();
+    }
+
+    // ---- op handlers (all return a serialized reply) ----
+
+    std::string
+    helloReply() const
+    {
+        const ServiceIdentity id = localServiceIdentity();
+        std::ostringstream os;
+        os << "{\"ok\":true,\"server\":\"dmdc_serve\",\"protocol\":"
+           << kServiceProtocolVersion
+           << ",\"commit\":\"" << jsonEscapeString(id.commit)
+           << "\",\"cache_format\":" << id.cacheFormat
+           << ",\"policy_revision\":\""
+           << jsonEscapeString(id.policyRevision)
+           << "\",\"pid\":" << static_cast<int>(::getpid()) << '}';
+        return os.str();
+    }
+
+    std::string
+    handleSubmit(const JsonValue &req)
+    {
+        const JsonValue *runs = req.find("runs");
+        if (!runs || runs->kind != JsonValue::Kind::Array ||
+            runs->items.empty())
+            return errorReply("submit needs a non-empty 'runs' array");
+
+        // Validate every spec before touching shared state, so a bad
+        // campaign is rejected whole.
+        std::vector<SimOptions> opts;
+        opts.reserve(runs->items.size());
+        for (const JsonValue &item : runs->items) {
+            SimOptions opt;
+            std::string err;
+            if (!parseServiceRunSpec(item, opt, err))
+                return errorReply(err);
+            try {
+                validateSimOptions(opt);
+            } catch (const RunError &e) {
+                return errorReply(std::string("invalid run: ") +
+                                  e.what());
+            }
+            opts.push_back(std::move(opt));
+        }
+
+        std::string id;
+        {
+            std::lock_guard<std::mutex> lock(m);
+            if (draining)
+                return errorReply("daemon is shutting down");
+            id = "c" + std::to_string(nextCampaignId++);
+            Campaign &c = campaigns[id];
+            for (SimOptions &opt : opts) {
+                const std::string key = cacheKey(opt);
+                ++stats.submitted;
+                auto it = ticketByKey.find(key);
+                std::size_t idx;
+                if (it != ticketByKey.end()) {
+                    idx = it->second;
+                    ++stats.dedupHits;
+                } else {
+                    idx = tickets.size();
+                    auto t = std::make_unique<Ticket>();
+                    t->identity = journalIdentity(
+                        opt.benchmark, opt.scheme, opt.configLevel);
+                    t->opt = std::move(opt);
+                    tickets.push_back(std::move(t));
+                    ticketByKey.emplace(key, idx);
+                    ++stats.unique;
+                    ScheduledRun item;
+                    item.index = idx;
+                    item.identity = tickets[idx]->identity;
+                    item.cost = static_cast<double>(
+                        tickets[idx]->opt.warmupInsts +
+                        tickets[idx]->opt.runInsts);
+                    sched->submit(std::move(item));
+                    ++queued;
+                    workCv.notify_one();
+                }
+                ++tickets[idx]->activeRefs;
+                c.runTickets.push_back(idx);
+            }
+            ++stats.campaigns;
+        }
+        return "{\"ok\":true,\"campaign\":\"" + id + "\",\"runs\":" +
+               std::to_string(opts.size()) + "}";
+    }
+
+    /** Campaign lookup; fills an error @p reply when unknown. */
+    Campaign *
+    findCampaignLocked(const JsonValue &req, std::string &reply)
+    {
+        std::string id;
+        if (!fieldString(req, "campaign", id)) {
+            reply = errorReply("missing 'campaign' field");
+            return nullptr;
+        }
+        auto it = campaigns.find(id);
+        if (it == campaigns.end()) {
+            reply = errorReply("unknown campaign '" + id + "'");
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    std::size_t
+    completedLocked(const Campaign &c) const
+    {
+        std::size_t n = 0;
+        for (std::size_t idx : c.runTickets) {
+            if (tickets[idx]->done)
+                ++n;
+        }
+        return n;
+    }
+
+    std::string
+    handleStatus(const JsonValue &req)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        std::string reply;
+        const Campaign *c = findCampaignLocked(req, reply);
+        if (!c)
+            return reply;
+        const std::size_t done = completedLocked(*c);
+        const char *state = c->cancelled ? "cancelled"
+            : done == c->runTickets.size() ? "done" : "running";
+        return std::string("{\"ok\":true,\"state\":\"") + state +
+               "\",\"completed\":" + std::to_string(done) +
+               ",\"total\":" + std::to_string(c->runTickets.size()) +
+               "}";
+    }
+
+    std::string
+    buildJournalLocked(const Campaign &c) const
+    {
+        // One entry per *submitted* run: a campaign that lists the
+        // same triple twice journals it twice (sharing one ticket's
+        // result), exactly as a serial campaign's memo cache would.
+        ShardJournal j;
+        j.version = kJournalFormatVersion;
+        j.commit = buildCommit();
+        j.entries.reserve(c.runTickets.size());
+        for (std::size_t idx : c.runTickets) {
+            const Ticket &t = *tickets[idx];
+            JournalEntry e;
+            e.benchmark = t.opt.benchmark;
+            e.scheme = t.opt.scheme;
+            e.config = t.opt.configLevel;
+            e.status = t.outcome.status;
+            if (t.outcome.ok()) {
+                e.ipcToken = journalDoubleToken(t.result.ipc);
+                e.cyclesToken = std::to_string(t.result.cycles);
+            } else {
+                e.category = runErrorCategoryName(t.outcome.category);
+                e.error = t.outcome.error;
+            }
+            j.entries.push_back(std::move(e));
+        }
+        std::ostringstream os;
+        writeMergedJournal(os, j);
+        return os.str();
+    }
+
+    std::string
+    handleResults(const JsonValue &req)
+    {
+        bool wait = false;
+        fieldBool(req, "wait", wait);
+        std::unique_lock<std::mutex> lock(m);
+        std::string reply;
+        Campaign *c = findCampaignLocked(req, reply);
+        if (!c)
+            return reply;
+        if (wait) {
+            doneCv.wait(lock, [&] {
+                return c->cancelled || draining ||
+                       completedLocked(*c) == c->runTickets.size();
+            });
+        }
+        if (c->cancelled)
+            return errorReply("campaign was cancelled");
+        const std::size_t done = completedLocked(*c);
+        if (done != c->runTickets.size()) {
+            if (draining)
+                return errorReply("daemon is shutting down");
+            return "{\"ok\":true,\"state\":\"running\","
+                   "\"completed\":" + std::to_string(done) +
+                   ",\"total\":" +
+                   std::to_string(c->runTickets.size()) + "}";
+        }
+        return "{\"ok\":true,\"state\":\"done\",\"journal\":\"" +
+               jsonEscapeString(buildJournalLocked(*c)) + "\"}";
+    }
+
+    std::string
+    handleCancel(const JsonValue &req)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        std::string reply;
+        Campaign *c = findCampaignLocked(req, reply);
+        if (!c)
+            return reply;
+        if (!c->cancelled) {
+            c->cancelled = true;
+            for (std::size_t idx : c->runTickets) {
+                if (tickets[idx]->activeRefs > 0)
+                    --tickets[idx]->activeRefs;
+            }
+        }
+        doneCv.notify_all();
+        return "{\"ok\":true,\"cancelled\":true}";
+    }
+
+    std::string
+    handleStats()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        std::ostringstream os;
+        os << "{\"ok\":true,\"campaigns\":" << stats.campaigns
+           << ",\"submitted\":" << stats.submitted
+           << ",\"unique\":" << stats.unique
+           << ",\"dedup_hits\":" << stats.dedupHits
+           << ",\"executed\":" << stats.executed
+           << ",\"simulated\":" << stats.simulated << '}';
+        return os.str();
+    }
+
+    std::string
+    dispatch(const std::string &text)
+    {
+        JsonValue req;
+        std::string err;
+        if (!parseJson(text, req, err))
+            return errorReply("malformed request: " + err);
+        std::string op;
+        if (!fieldString(req, "op", op))
+            return errorReply("request has no 'op' field");
+        if (op == "hello")
+            return helloReply();
+        if (op == "submit")
+            return handleSubmit(req);
+        if (op == "status")
+            return handleStatus(req);
+        if (op == "results")
+            return handleResults(req);
+        if (op == "cancel")
+            return handleCancel(req);
+        if (op == "stats")
+            return handleStats();
+        if (op == "shutdown") {
+            daemon.requestStop();
+            {
+                std::lock_guard<std::mutex> lock(m);
+                draining = true;
+            }
+            workCv.notify_all();
+            doneCv.notify_all();
+            return "{\"ok\":true,\"stopping\":true}";
+        }
+        return errorReply("unknown op '" + op + "'");
+    }
+
+    void
+    connectionLoop(int fd)
+    {
+        for (;;) {
+            std::string text;
+            std::string err;
+            if (!readFrame(fd, text, err)) {
+                if (!err.empty() && daemon.options_.verbose)
+                    warn("serve: %s", err.c_str());
+                break;
+            }
+            const std::string reply = dispatch(text);
+            if (!writeFrame(fd, reply, err)) {
+                if (daemon.options_.verbose)
+                    warn("serve: %s", err.c_str());
+                break;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(m);
+            liveFds.erase(fd);
+        }
+        ::close(fd);
+    }
+};
+
+ServiceDaemon::ServiceDaemon(ServiceOptions options)
+    : options_(std::move(options)), impl_(new Impl(*this))
+{
+}
+
+ServiceDaemon::~ServiceDaemon()
+{
+    delete impl_;
+}
+
+ServiceStats
+ServiceDaemon::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    return impl_->stats;
+}
+
+bool
+ServiceDaemon::start(std::string &err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + options_.socketPath;
+        return false;
+    }
+    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    // The daemon owns its socket path: a leftover file from a
+    // crashed instance would make bind() fail forever.
+    ::unlink(options_.socketPath.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        err = "cannot listen on '" + options_.socketPath + "': " +
+              std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    impl_->listenFd = fd;
+
+    unsigned n = options_.workers
+        ? options_.workers : std::thread::hardware_concurrency();
+    if (n == 0)
+        n = 2;
+    impl_->sched = makeRunScheduler(SchedulerKind::WorkStealing);
+    impl_->sched->seed({}, n);
+    impl_->workers.reserve(n);
+    for (unsigned w = 0; w < n; ++w)
+        impl_->workers.emplace_back([this, w] {
+            impl_->workerLoop(w);
+        });
+    {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        impl_->publishHeartbeatLocked(HeartbeatPhase::Starting);
+    }
+    if (options_.verbose) {
+        inform("serve: listening on %s with %u workers",
+               options_.socketPath.c_str(), n);
+    }
+    return true;
+}
+
+int
+ServiceDaemon::serve()
+{
+    // Poll-with-timeout accept loop so requestStop() (signal handler
+    // or a client's shutdown op) is noticed promptly.
+    while (!stopRequested_.load()) {
+        pollfd pfd{impl_->listenFd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll: %s", std::strerror(errno));
+            break;
+        }
+        if (rc == 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int fd = ::accept(impl_->listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: accept: %s", std::strerror(errno));
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(impl_->m);
+            impl_->liveFds.insert(fd);
+        }
+        impl_->connections.emplace_back([this, fd] {
+            impl_->connectionLoop(fd);
+        });
+    }
+
+    // Drain: no new work is accepted, queued tickets resolve as
+    // Skipped, workers finish their in-flight run and exit.
+    {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        impl_->draining = true;
+        // Unblock connection threads parked in readFrame().
+        for (int fd : impl_->liveFds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    impl_->workCv.notify_all();
+    impl_->doneCv.notify_all();
+    for (std::thread &t : impl_->workers)
+        t.join();
+    impl_->doneCv.notify_all();
+    for (std::thread &t : impl_->connections)
+        t.join();
+    ::close(impl_->listenFd);
+    ::unlink(options_.socketPath.c_str());
+    {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        impl_->publishHeartbeatLocked(HeartbeatPhase::Done);
+    }
+    if (options_.verbose) {
+        const ServiceStats s = statsSnapshot();
+        inform("serve: done: %llu campaigns, %llu runs (%llu unique, "
+               "%llu dedup hits), %llu executed, %llu simulated",
+               static_cast<unsigned long long>(s.campaigns),
+               static_cast<unsigned long long>(s.submitted),
+               static_cast<unsigned long long>(s.unique),
+               static_cast<unsigned long long>(s.dedupHits),
+               static_cast<unsigned long long>(s.executed),
+               static_cast<unsigned long long>(s.simulated));
+    }
+    return 0;
+}
+
+// ---- client ----------------------------------------------------------
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServiceClient::connectRaw(const std::string &socketPath,
+                          std::string &err)
+{
+    close();
+    fd_ = connectUnixSocket(socketPath, err);
+    return fd_ >= 0;
+}
+
+bool
+ServiceClient::connect(const std::string &socketPath, std::string &err)
+{
+    if (!connectRaw(socketPath, err))
+        return false;
+    JsonValue reply;
+    if (!request("{\"op\":\"hello\"}", reply, err)) {
+        close();
+        return false;
+    }
+    std::uint64_t protocol = 0, cacheFormat = 0;
+    if (!fieldU64(reply, "protocol", protocol) ||
+        !fieldU64(reply, "cache_format", cacheFormat) ||
+        !fieldString(reply, "commit", daemon_.commit) ||
+        !fieldString(reply, "policy_revision",
+                     daemon_.policyRevision)) {
+        err = "daemon hello is missing handshake fields";
+        close();
+        return false;
+    }
+    daemon_.cacheFormat = static_cast<unsigned>(cacheFormat);
+
+    // Refuse a daemon whose results would not be comparable to this
+    // binary's (same rule the shard journal merger enforces).
+    const ServiceIdentity mine = localServiceIdentity();
+    if (protocol != kServiceProtocolVersion) {
+        err = "daemon speaks protocol " + std::to_string(protocol) +
+              ", this client expects " +
+              std::to_string(kServiceProtocolVersion);
+    } else if (daemon_.commit != mine.commit) {
+        err = "daemon runs commit " + daemon_.commit +
+              ", this client is " + mine.commit;
+    } else if (daemon_.cacheFormat != mine.cacheFormat) {
+        err = "daemon cache format " +
+              std::to_string(daemon_.cacheFormat) + " != client " +
+              std::to_string(mine.cacheFormat);
+    } else if (daemon_.policyRevision != mine.policyRevision) {
+        err = "daemon policy registry revision differs (" +
+              daemon_.policyRevision + " vs " + mine.policyRevision +
+              ")";
+    } else {
+        return true;
+    }
+    close();
+    return false;
+}
+
+bool
+ServiceClient::request(const std::string &request, JsonValue &reply,
+                       std::string &err)
+{
+    if (fd_ < 0) {
+        err = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, request, err)) {
+        close();
+        return false;
+    }
+    std::string text;
+    if (!readFrame(fd_, text, err)) {
+        if (err.empty())
+            err = "daemon closed the connection";
+        close();
+        return false;
+    }
+    if (!parseJson(text, reply, err)) {
+        err = "malformed daemon reply: " + err;
+        close();
+        return false;
+    }
+    bool ok = false;
+    if (!fieldBool(reply, "ok", ok)) {
+        err = "daemon reply has no 'ok' field";
+        close();
+        return false;
+    }
+    if (!ok) {
+        // A protocol-level refusal; the connection stays usable.
+        if (!fieldString(reply, "error", err))
+            err = "daemon refused the request";
+        return false;
+    }
+    return true;
+}
+
+} // namespace dmdc

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Campaign service mode: the dmdc_serve daemon and its client.
+ *
+ * A daemon binds a Unix-domain socket and multiplexes campaigns from
+ * any number of concurrent clients onto one shared work-stealing
+ * worker pool. Every submitted run is deduplicated by its cache key
+ * into a RunTicket: when two clients submit overlapping (benchmark,
+ * scheme, config) work, the overlap is simulated exactly once and
+ * both campaigns share the result. Per-campaign journals are
+ * assembled through the same canonical serializer the shard merger
+ * uses, so a journal retrieved over the socket is byte-identical to
+ * the one a serial `dmdc_sim --json-deterministic` run writes.
+ *
+ * Wire protocol (version kServiceProtocolVersion): length-prefixed
+ * JSON frames — a 4-byte big-endian payload length followed by one
+ * JSON object. Requests carry an "op" field; replies carry "ok"
+ * (bool) plus op-specific fields, or "error" when ok is false.
+ *
+ *   hello     -> {server, protocol, commit, cache_format,
+ *                 policy_revision, pid}
+ *   submit    {runs:[{benchmark,scheme,config,warmup,insts,...}]}
+ *             -> {campaign, runs}
+ *   status    {campaign} -> {state, completed, total}
+ *   results   {campaign, wait?} -> {state, journal}
+ *   cancel    {campaign} -> {cancelled}
+ *   stats     -> {campaigns, submitted, unique, dedup_hits,
+ *                 executed, simulated}
+ *   shutdown  -> {stopping}
+ *
+ * The hello reply doubles as the version handshake: a client refuses
+ * to talk to a daemon whose commit, cache format version, or policy
+ * registry revision differ from its own, because results crossing
+ * such a boundary are not comparable (same rule the shard journal
+ * merger enforces).
+ */
+
+#ifndef DMDC_SIM_SERVICE_HH
+#define DMDC_SIM_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/campaign_runner.hh"
+
+namespace dmdc
+{
+
+/** Wire protocol version; bumped on any incompatible frame change. */
+constexpr unsigned kServiceProtocolVersion = 1;
+
+/** Upper bound on one frame's payload (a journal easily fits). */
+constexpr std::uint32_t kServiceMaxFrame = 64u * 1024 * 1024;
+
+// ---- frame I/O -------------------------------------------------------
+
+/** Write one length-prefixed frame to @p fd. False + @p err on any
+ *  short write or I/O error. */
+bool writeFrame(int fd, const std::string &payload, std::string &err);
+
+/**
+ * Read one frame from @p fd into @p out. False + empty @p err on
+ * clean EOF before the length prefix (peer hung up); false + message
+ * on torn frames, oversized lengths, or I/O errors.
+ */
+bool readFrame(int fd, std::string &out, std::string &err);
+
+// ---- handshake -------------------------------------------------------
+
+/** The identity triple both ends of the handshake compare. */
+struct ServiceIdentity
+{
+    std::string commit;         ///< buildCommit()
+    unsigned cacheFormat = 0;   ///< kCacheFormatVersion
+    std::string policyRevision; ///< policySourceFingerprint()
+};
+
+/** This process's identity (what dmdc_sim --version prints). */
+ServiceIdentity localServiceIdentity();
+
+// ---- daemon ----------------------------------------------------------
+
+struct ServiceOptions
+{
+    /** Socket path; an existing file there is replaced on start(). */
+    std::string socketPath = "dmdc_serve.sock";
+    /** Simulation worker threads (0 = all cores). */
+    unsigned workers = 0;
+    /** Campaign engine knobs shared by every worker (cache dir, cap,
+     *  timeouts, retries). Scheduler/shard/journal fields are owned
+     *  by the daemon and ignored. */
+    CampaignConfig campaign;
+    /** Heartbeat file (see heartbeat.hh); empty disables. The daemon
+     *  publishes progress-based beats exactly like a shard worker, so
+     *  the same supervisor machinery can watch it. */
+    std::string heartbeatPath;
+    bool verbose = false;
+};
+
+/** Daemon-lifetime accounting (the `stats` op). */
+struct ServiceStats
+{
+    std::uint64_t campaigns = 0;  ///< campaigns accepted
+    std::uint64_t submitted = 0;  ///< run specs received
+    std::uint64_t unique = 0;     ///< distinct cache keys (tickets)
+    std::uint64_t dedupHits = 0;  ///< submits folded into a ticket
+    std::uint64_t executed = 0;   ///< tickets run to completion
+    std::uint64_t simulated = 0;  ///< executed minus cache hits
+};
+
+/**
+ * The dmdc_serve daemon. start() binds and spawns the worker pool,
+ * serve() accepts connections until requestStop() (or a client
+ * shutdown op), then drains: in-flight runs finish, still-queued
+ * tickets complete as Skipped.
+ */
+class ServiceDaemon
+{
+  public:
+    explicit ServiceDaemon(ServiceOptions options);
+    ~ServiceDaemon();
+
+    ServiceDaemon(const ServiceDaemon &) = delete;
+    ServiceDaemon &operator=(const ServiceDaemon &) = delete;
+
+    /** Bind the socket and start the worker pool. */
+    bool start(std::string &err);
+
+    /** Accept/dispatch until stopped. Returns a process exit code. */
+    int serve();
+
+    /** Ask serve() to wind down (async-signal-safe: sets a flag the
+     *  accept loop polls). */
+    void requestStop() { stopRequested_.store(true); }
+
+    const ServiceOptions &options() const { return options_; }
+    ServiceStats statsSnapshot() const;
+
+  private:
+    struct Impl;
+    ServiceOptions options_;
+    std::atomic<bool> stopRequested_{false};
+    Impl *impl_; ///< raw: Impl is defined only in service.cc
+
+    friend struct Impl;
+};
+
+// ---- client ----------------------------------------------------------
+
+/**
+ * One connection to a dmdc_serve daemon. Methods are synchronous
+ * request/reply; any transport or protocol error closes the
+ * connection and is reported through @p err.
+ */
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /**
+     * Connect and run the version handshake: false (with a message
+     * naming the mismatched field) when the daemon's commit, cache
+     * format, or policy revision differ from this binary's.
+     */
+    bool connect(const std::string &socketPath, std::string &err);
+
+    /** Skip-handshake connect (tests; the shutdown-only path). */
+    bool connectRaw(const std::string &socketPath, std::string &err);
+
+    /** Send @p request, parse the reply. False + @p err on transport
+     *  failure, malformed JSON, or an ok:false reply. */
+    bool request(const std::string &request, JsonValue &reply,
+                 std::string &err);
+
+    /** The daemon's hello (valid after connect()). */
+    const ServiceIdentity &daemonIdentity() const { return daemon_; }
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+  private:
+    int fd_ = -1;
+    ServiceIdentity daemon_;
+};
+
+/**
+ * Serialize one campaign run for the submit op. Only cacheable
+ * SimOptions fields cross the wire (observers/tweak cannot); the
+ * daemon validates with validateSimOptions() before accepting.
+ */
+std::string serviceRunSpecJson(const SimOptions &opt);
+
+/** Parse a submit run spec into @p out. False + @p err on missing or
+ *  ill-typed fields. */
+bool parseServiceRunSpec(const JsonValue &spec, SimOptions &out,
+                         std::string &err);
+
+} // namespace dmdc
+
+#endif // DMDC_SIM_SERVICE_HH

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * dmdc_client — submit campaigns to a dmdc_serve daemon and retrieve
+ * journals byte-identical to serial --json-deterministic runs.
+ *
+ * Usage:
+ *   dmdc_client <command> [options]
+ *
+ * Commands:
+ *   hello                  print the daemon's identity (handshake)
+ *   submit                 submit the --bench/--scheme/--config cross
+ *                          product; prints the campaign id. With
+ *                          --json (or --wait) blocks for completion
+ *                          and writes the deterministic journal.
+ *   status                 show --campaign's progress
+ *   results                fetch --campaign's journal (--wait blocks)
+ *   cancel                 cancel --campaign
+ *   stats                  print daemon-lifetime dedup counters
+ *   shutdown               ask the daemon to drain and exit
+ *
+ * Options:
+ *   --socket=<path>        daemon socket (default dmdc_serve.sock)
+ *   --campaign=<id>        campaign id for status/results/cancel
+ *   --json=<path>          write the retrieved journal here
+ *   --wait                 block until the campaign completes
+ *   --bench/--scheme/--config/--insts/--warmup/--yla/--table/
+ *   --queue/--inv/--coherence/--no-safe-loads/--sq-filter
+ *                          run-list knobs, spelled as in dmdc_sim
+ *
+ * Every command except shutdown runs the version handshake first and
+ * refuses a daemon whose commit, cache format, or policy-registry
+ * revision differ from this binary's — results crossing such a
+ * boundary are not comparable.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hh"
+#include "sim/cli_options.hh"
+#include "sim/service.hh"
+
+using namespace dmdc;
+
+namespace
+{
+
+bool
+fetchResults(ServiceClient &client, const std::string &campaign,
+             bool wait, const std::string &jsonPath)
+{
+    JsonValue reply;
+    std::string err;
+    const std::string req = "{\"op\":\"results\",\"campaign\":\"" +
+        campaign + "\",\"wait\":" + (wait ? "true" : "false") + "}";
+    if (!client.request(req, reply, err)) {
+        std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
+        return false;
+    }
+    const JsonValue *state = reply.find("state");
+    if (state && state->text != "done") {
+        std::printf("campaign %s: %s\n", campaign.c_str(),
+                    state->text.c_str());
+        return false;
+    }
+    const JsonValue *journal = reply.find("journal");
+    if (!journal || journal->kind != JsonValue::Kind::String) {
+        std::fprintf(stderr,
+                     "dmdc_client: reply carries no journal\n");
+        return false;
+    }
+    if (jsonPath.empty()) {
+        std::fputs(journal->text.c_str(), stdout);
+        return true;
+    }
+    if (!writeFileAtomic(jsonPath, journal->text)) {
+        std::fprintf(stderr, "dmdc_client: cannot write '%s'\n",
+                     jsonPath.c_str());
+        return false;
+    }
+    std::printf("campaign %s: journal written to %s\n",
+                campaign.c_str(), jsonPath.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = "dmdc_serve.sock";
+    std::string campaign_id;
+    std::string json_path;
+    bool wait = false;
+    std::vector<std::string> commands;
+
+    SimOptions opt;
+    opt.warmupInsts = 50000;
+    opt.runInsts = 500000;
+    std::vector<std::string> benches{"gzip"};
+    std::vector<std::string> schemes;
+    std::vector<std::string> config_names{"2"};
+
+    CliParser cli(argv[0],
+                  "Client for a dmdc_serve daemon. Commands: hello, "
+                  "submit, status, results, cancel, stats, shutdown.");
+    cli.positional(&commands, "<command>");
+    cli.value("socket", &socket_path, "daemon Unix socket path");
+    cli.value("campaign", &campaign_id,
+              "campaign id (status/results/cancel)");
+    cli.value("json", &json_path, "write the retrieved journal here");
+    cli.flag("wait", &wait, "block until the campaign completes");
+    cli.list("bench", &benches, "benchmark name(s)");
+    cli.list("scheme", &schemes, "scheme name(s) or alias(es)");
+    cli.list("config", &config_names, "paper Table 1 config(s)");
+    cli.value("insts", &opt.runInsts, "measured instructions");
+    cli.value("warmup", &opt.warmupInsts, "warm-up instructions");
+    cli.value("yla", &opt.numYlaQw, "quad-word YLA registers");
+    cli.value("table", &opt.tableEntriesOverride,
+              "checking-table entries (0 = per config)");
+    cli.value("queue", &opt.queueEntries, "checking-queue entries");
+    cli.valueAction("inv",
+                    [&opt](const std::string &v, std::string &err) {
+                        if (!parseCliDouble(
+                                v, opt.invalidationsPer1kCycles)) {
+                            err = "--inv expects a finite number, "
+                                  "got '" + v + "'";
+                            return false;
+                        }
+                        opt.coherence = true;
+                        return true;
+                    },
+                    "invalidations per 1000 cycles");
+    cli.flag("coherence", &opt.coherence,
+             "enable the coherence extension");
+    cli.action("no-safe-loads", [&opt] { opt.safeLoads = false; },
+               "disable safe-load detection (ablation)");
+    cli.flag("sq-filter", &opt.sqFilter,
+             "enable the Sec. 3 SQ-side age filter");
+    cli.parseOrExit(argc, argv);
+
+    if (commands.size() != 1) {
+        cli.failUsage("expected exactly one command (hello, submit, "
+                      "status, results, cancel, stats, shutdown)");
+    }
+    const std::string &cmd = commands.front();
+
+    ServiceClient client;
+    std::string err;
+    // shutdown skips the handshake so a stale daemon from another
+    // build can still be told to exit.
+    const bool raw = (cmd == "shutdown");
+    if (raw ? !client.connectRaw(socket_path, err)
+            : !client.connect(socket_path, err)) {
+        std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
+        return kExitFailure;
+    }
+
+    if (cmd == "hello") {
+        const ServiceIdentity &d = client.daemonIdentity();
+        std::printf("commit %s\ncache-format %u\npolicy-revision %s\n",
+                    d.commit.c_str(), d.cacheFormat,
+                    d.policyRevision.c_str());
+        return kExitOk;
+    }
+
+    JsonValue reply;
+    if (cmd == "submit") {
+        if (schemes.empty())
+            schemes.push_back(opt.scheme);
+        // Same cross product, spelled the same, as dmdc_sim builds —
+        // that equivalence is what makes the retrieved journal
+        // byte-identical to a serial --json-deterministic run.
+        std::string runs;
+        for (const std::string &bench : benches) {
+            for (const std::string &scheme : schemes) {
+                for (const std::string &config : config_names) {
+                    SimOptions r = opt;
+                    r.benchmark = bench;
+                    r.scheme = scheme;
+                    if (!parseCliUnsigned(config, r.configLevel)) {
+                        cli.failUsage("--config expects unsigned "
+                                      "integers, got '" + config +
+                                      "'");
+                    }
+                    if (!runs.empty())
+                        runs += ',';
+                    runs += serviceRunSpecJson(r);
+                }
+            }
+        }
+        if (!client.request("{\"op\":\"submit\",\"runs\":[" + runs +
+                            "]}", reply, err)) {
+            std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
+            return kExitFailure;
+        }
+        std::string id;
+        const JsonValue *v = reply.find("campaign");
+        if (v)
+            id = v->text;
+        std::printf("campaign %s submitted\n", id.c_str());
+        if (json_path.empty() && !wait)
+            return kExitOk;
+        return fetchResults(client, id, /*wait=*/true, json_path)
+            ? kExitOk : kExitFailure;
+    }
+
+    if (cmd == "status" || cmd == "results" || cmd == "cancel") {
+        if (campaign_id.empty())
+            cli.failUsage("--campaign=<id> is required for " + cmd);
+        if (cmd == "results") {
+            return fetchResults(client, campaign_id, wait, json_path)
+                ? kExitOk : kExitFailure;
+        }
+        const std::string req = "{\"op\":\"" + cmd +
+            "\",\"campaign\":\"" + campaign_id + "\"}";
+        if (!client.request(req, reply, err)) {
+            std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
+            return kExitFailure;
+        }
+        if (cmd == "status") {
+            const JsonValue *state = reply.find("state");
+            const JsonValue *done = reply.find("completed");
+            const JsonValue *total = reply.find("total");
+            std::printf("campaign %s: %s (%s/%s)\n",
+                        campaign_id.c_str(),
+                        state ? state->text.c_str() : "?",
+                        done ? done->text.c_str() : "?",
+                        total ? total->text.c_str() : "?");
+        } else {
+            std::printf("campaign %s cancelled\n",
+                        campaign_id.c_str());
+        }
+        return kExitOk;
+    }
+
+    if (cmd == "stats" || cmd == "shutdown") {
+        if (!client.request("{\"op\":\"" + cmd + "\"}", reply, err)) {
+            std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
+            return kExitFailure;
+        }
+        if (cmd == "stats") {
+            for (const char *key :
+                 {"campaigns", "submitted", "unique", "dedup_hits",
+                  "executed", "simulated"}) {
+                const JsonValue *v = reply.find(key);
+                std::printf("%-10s %s\n", key,
+                            v ? v->text.c_str() : "?");
+            }
+        } else {
+            std::printf("daemon stopping\n");
+        }
+        return kExitOk;
+    }
+
+    cli.failUsage("unknown command '" + cmd + "'");
+}

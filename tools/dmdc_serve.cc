@@ -1,0 +1,98 @@
+/**
+ * @file
+ * dmdc_serve — campaign daemon over a Unix-domain socket.
+ *
+ * Usage:
+ *   dmdc_serve [options]
+ *     --socket=<path>       listen here (default dmdc_serve.sock)
+ *     --workers=<n>         simulation worker threads (0 = all cores)
+ *     --cache-dir=<path>    shared run-cache directory
+ *     --cache-max-mb=<n>    LRU-evict the run cache above n MB
+ *     --timeout=<ms>        per-run wall-clock budget (0 = none)
+ *     --max-retries=<n>     retries for transient failures
+ *     --no-cache            bypass the run cache (debugging)
+ *     --heartbeat=<path>    publish progress heartbeats (supervisor
+ *                           compatible, see heartbeat.hh)
+ *     --verbose             log connections and completed runs
+ *
+ * Clients (dmdc_client) submit campaigns as JSON run lists; the
+ * daemon multiplexes every campaign onto one shared work-stealing
+ * pool and deduplicates overlapping runs by cache key, so a triple
+ * submitted by five clients is simulated exactly once. SIGINT/SIGTERM
+ * (or a client's shutdown op) drain gracefully: in-flight runs
+ * finish, queued work is skipped, and the socket is removed.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "sim/cli_options.hh"
+#include "sim/service.hh"
+
+using namespace dmdc;
+
+namespace
+{
+
+ServiceDaemon *g_daemon = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_daemon)
+        g_daemon->requestStop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServiceOptions opt;
+    std::uint64_t cache_max_mb = 0;
+    bool no_cache = false;
+
+    CliParser cli(argv[0],
+                  "Campaign daemon: accepts dmdc_client campaigns on "
+                  "a Unix socket, multiplexes them onto one shared "
+                  "work-stealing pool, and deduplicates overlapping "
+                  "runs so each is simulated exactly once.");
+    cli.value("socket", &opt.socketPath, "Unix socket path");
+    cli.value("workers", &opt.workers,
+              "simulation worker threads (0 = all cores)");
+    cli.value("cache-dir", &opt.campaign.cacheDir,
+              "shared run-cache directory");
+    cli.value("cache-max-mb", &cache_max_mb,
+              "evict LRU cache entries over this size");
+    cli.value("timeout", &opt.campaign.timeoutMs,
+              "per-run wall-clock budget, ms (0 = none)");
+    cli.value("max-retries", &opt.campaign.maxRetries,
+              "retries for transient run failures");
+    cli.flag("no-cache", &no_cache, "disable the run cache");
+    cli.value("heartbeat", &opt.heartbeatPath,
+              "publish progress heartbeats at this path");
+    cli.flag("verbose", &opt.verbose,
+             "log connections and completed runs");
+    cli.parseOrExit(argc, argv);
+
+    opt.campaign.useCache = !no_cache;
+    opt.campaign.cacheMaxBytes = cache_max_mb * 1024ull * 1024ull;
+
+    ServiceDaemon daemon(std::move(opt));
+    std::string err;
+    if (!daemon.start(err)) {
+        std::fprintf(stderr, "dmdc_serve: %s\n", err.c_str());
+        return kExitFailure;
+    }
+
+    g_daemon = &daemon;
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    const int rc = daemon.serve();
+    g_daemon = nullptr;
+    return rc;
+}

@@ -72,6 +72,7 @@
 #include "sim/campaign_runner.hh"
 #include "sim/cli_options.hh"
 #include "sim/run_error.hh"
+#include "sim/service.hh"
 #include "sim/simulator.hh"
 #include "sim/supervisor.hh"
 #include "trace/spec_suite.hh"
@@ -271,6 +272,18 @@ main(int argc, char **argv)
                    std::exit(kExitOk);
                },
                "print the scheme registry and exit");
+    cli.action("version",
+               [] {
+                   // The same identity triple the dmdc_serve
+                   // handshake compares (service.hh).
+                   const ServiceIdentity id = localServiceIdentity();
+                   std::printf("commit %s\ncache-format %u\n"
+                               "policy-revision %s\n",
+                               id.commit.c_str(), id.cacheFormat,
+                               id.policyRevision.c_str());
+                   std::exit(kExitOk);
+               },
+               "print commit/cache-format/policy revision and exit");
     cli.list("bench", &benches, "benchmark name(s)");
     cli.list("scheme", &schemes, "scheme name(s) or alias(es)");
     cli.list("config", &config_names, "paper Table 1 config(s)");

@@ -1,0 +1,154 @@
+# Campaign-service smoke test (driven by ctest, see CMakeLists.txt).
+#
+# Starts a dmdc_serve daemon, submits two overlapping campaigns from
+# two separate dmdc_client invocations, and asserts that
+#  - each retrieved journal is byte-identical to the journal a serial
+#    `dmdc_sim --json-deterministic` run writes for the same campaign;
+#  - the daemon's stats prove the overlap was simulated exactly once
+#    (submitted 8, unique 6, dedup_hits 2, executed 6);
+#  - shutdown drains cleanly and removes the socket.
+#
+# Requires DMDC_SIM, DMDC_SERVE, DMDC_CLIENT, WORK_DIR. Uses bash to
+# background the daemon (Unix-only, like the daemon itself).
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(socket "${WORK_DIR}/serve.sock")
+set(pid_file "${WORK_DIR}/serve.pid")
+
+# Fail, but kill the background daemon first so ctest never leaks it.
+macro(smoke_fail msg)
+    execute_process(COMMAND bash -c
+        "test -f '${pid_file}' && kill $(cat '${pid_file}')"
+        ERROR_QUIET OUTPUT_QUIET)
+    message(FATAL_ERROR "${msg}")
+endmacro()
+
+# The two campaigns overlap on swim x {baseline,yla}: 8 submitted
+# runs, 6 unique triples.
+set(knobs --insts=20000 --warmup=2000)
+set(campaignA --bench=gzip,swim --scheme=baseline,yla ${knobs})
+set(campaignB --bench=swim,applu --scheme=baseline,yla ${knobs})
+
+# Reference journals from uninterrupted serial runs (own cache dir, so
+# the daemon cannot inherit warm entries and skip simulating).
+foreach(side A B)
+    execute_process(
+        COMMAND ${DMDC_SIM} ${campaign${side}} --json-deterministic
+                --cache-dir=${WORK_DIR}/serial_cache
+                --json=${WORK_DIR}/serial${side}.json
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        smoke_fail("serial campaign ${side} failed (exit ${rc})")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND bash -c
+        "'${DMDC_SERVE}' --socket='${socket}' --workers=2 \
+             --cache-dir='${WORK_DIR}/serve_cache' \
+             > '${WORK_DIR}/serve.log' 2>&1 & echo $! > '${pid_file}'"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    smoke_fail("cannot start dmdc_serve (exit ${rc})")
+endif()
+
+# Wait for the daemon to answer the handshake.
+set(up FALSE)
+foreach(attempt RANGE 50)
+    execute_process(
+        COMMAND ${DMDC_CLIENT} hello --socket=${socket}
+        RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    if(rc EQUAL 0)
+        set(up TRUE)
+        break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+endforeach()
+if(NOT up)
+    smoke_fail("daemon never answered hello on ${socket}")
+endif()
+
+# Submit both campaigns back to back (submit returns immediately, so
+# the two campaigns are queued and executed concurrently), then block
+# on each one's results.
+foreach(side A B)
+    execute_process(
+        COMMAND ${DMDC_CLIENT} submit --socket=${socket}
+                ${campaign${side}}
+        RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+    if(NOT rc EQUAL 0)
+        smoke_fail("client submit ${side} failed (exit ${rc})")
+    endif()
+    string(REGEX MATCH "campaign (c[0-9]+) submitted" _m "${out}")
+    if(NOT CMAKE_MATCH_1)
+        smoke_fail("cannot parse campaign id from: ${out}")
+    endif()
+    set(id${side} "${CMAKE_MATCH_1}")
+endforeach()
+
+foreach(side A B)
+    execute_process(
+        COMMAND ${DMDC_CLIENT} results --socket=${socket}
+                --campaign=${id${side}} --wait
+                --json=${WORK_DIR}/client${side}.json
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        smoke_fail("client results ${side} failed (exit ${rc})")
+    endif()
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/serial${side}.json
+                ${WORK_DIR}/client${side}.json
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        smoke_fail("campaign ${side}: daemon journal differs from "
+                   "the serial --json-deterministic journal")
+    endif()
+endforeach()
+
+# Exactly-once: the daemon must have folded the 2 overlapping runs
+# into existing tickets and executed each unique triple once.
+execute_process(
+    COMMAND ${DMDC_CLIENT} stats --socket=${socket}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE stats)
+if(NOT rc EQUAL 0)
+    smoke_fail("client stats failed (exit ${rc})")
+endif()
+foreach(expect
+        "campaigns +2" "submitted +8" "unique +6" "dedup_hits +2"
+        "executed +6" "simulated +6")
+    if(NOT stats MATCHES "${expect}")
+        smoke_fail("stats mismatch: wanted '${expect}' in:\n${stats}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${DMDC_CLIENT} shutdown --socket=${socket}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    smoke_fail("client shutdown failed (exit ${rc})")
+endif()
+
+# The daemon must exit and unlink its socket.
+set(stopped FALSE)
+foreach(attempt RANGE 50)
+    execute_process(
+        COMMAND bash -c "kill -0 $(cat '${pid_file}') 2>/dev/null"
+        RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+        set(stopped TRUE)
+        break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+endforeach()
+if(NOT stopped)
+    smoke_fail("daemon still running after shutdown")
+endif()
+if(EXISTS "${socket}")
+    message(FATAL_ERROR "daemon left its socket behind")
+endif()
+
+message(STATUS
+    "serve smoke: journals byte-identical, overlap simulated once")
