@@ -12,6 +12,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/append_log.hh"
 #include "common/atomic_file.hh"
 #include "common/crc32.hh"
 #include "common/file_lock.hh"
@@ -236,24 +237,13 @@ void
 CacheStore::appendRecord(const char *op, const std::string &file,
                          std::uint64_t bytes)
 {
-    const std::string line = formatRecord(op, file, bytes);
-    {
-        FileLock lock(indexLockPath(), FileLock::Mode::Shared);
-        const int fd = ::open(indexLogPath().c_str(),
-                              O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
-                              0644);
-        if (fd >= 0) {
-            // One write() per record: O_APPEND makes it land as an
-            // unsplit unit even with concurrent appenders.
-            ssize_t rc;
-            do {
-                rc = ::write(fd, line.data(), line.size());
-            } while (rc < 0 && errno == EINTR);
-            ::close(fd);
-        } else {
-            warn("cache: cannot append to index '%s'",
-                 indexLogPath().c_str());
-        }
+    // Shared-lock single-write append (common/append_log.hh): whole
+    // records interleave, and a compaction can never rename the log
+    // away between our open and our write.
+    if (!appendLogLine(indexLogPath(), indexLockPath(),
+                       formatRecord(op, file, bytes))) {
+        warn("cache: cannot append to index '%s'",
+             indexLogPath().c_str());
     }
     ++appendedSinceCompact_;
     // Apply locally too; if catch-up later rereads our own record the

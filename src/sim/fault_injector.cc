@@ -60,10 +60,17 @@ applyItem(FaultSpec &spec, const std::string &item, std::string &err)
         spec.workerCrashP = p;
     else if (site == "worker-hang")
         spec.workerHangP = p;
+    else if (site == "serve-crash")
+        spec.serveCrashP = p;
+    else if (site == "frame-truncate")
+        spec.frameTruncateP = p;
+    else if (site == "client-stall")
+        spec.clientStallP = p;
     else {
         err = "unknown fault site '" + site +
             "' (sites: cache-corrupt, run-throw, run-hang, "
-            "worker-crash, worker-hang)";
+            "worker-crash, worker-hang, serve-crash, frame-truncate, "
+            "client-stall)";
         return false;
     }
     return true;
@@ -159,6 +166,26 @@ FaultInjector::injectWorkerHang(const std::string &key,
                                 unsigned attempt) const
 {
     return decide("worker-hang", key, attempt, spec_.workerHangP);
+}
+
+bool
+FaultInjector::injectServeCrash(const std::string &key) const
+{
+    return decide("serve-crash", key, 0, spec_.serveCrashP);
+}
+
+bool
+FaultInjector::injectFrameTruncate(const std::string &identity,
+                                   unsigned attempt) const
+{
+    return decide("frame-truncate", identity, attempt,
+                  spec_.frameTruncateP);
+}
+
+bool
+FaultInjector::injectClientStall(const std::string &identity) const
+{
+    return decide("client-stall", identity, 0, spec_.clientStallP);
 }
 
 } // namespace dmdc

@@ -21,6 +21,18 @@
  *                 freshly simulated run checkpoints (supervisor chaos)
  *   worker-hang   stop the worker's heartbeat after a freshly
  *                 simulated run and wedge (supervisor chaos)
+ *   serve-crash   SIGKILL the dmdc_serve daemon right after a freshly
+ *                 simulated ticket's finish record reaches the
+ *                 durable ticket log (service chaos)
+ *   frame-truncate  the daemon writes only half of a reply frame and
+ *                 drops the connection (torn-frame chaos for clients)
+ *   client-stall  the client pauses between sending a request and
+ *                 reading the reply, modelling a slow consumer
+ *
+ * The serve-crash site follows the worker-* progress rule: it fires
+ * only after a freshly simulated run has been cached and its finish
+ * record logged, so every daemon death strictly follows progress and
+ * a restart-loop converges in at most one crash per unique run.
  *
  * The worker-* sites model process-level failures for the shard
  * supervisor. They fire only after a *freshly simulated* run has been
@@ -49,13 +61,18 @@ struct FaultSpec
     double runHangP = 0.0;
     double workerCrashP = 0.0;
     double workerHangP = 0.0;
+    double serveCrashP = 0.0;
+    double frameTruncateP = 0.0;
+    double clientStallP = 0.0;
     std::uint64_t seed = 0;
 
     bool
     any() const
     {
         return cacheCorruptP > 0.0 || runThrowP > 0.0 ||
-            runHangP > 0.0 || workerCrashP > 0.0 || workerHangP > 0.0;
+            runHangP > 0.0 || workerCrashP > 0.0 ||
+            workerHangP > 0.0 || serveCrashP > 0.0 ||
+            frameTruncateP > 0.0 || clientStallP > 0.0;
     }
 };
 
@@ -106,6 +123,21 @@ class FaultInjector
      *  simulated run identified by @p key? */
     bool injectWorkerHang(const std::string &key,
                           unsigned attempt) const;
+
+    /** SIGKILL the dmdc_serve daemon after the freshly simulated
+     *  ticket identified by @p key logs its finish record? */
+    bool injectServeCrash(const std::string &key) const;
+
+    /** Truncate the reply frame identified by @p identity (the
+     *  request payload) on connection number @p attempt and drop the
+     *  connection? Mixing in the daemon's accepted-connection ordinal
+     *  lets a reconnecting client re-roll deterministically. */
+    bool injectFrameTruncate(const std::string &identity,
+                             unsigned attempt) const;
+
+    /** Stall the client between sending the request identified by
+     *  @p identity and reading its reply? */
+    bool injectClientStall(const std::string &identity) const;
 
   private:
     bool decide(const char *site, const std::string &key,

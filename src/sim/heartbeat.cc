@@ -29,6 +29,7 @@ heartbeatPhaseName(HeartbeatPhase phase)
       case HeartbeatPhase::Starting:    return "starting";
       case HeartbeatPhase::Running:     return "running";
       case HeartbeatPhase::Interrupted: return "interrupted";
+      case HeartbeatPhase::Draining:    return "draining";
       case HeartbeatPhase::Done:        return "done";
     }
     return "?";
@@ -39,7 +40,8 @@ parseHeartbeatPhase(const std::string &text, HeartbeatPhase &out)
 {
     for (HeartbeatPhase p :
          {HeartbeatPhase::Starting, HeartbeatPhase::Running,
-          HeartbeatPhase::Interrupted, HeartbeatPhase::Done}) {
+          HeartbeatPhase::Interrupted, HeartbeatPhase::Draining,
+          HeartbeatPhase::Done}) {
         if (text == heartbeatPhaseName(p)) {
             out = p;
             return true;

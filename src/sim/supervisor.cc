@@ -358,13 +358,21 @@ ShardSupervisor::run()
             // Feed the staleness monitor from the shard's heartbeat.
             HeartbeatRecord hb;
             std::string err;
-            if (readHeartbeat(heartbeatPathFor(w.shard), hb, err))
+            const bool haveBeat =
+                readHeartbeat(heartbeatPathFor(w.shard), hb, err);
+            if (haveBeat)
                 monitor_.observe(w.shard, hb.counter, nowMs());
             if (monitor_.hung(w.shard, nowMs())) {
+                // The last published phase tells the operator *what*
+                // wedged: a worker silent in "draining" hung during
+                // shutdown, not mid-simulation.
                 warn("supervisor: shard %u heartbeat silent for "
-                     "%.0f ms (deadline %.0f); killing pid %d",
+                     "%.0f ms (deadline %.0f, last phase %s); "
+                     "killing pid %d",
                      w.shard, monitor_.silentMs(w.shard, nowMs()),
-                     monitor_.deadlineMs(), w.pid);
+                     monitor_.deadlineMs(),
+                     haveBeat ? heartbeatPhaseName(hb.phase) : "unknown",
+                     w.pid);
                 kill(w.pid, SIGKILL);
                 // Reaped (and restarted, if eligible) on the next
                 // poll iteration.

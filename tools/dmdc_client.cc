@@ -23,6 +23,8 @@
  *   --campaign=<id>        campaign id for status/results/cancel
  *   --json=<path>          write the retrieved journal here
  *   --wait                 block until the campaign completes
+ *   --retries=<n>          transport/overload retry budget
+ *   --retry-delay-ms=<ms>  base backoff delay (doubles per retry)
  *   --bench/--scheme/--config/--insts/--warmup/--yla/--table/
  *   --queue/--inv/--coherence/--no-safe-loads/--sq-filter
  *                          run-list knobs, spelled as in dmdc_sim
@@ -31,10 +33,21 @@
  * refuses a daemon whose commit, cache format, or policy-registry
  * revision differ from this binary's — results crossing such a
  * boundary are not comparable.
+ *
+ * Failure handling: connects retry with exponential backoff (a
+ * daemon that crashed and is being restarted looks like a refused
+ * connection for a moment), and `submit` survives a daemon death
+ * mid-campaign by reconnecting and resubmitting — campaign ids are
+ * not durable across a daemon restart, but the run cache is, so a
+ * resubmission costs only the runs that were genuinely in flight
+ * when the daemon died. Retryable `overloaded`/`draining` refusals
+ * honor the daemon's retry_after_ms hint.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/atomic_file.hh"
@@ -46,7 +59,59 @@ using namespace dmdc;
 namespace
 {
 
+unsigned g_retries = 10;
+std::uint64_t g_retry_delay_ms = 200;
+
+/**
+ * Decide whether the last ServiceClient failure deserves another
+ * attempt; sleeps the backoff if so. @p attempt is the caller's
+ * retry counter.
+ */
 bool
+backoffRetry(ServiceClient &client, unsigned &attempt,
+             bool force = false)
+{
+    const std::string &code = client.lastErrorCode();
+    const bool retryable = force || code == "io" ||
+        code == "overloaded" || code == "draining";
+    if (!retryable || attempt >= g_retries)
+        return false;
+    ++attempt;
+    int ms = static_cast<int>(g_retry_delay_ms);
+    for (unsigned i = 1; i < attempt && ms < 5000; ++i)
+        ms *= 2;
+    if (client.retryAfterMs() > ms)
+        ms = client.retryAfterMs();
+    if (ms > 5000)
+        ms = 5000;
+    std::fprintf(stderr,
+                 "dmdc_client: %s; retrying in %d ms (%u/%u)\n",
+                 code.empty() ? "retryable failure" : code.c_str(),
+                 ms, attempt, g_retries);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return true;
+}
+
+/** Ensure a handshaken connection, retrying with backoff. */
+bool
+ensureConnected(ServiceClient &client, const std::string &socketPath,
+                std::string &err)
+{
+    if (client.connected())
+        return true;
+    return client.connectWithRetry(socketPath, g_retries,
+                                   static_cast<int>(g_retry_delay_ms),
+                                   err);
+}
+
+enum class FetchOutcome { Done, NotDone, Lost, Failed };
+
+/**
+ * Fetch one results reply. Lost means the daemon died or forgot the
+ * campaign (it restarted, or the id was orphan-reaped) — the caller
+ * can recover by resubmitting; Failed is permanent.
+ */
+FetchOutcome
 fetchResults(ServiceClient &client, const std::string &campaign,
              bool wait, const std::string &jsonPath)
 {
@@ -56,32 +121,86 @@ fetchResults(ServiceClient &client, const std::string &campaign,
         campaign + "\",\"wait\":" + (wait ? "true" : "false") + "}";
     if (!client.request(req, reply, err)) {
         std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
-        return false;
+        if (client.lastErrorCode() == "io" ||
+            client.lastErrorCode() == "draining" ||
+            err.find("unknown campaign") != std::string::npos ||
+            err.find("cancelled") != std::string::npos)
+            return FetchOutcome::Lost;
+        return FetchOutcome::Failed;
     }
     const JsonValue *state = reply.find("state");
     if (state && state->text != "done") {
         std::printf("campaign %s: %s\n", campaign.c_str(),
                     state->text.c_str());
-        return false;
+        return FetchOutcome::NotDone;
     }
     const JsonValue *journal = reply.find("journal");
     if (!journal || journal->kind != JsonValue::Kind::String) {
         std::fprintf(stderr,
                      "dmdc_client: reply carries no journal\n");
-        return false;
+        return FetchOutcome::Failed;
     }
     if (jsonPath.empty()) {
         std::fputs(journal->text.c_str(), stdout);
-        return true;
+        return FetchOutcome::Done;
     }
     if (!writeFileAtomic(jsonPath, journal->text)) {
         std::fprintf(stderr, "dmdc_client: cannot write '%s'\n",
                      jsonPath.c_str());
-        return false;
+        return FetchOutcome::Failed;
     }
     std::printf("campaign %s: journal written to %s\n",
                 campaign.c_str(), jsonPath.c_str());
-    return true;
+    return FetchOutcome::Done;
+}
+
+/**
+ * Submit @p submitReq and (optionally) collect the journal,
+ * surviving daemon restarts: any transport loss or forgotten
+ * campaign id reconnects and resubmits. The run cache makes the
+ * resubmission cheap and the journal byte-identical.
+ */
+int
+submitAndCollect(ServiceClient &client, const std::string &socketPath,
+                 const std::string &submitReq, bool collect,
+                 const std::string &jsonPath)
+{
+    unsigned attempt = 0;
+    for (;;) {
+        std::string err;
+        if (!ensureConnected(client, socketPath, err)) {
+            std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
+            return kExitFailure;
+        }
+        JsonValue reply;
+        if (!client.request(submitReq, reply, err)) {
+            std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
+            if (backoffRetry(client, attempt))
+                continue;
+            return kExitFailure;
+        }
+        std::string id;
+        const JsonValue *v = reply.find("campaign");
+        if (v)
+            id = v->text;
+        std::printf("campaign %s submitted\n", id.c_str());
+        if (!collect)
+            return kExitOk;
+        switch (fetchResults(client, id, /*wait=*/true, jsonPath)) {
+          case FetchOutcome::Done:
+            return kExitOk;
+          case FetchOutcome::Lost:
+            // The daemon went away (or forgot us) mid-wait:
+            // reconnect and resubmit; completed runs replay from
+            // the cache.
+            if (backoffRetry(client, attempt, /*force=*/true))
+                continue;
+            return kExitFailure;
+          case FetchOutcome::NotDone:
+          case FetchOutcome::Failed:
+            return kExitFailure;
+        }
+    }
 }
 
 } // namespace
@@ -93,6 +212,7 @@ main(int argc, char **argv)
     std::string campaign_id;
     std::string json_path;
     bool wait = false;
+    unsigned retries = g_retries;
     std::vector<std::string> commands;
 
     SimOptions opt;
@@ -111,6 +231,10 @@ main(int argc, char **argv)
               "campaign id (status/results/cancel)");
     cli.value("json", &json_path, "write the retrieved journal here");
     cli.flag("wait", &wait, "block until the campaign completes");
+    cli.value("retries", &retries,
+              "transport/overload retry budget");
+    cli.value("retry-delay-ms", &g_retry_delay_ms,
+              "base backoff delay (doubles per retry)");
     cli.list("bench", &benches, "benchmark name(s)");
     cli.list("scheme", &schemes, "scheme name(s) or alias(es)");
     cli.list("config", &config_names, "paper Table 1 config(s)");
@@ -145,6 +269,7 @@ main(int argc, char **argv)
                       "status, results, cancel, stats, shutdown)");
     }
     const std::string &cmd = commands.front();
+    g_retries = retries;
 
     ServiceClient client;
     std::string err;
@@ -152,7 +277,9 @@ main(int argc, char **argv)
     // build can still be told to exit.
     const bool raw = (cmd == "shutdown");
     if (raw ? !client.connectRaw(socket_path, err)
-            : !client.connect(socket_path, err)) {
+            : !client.connectWithRetry(
+                  socket_path, g_retries,
+                  static_cast<int>(g_retry_delay_ms), err)) {
         std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
         return kExitFailure;
     }
@@ -190,28 +317,21 @@ main(int argc, char **argv)
                 }
             }
         }
-        if (!client.request("{\"op\":\"submit\",\"runs\":[" + runs +
-                            "]}", reply, err)) {
-            std::fprintf(stderr, "dmdc_client: %s\n", err.c_str());
-            return kExitFailure;
-        }
-        std::string id;
-        const JsonValue *v = reply.find("campaign");
-        if (v)
-            id = v->text;
-        std::printf("campaign %s submitted\n", id.c_str());
-        if (json_path.empty() && !wait)
-            return kExitOk;
-        return fetchResults(client, id, /*wait=*/true, json_path)
-            ? kExitOk : kExitFailure;
+        const bool collect = !json_path.empty() || wait;
+        return submitAndCollect(client, socket_path,
+                                "{\"op\":\"submit\",\"runs\":[" +
+                                    runs + "]}",
+                                collect, json_path);
     }
 
     if (cmd == "status" || cmd == "results" || cmd == "cancel") {
         if (campaign_id.empty())
             cli.failUsage("--campaign=<id> is required for " + cmd);
         if (cmd == "results") {
+            // No resubmission here: only `submit` knows the run list
+            // needed to recover a campaign a restarted daemon forgot.
             return fetchResults(client, campaign_id, wait, json_path)
-                ? kExitOk : kExitFailure;
+                == FetchOutcome::Done ? kExitOk : kExitFailure;
         }
         const std::string req = "{\"op\":\"" + cmd +
             "\",\"campaign\":\"" + campaign_id + "\"}";
@@ -243,9 +363,10 @@ main(int argc, char **argv)
         if (cmd == "stats") {
             for (const char *key :
                  {"campaigns", "submitted", "unique", "dedup_hits",
-                  "executed", "simulated"}) {
+                  "executed", "simulated", "recovered", "overloaded",
+                  "orphaned", "io_timeouts", "protocol_errors"}) {
                 const JsonValue *v = reply.find(key);
-                std::printf("%-10s %s\n", key,
+                std::printf("%-15s %s\n", key,
                             v ? v->text.c_str() : "?");
             }
         } else {

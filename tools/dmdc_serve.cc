@@ -13,6 +13,15 @@
  *     --no-cache            bypass the run cache (debugging)
  *     --heartbeat=<path>    publish progress heartbeats (supervisor
  *                           compatible, see heartbeat.hh)
+ *     --max-connections=<n> concurrent client cap (0 = unlimited);
+ *                           over-cap connects get a retryable
+ *                           `overloaded` frame
+ *     --max-queued=<n>      queued-ticket admission cap (0 = none)
+ *     --io-timeout=<ms>     per-frame read/write deadline; a stalled
+ *                           client is dropped, not waited on
+ *     --orphan-grace=<ms>   grace before campaigns nobody holds are
+ *                           cancelled/forgotten (0 = never)
+ *     --no-ticket-log       disable the durable ticket log
  *     --verbose             log connections and completed runs
  *
  * Clients (dmdc_client) submit campaigns as JSON run lists; the
@@ -21,6 +30,13 @@
  * submitted by five clients is simulated exactly once. SIGINT/SIGTERM
  * (or a client's shutdown op) drain gracefully: in-flight runs
  * finish, queued work is skipped, and the socket is removed.
+ *
+ * Crash recovery: with a cache directory configured, accepted work
+ * is journaled to <cache-dir>/tickets.log. A daemon killed outright
+ * (SIGKILL, OOM, power loss) and restarted over the same cache
+ * directory replays unfinished tickets and completes them; clients
+ * reconnect (dmdc_client retries automatically) and resubmit, with
+ * the cache deduplicating everything that already finished.
  */
 
 #include <csignal>
@@ -51,7 +67,14 @@ main(int argc, char **argv)
 {
     ServiceOptions opt;
     std::uint64_t cache_max_mb = 0;
+    std::uint64_t max_queued =
+        static_cast<std::uint64_t>(opt.maxQueuedTickets);
+    std::uint64_t io_timeout_ms =
+        static_cast<std::uint64_t>(opt.ioTimeoutMs);
+    std::uint64_t orphan_grace_ms =
+        static_cast<std::uint64_t>(opt.orphanGraceMs);
     bool no_cache = false;
+    bool no_ticket_log = false;
 
     CliParser cli(argv[0],
                   "Campaign daemon: accepts dmdc_client campaigns on "
@@ -72,12 +95,32 @@ main(int argc, char **argv)
     cli.flag("no-cache", &no_cache, "disable the run cache");
     cli.value("heartbeat", &opt.heartbeatPath,
               "publish progress heartbeats at this path");
+    cli.value("max-connections", &opt.maxConnections,
+              "concurrent client cap (0 = unlimited)");
+    cli.value("max-queued", &max_queued,
+              "queued-ticket admission cap (0 = unlimited)");
+    cli.value("io-timeout", &io_timeout_ms,
+              "per-frame read/write deadline, ms (0 = none)");
+    cli.value("orphan-grace", &orphan_grace_ms,
+              "unheld-campaign grace before reaping, ms (0 = never)");
+    cli.flag("no-ticket-log", &no_ticket_log,
+             "disable the durable ticket log");
     cli.flag("verbose", &opt.verbose,
              "log connections and completed runs");
     cli.parseOrExit(argc, argv);
 
     opt.campaign.useCache = !no_cache;
     opt.campaign.cacheMaxBytes = cache_max_mb * 1024ull * 1024ull;
+    opt.maxQueuedTickets = static_cast<std::size_t>(max_queued);
+    opt.ioTimeoutMs = static_cast<int>(io_timeout_ms);
+    opt.orphanGraceMs = static_cast<int>(orphan_grace_ms);
+    opt.durableTickets = !no_ticket_log;
+
+    // A client that dies mid-reply must surface as EPIPE on the
+    // daemon's write, never as a process-killing SIGPIPE. The frame
+    // layer already sends with MSG_NOSIGNAL; this covers any other
+    // incidental socket write.
+    std::signal(SIGPIPE, SIG_IGN);
 
     ServiceDaemon daemon(std::move(opt));
     std::string err;
