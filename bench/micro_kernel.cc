@@ -3,8 +3,9 @@
  * google-benchmark microbenchmarks of the simulator kernel fast
  * paths: DynInst pool recycling vs. heap allocation, the store
  * queue's O(1) safe-load check and binary-search load probe, the
- * checking table's occupancy pre-filter, and the cost of an empty
- * pipeline tick vs. one bulk-skipped idle cycle. These document the
+ * checking table's occupancy pre-filter, the cost of an empty
+ * pipeline tick vs. one bulk-skipped idle cycle, and the trace-sink
+ * call sites (disabled vs. recording). These document the
  * kernel-performance architecture (DESIGN.md Sec. 15) and guard the
  * fast paths against accidental complexity regressions.
  */
@@ -16,6 +17,7 @@
 
 #include "common/object_pool.hh"
 #include "common/random.hh"
+#include "common/trace_sink.hh"
 #include "core/pipeline.hh"
 #include "lsq/checking_table.hh"
 #include "lsq/store_queue.hh"
@@ -226,6 +228,95 @@ BM_SkippedTickBulk(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_SkippedTickBulk);
+
+// ---- trace-sink call sites ------------------------------------------
+
+/**
+ * Tracing is compiled into the kernel hot paths unconditionally, so
+ * the disabled call site IS the tracing-off overhead budget (DESIGN.md
+ * Sec. 18: <= 1% of sim-kHz). It must stay one relaxed atomic load.
+ */
+void
+BM_TraceInstantDisabled(benchmark::State &state)
+{
+    TraceCategory &cat = traceCategory("bench-trace-off");
+    const std::uint16_t name = traceNameId("bench-evt");
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        traceInstantArg(cat, name, ++i);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceInstantDisabled);
+
+void
+BM_TraceInstantEnabled(benchmark::State &state)
+{
+    TraceOptions opt;
+    opt.channels = "bench-trace-on";
+    opt.bufferRecords = 4096;
+    traceConfigure(opt);
+    TraceCategory &cat = traceCategory("bench-trace-on");
+    const std::uint16_t name = traceNameId("bench-evt");
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        traceInstantArg(cat, name, ++i);
+    state.SetItemsProcessed(state.iterations());
+    traceConfigure(TraceOptions{});
+    traceReset();
+}
+BENCHMARK(BM_TraceInstantEnabled);
+
+void
+BM_TraceSpanDisabled(benchmark::State &state)
+{
+    TraceCategory &cat = traceCategory("bench-trace-off");
+    const std::uint16_t name = traceNameId("bench-span");
+    for (auto _ : state) {
+        TraceSpan span(cat, name);
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void
+BM_TraceSpanEnabled(benchmark::State &state)
+{
+    TraceOptions opt;
+    opt.channels = "bench-trace-on";
+    opt.bufferRecords = 4096;
+    traceConfigure(opt);
+    TraceCategory &cat = traceCategory("bench-trace-on");
+    const std::uint16_t name = traceNameId("bench-span");
+    for (auto _ : state) {
+        TraceSpan span(cat, name);
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+    traceConfigure(TraceOptions{});
+    traceReset();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+/** The full per-cycle phase instrumentation, recording: four spans
+ *  per tick on the "kernel-phases" category. Compare to BM_EmptyTick
+ *  (same tick, tracing off) for the worst-case enabled overhead. */
+void
+BM_EmptyTickTraced(benchmark::State &state)
+{
+    TraceOptions opt;
+    opt.channels = "kernel-phases";
+    opt.bufferRecords = 4096;
+    traceConfigure(opt);
+    auto w = makeSpecWorkload("gzip");
+    Pipeline pipe(idleParams(), *w);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipe.tick());
+    state.SetItemsProcessed(state.iterations());
+    traceConfigure(TraceOptions{});
+    traceReset();
+}
+BENCHMARK(BM_EmptyTickTraced);
 
 } // namespace
 

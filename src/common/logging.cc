@@ -37,32 +37,27 @@ levelPrefix(LogLevel level)
     return "?";
 }
 
-/** DMDC_TRACE / DMDC_DEBUG_VIOLATIONS, parsed once per process. */
+/** One immutable channel set; swapped wholesale on reconfigure. */
 struct TraceConfig
 {
     bool all = false;
     std::vector<std::string> channels;
 
-    TraceConfig()
+    void
+    parse(const std::string &spec)
     {
-        if (const char *env = std::getenv("DMDC_TRACE")) {
-            std::string spec(env);
-            std::size_t start = 0;
-            while (start <= spec.size()) {
-                std::size_t comma = spec.find(',', start);
-                if (comma == std::string::npos)
-                    comma = spec.size();
-                std::string name = spec.substr(start, comma - start);
-                if (name == "all")
-                    all = true;
-                else if (!name.empty())
-                    channels.push_back(std::move(name));
-                start = comma + 1;
-            }
+        std::size_t start = 0;
+        while (start <= spec.size()) {
+            std::size_t comma = spec.find(',', start);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            std::string name = spec.substr(start, comma - start);
+            if (name == "all")
+                all = true;
+            else if (!name.empty())
+                channels.push_back(std::move(name));
+            start = comma + 1;
         }
-        // Pre-trace-facility spelling, kept working.
-        if (std::getenv("DMDC_DEBUG_VIOLATIONS"))
-            channels.push_back("violations");
     }
 
     bool
@@ -78,11 +73,49 @@ struct TraceConfig
     }
 };
 
-const TraceConfig &
-traceConfig()
+/**
+ * The active channel set. setTraceChannels() installs a fresh
+ * TraceConfig with an atomic pointer swap; superseded configs are
+ * intentionally leaked because a concurrent traceEnabled() may still
+ * be reading one (reconfiguration is rare and bounded, so the leak
+ * is too).
+ */
+std::atomic<const TraceConfig *> activeTraceConfig{nullptr};
+
+/** Warn (once per process) when the deprecated env spelling is set. */
+void
+warnDeprecatedTraceEnvOnce()
 {
-    static const TraceConfig config;
-    return config;
+    static const bool warned = [] {
+        if (std::getenv("DMDC_TRACE") ||
+            std::getenv("DMDC_DEBUG_VIOLATIONS")) {
+            detail::logMessage(LogLevel::Warn,
+                "DMDC_TRACE / DMDC_DEBUG_VIOLATIONS are deprecated; "
+                "use --trace=<channels|all> (and --trace-out=<path> "
+                "for the Chrome trace)");
+        }
+        return true;
+    }();
+    (void)warned;
+}
+
+/**
+ * Channel set seeded from the deprecated environment variables; used
+ * only until the first setTraceChannels() call.
+ */
+const TraceConfig &
+envTraceConfig()
+{
+    static const TraceConfig *config = [] {
+        auto *seeded = new TraceConfig;
+        if (const char *env = std::getenv("DMDC_TRACE"))
+            seeded->parse(env);
+        // Pre-trace-facility spelling, kept working.
+        if (std::getenv("DMDC_DEBUG_VIOLATIONS"))
+            seeded->channels.push_back("violations");
+        return seeded;
+    }();
+    return *config;
 }
 
 } // namespace
@@ -154,7 +187,27 @@ traceMessage(const char *channel, const char *fmt, ...)
 bool
 traceEnabled(const char *channel)
 {
-    return traceConfig().enabled(channel);
+    warnDeprecatedTraceEnvOnce();
+    if (const TraceConfig *config =
+            activeTraceConfig.load(std::memory_order_acquire)) {
+        return config->enabled(channel);
+    }
+    return envTraceConfig().enabled(channel);
+}
+
+void
+warnIfDeprecatedTraceEnv()
+{
+    warnDeprecatedTraceEnvOnce();
+}
+
+void
+setTraceChannels(const std::string &spec)
+{
+    warnDeprecatedTraceEnvOnce();
+    auto *config = new TraceConfig;
+    config->parse(spec);
+    activeTraceConfig.store(config, std::memory_order_release);
 }
 
 std::uint64_t

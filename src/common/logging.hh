@@ -6,10 +6,11 @@
  * panic() is for simulator bugs (assert-like, aborts); fatal() is for
  * user errors such as invalid configurations (clean exit); warn() and
  * inform() print to stderr and continue. trace() emits high-volume
- * debug events gated by named channels: set DMDC_TRACE to a
- * comma-separated channel list (or "all") to enable. The legacy
- * DMDC_DEBUG_VIOLATIONS variable still enables the "violations"
- * channel.
+ * debug events gated by named channels, configured with
+ * setTraceChannels() — normally from the --trace=<channels|all> flag
+ * (see common/trace_sink.hh for the structured sink sharing the same
+ * channel set). The DMDC_TRACE / DMDC_DEBUG_VIOLATIONS environment
+ * variables remain as deprecated aliases that warn once per process.
  *
  * Thread-safety: each message is formatted into a private buffer and
  * emitted with a single stdio call, so concurrent campaign workers
@@ -41,11 +42,28 @@ void traceMessage(const char *channel, const char *fmt, ...);
 } // namespace detail
 
 /**
- * Whether @p channel is enabled via DMDC_TRACE (comma-separated
- * channel names, or "all"); DMDC_DEBUG_VIOLATIONS also enables the
- * "violations" channel. The environment is read once per process.
+ * Whether @p channel is enabled. The channel set comes from the last
+ * setTraceChannels() call; before any such call it is seeded from the
+ * deprecated DMDC_TRACE / DMDC_DEBUG_VIOLATIONS environment variables
+ * (which warn once when present).
  */
 bool traceEnabled(const char *channel);
+
+/**
+ * Replace the active trace-channel set with @p spec (comma-separated
+ * channel names, or "all"; empty disables every channel). Callable
+ * any number of times from any thread — tests and the dmdc_serve
+ * daemon reconfigure channels without re-exec. Overrides the
+ * deprecated environment variables.
+ */
+void setTraceChannels(const std::string &spec);
+
+/**
+ * Warn once if the deprecated DMDC_TRACE / DMDC_DEBUG_VIOLATIONS
+ * environment variables are set. The CLI layer calls this at startup
+ * so the deprecation is visible even when no trace() site fires.
+ */
+void warnIfDeprecatedTraceEnv();
 
 /** Report a simulator bug and abort. */
 template <typename... Args>

@@ -8,9 +8,43 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace_sink.hh"
 
 namespace dmdc
 {
+
+namespace
+{
+
+/**
+ * Interned-once trace identities for pipeline events. Replay instants
+ * live on the coarse "kernel" category; the per-cycle fetch/issue/
+ * commit phase spans get their own "kernel-phases" channel because
+ * they emit several records per simulated cycle — enable them
+ * explicitly (or via --trace=all) when that granularity is worth the
+ * slowdown.
+ */
+struct PipelineTrace
+{
+    TraceCategory &cat = traceCategory("kernel");
+    TraceCategory &phases = traceCategory("kernel-phases");
+    std::uint16_t fetch = traceNameId("fetch");
+    std::uint16_t issue = traceNameId("issue");
+    std::uint16_t commit = traceNameId("commit");
+    std::uint16_t complete = traceNameId("complete");
+    std::uint16_t dmdcReplay = traceNameId("dmdc-replay");
+    std::uint16_t baselineReplay = traceNameId("baseline-replay");
+    std::uint16_t ageReplay = traceNameId("age-table-replay");
+};
+
+PipelineTrace &
+pipelineTrace()
+{
+    static PipelineTrace ids;
+    return ids;
+}
+
+} // namespace
 
 namespace
 {
@@ -130,11 +164,22 @@ Pipeline::tick()
     dcachePortsUsed_ = 0;
     fuPool_.tick(now_);
 
+    // Per-cycle phase spans cost two clock reads per stage; a single
+    // relaxed load guards the whole block when the channel is off.
+    PipelineTrace &pt = pipelineTrace();
+    const bool trace_phases = pt.phases.on();
+    const auto timed = [&](std::uint16_t name, auto &&stage) {
+        if (!trace_phases)
+            return stage();
+        TraceSpan span(pt.phases, name);
+        return stage();
+    };
+
     unsigned progress = 0;
-    progress += doCompletions();
+    progress += timed(pt.complete, [&] { return doCompletions(); });
     progress += scanStoreData();
-    progress += doCommit();
-    progress += doIssue();
+    progress += timed(pt.commit, [&] { return doCommit(); });
+    progress += timed(pt.issue, [&] { return doIssue(); });
     if (pendingReplay_ && pendingAgeReplay_) {
         // Keep whichever squash reaches further back; the other's
         // range is contained in it.
@@ -153,6 +198,7 @@ Pipeline::tick()
         DynInst *store = pendingAgeReplay_;
         pendingAgeReplay_ = nullptr;
         ++stats_.ageTableReplays;
+        traceInstantArg(pt.cat, pt.ageReplay, store->seq);
         const bool wrong_path = store->wrongPath;
         const std::uint64_t trace_index = store->traceIndex;
         const Addr pc = store->op.pc;
@@ -165,8 +211,9 @@ Pipeline::tick()
                                    now_ + params_.redirectPenalty);
         ++progress;
     }
-    progress += doDispatch();
-    progress += doFetch();
+    progress += timed(pt.fetch, [&] {
+        return doDispatch() + doFetch();
+    });
     lsq_.tick();
     return progress;
 }
@@ -579,6 +626,10 @@ Pipeline::doCommit()
 
         if (rc.replay) {
             ++stats_.dmdcReplays;
+            {
+                PipelineTrace &pt = pipelineTrace();
+                traceInstantArg(pt.cat, pt.dmdcReplay, head->seq);
+            }
             const std::uint64_t trace_index = head->traceIndex;
             lastDmdcReplayIndex_ = trace_index;
             squashFrom(head->seq);
@@ -662,6 +713,10 @@ void
 Pipeline::replayFrom(DynInst *load)
 {
     ++stats_.baselineReplays;
+    {
+        PipelineTrace &pt = pipelineTrace();
+        traceInstantArg(pt.cat, pt.baselineReplay, load->seq);
+    }
     const bool wrong_path = load->wrongPath;
     const std::uint64_t trace_index = load->traceIndex;
     const Addr pc = load->op.pc;

@@ -8,9 +8,31 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace_sink.hh"
 
 namespace dmdc
 {
+
+namespace
+{
+
+/** Interned-once trace identities for the LSQ checking structures. */
+struct LsqTrace
+{
+    TraceCategory &cat = traceCategory("lsq");
+    std::uint16_t probe = traceNameId("ct-probe");
+    std::uint16_t probeHit = traceNameId("ct-probe-hit");
+    std::uint16_t replay = traceNameId("window-replay");
+};
+
+LsqTrace &
+lsqTrace()
+{
+    static LsqTrace ids;
+    return ids;
+}
+
+} // namespace
 
 DmdcEngine::DmdcEngine(const DmdcParams &params)
     : params_(params),
@@ -247,9 +269,20 @@ DmdcEngine::commit(DynInst *inst, Cycle now, bool suppress_replay)
                                               inst->op.memSize);
                     overflow = queue_->overflowed();
                 }
+                {
+                    LsqTrace &lt = lsqTrace();
+                    if (lt.cat.on()) {
+                        traceInstantArg(lt.cat,
+                                        check.wrtHit ? lt.probeHit
+                                                     : lt.probe,
+                                        inst->op.effAddr);
+                    }
+                }
                 if ((check.wrtHit || overflow) && !suppress_replay) {
                     rc = classifyReplay(inst, *check.ghosts, overflow);
                     ++s.replays;
+                    traceInstantArg(lsqTrace().cat, lsqTrace().replay,
+                                    inst->seq);
                     if (rc.trueViolation) {
                         ++s.trueReplays;
                     } else if (rc.queueOverflow) {

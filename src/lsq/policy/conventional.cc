@@ -14,12 +14,32 @@
 #include "lsq/policy/registry.hh"
 
 #include "common/logging.hh"
+#include "common/trace_sink.hh"
 
 namespace dmdc
 {
 
 namespace
 {
+
+/**
+ * The structured twin of the trace("violations", ...) stderr line:
+ * both are gated by the same "violations" channel (traceConfigure()
+ * keeps the two in lockstep), so the legacy text output and the
+ * Chrome trace never disagree about which violations happened.
+ */
+struct ViolationTrace
+{
+    TraceCategory &cat = traceCategory("violations");
+    std::uint16_t violation = traceNameId("violation");
+};
+
+ViolationTrace &
+violationTrace()
+{
+    static ViolationTrace ids;
+    return ids;
+}
 
 class ConventionalPolicy : public DependencePolicy
 {
@@ -37,6 +57,8 @@ class ConventionalPolicy : public DependencePolicy
         if (result.violatingLoad && !store->wrongPath &&
             !result.violatingLoad->wrongPath) {
             ++activity().trueViolationsDetected;
+            traceInstantArg(violationTrace().cat,
+                            violationTrace().violation, store->seq);
             trace("violations",
                   "viol: st seq=%llu a=%llx sz=%u ic=%llu | "
                   "ld seq=%llu a=%llx sz=%u fwd=%llu "

@@ -30,6 +30,7 @@
 #include "common/crc32.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/trace_sink.hh"
 #include "lsq/policy/registry.hh"
 #include "sim/campaign_state.hh"
 #include "sim/fault_injector.hh"
@@ -49,6 +50,24 @@ elapsedMs(Clock::time_point since)
 {
     return std::chrono::duration<double, std::milli>(
         Clock::now() - since).count();
+}
+
+/** Interned-once trace identities for the campaign runner layer. */
+struct RunnerTrace
+{
+    TraceCategory &cat = traceCategory("runner");
+    std::uint16_t campaign = traceNameId("campaign");
+    std::uint16_t memHit = traceNameId("cache-mem-hit");
+    std::uint16_t diskHit = traceNameId("cache-disk-hit");
+    std::uint16_t quarantine = traceNameId("cache-quarantine");
+    std::uint16_t retry = traceNameId("retry");
+};
+
+RunnerTrace &
+runnerTrace()
+{
+    static RunnerTrace ids;
+    return ids;
 }
 
 /** Shortest decimal form that round-trips an IEEE double exactly. */
@@ -787,6 +806,8 @@ CampaignResult
 CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                            bool verbose)
 {
+    RunnerTrace &rt = runnerTrace();
+    TraceSpan campaign_span(rt.cat, rt.campaign);
     const auto t0 = Clock::now();
     CampaignStats stats;
     stats.runs = runs.size();
@@ -954,6 +975,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                 if (it != memCache_.end()) {
                     cr.results[i] = it->second;
                     ++stats.memoryHits;
+                    traceInstant(rt.cat, rt.memHit);
                     cr.outcomes[i].cached = true;
                     cr.outcomes[i].attempts = 0;
                     appendJournal(cr.results[i], cr.outcomes[i]);
@@ -963,10 +985,13 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                 }
             }
             const CacheLoad load = loadFromDisk(key, cr.results[i]);
-            if (load == CacheLoad::Corrupt)
+            if (load == CacheLoad::Corrupt) {
                 ++stats.quarantined;
+                traceInstant(rt.cat, rt.quarantine);
+            }
             if (load == CacheLoad::Hit) {
                 ++stats.diskHits;
+                traceInstant(rt.cat, rt.diskHit);
                 std::lock_guard<std::mutex> lock(memMutex_);
                 memCache_.emplace(key, cr.results[i]);
                 cr.outcomes[i].cached = true;
@@ -995,7 +1020,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
 
         auto execute_run =
             [this, &runs, &cr, verbose, &abort_flag, &record_state,
-             &beat_progress](const Pending &p) {
+             &beat_progress, &rt](const Pending &p) {
                 const auto run_t0 = Clock::now();
                 RunOutcome oc;
                 oc.shard = config_.shard.index;
@@ -1014,6 +1039,11 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                     if (opt.timeoutMs == 0.0)
                         opt.timeoutMs = config_.timeoutMs;
                     id = runIdentity(opt);
+                    // Run lifecycle span, labeled with the run
+                    // identity (one interned name per distinct triple)
+                    // and covering every retry attempt.
+                    TraceSpan run_span(
+                        rt.cat, rt.cat.on() ? traceNameId(id) : 0);
                     for (unsigned attempt = 0;; ++attempt) {
                         oc.attempts = attempt + 1;
                         try {
@@ -1037,6 +1067,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
                             oc.error = e.what();
                             if (e.transient() &&
                                 attempt < config_.maxRetries) {
+                                traceInstant(rt.cat, rt.retry);
                                 // Exponential backoff, capped: long
                                 // enough to let a racing writer
                                 // finish, short enough to not stall
@@ -1154,6 +1185,7 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
         workers.reserve(jobs);
         for (unsigned w = 0; w < jobs; ++w) {
             workers.emplace_back([&, w] {
+                traceSetThreadName("worker-" + std::to_string(w));
                 ScheduledRun item;
                 while (scheduler->next(w, item))
                     execute_run(pending[item.index]);

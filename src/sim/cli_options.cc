@@ -8,6 +8,8 @@
 #include <limits>
 #include <sstream>
 
+#include "common/logging.hh"
+
 namespace dmdc
 {
 
@@ -345,6 +347,13 @@ CampaignCliOptions::addTo(CliParser &parser)
                  "publish per-run heartbeats at this base path");
     parser.value("scheduler", &schedulerText,
                  "run placement: work-stealing (default) or static-lpt");
+    parser.value("trace", &trace.channels,
+                 "trace channels (comma list or 'all'); captures a "
+                 "Chrome trace");
+    parser.value("trace-out", &traceOutText,
+                 "Chrome trace-event JSON path (default trace.json)");
+    parser.value("trace-buffer", &trace.bufferRecords,
+                 "per-thread trace ring capacity, records");
 }
 
 bool
@@ -363,15 +372,29 @@ CampaignCliOptions::finalize(std::string &err)
         return false;
     config.cacheMaxBytes = cacheMaxMb * 1024ull * 1024ull;
     workerMode = !config.heartbeatPath.empty();
+    if (!traceOutText.empty() && trace.channels.empty()) {
+        err = "--trace-out requires --trace=<channels|all>";
+        return false;
+    }
+    if (!traceOutText.empty())
+        trace.outPath = traceOutText;
     return true;
 }
 
 void
 CampaignCliOptions::apply() const
 {
+    warnIfDeprecatedTraceEnv();
     CampaignRunner::configureGlobal(config);
     if (!jsonPath.empty())
         setCampaignJournal(jsonPath, jsonDeterministic);
+    if (trace.enabled()) {
+        TraceOptions resolved = trace;
+        resolved.outPath = traceShardPath(
+            resolved.outPath, config.shard.index, config.shard.count);
+        traceConfigure(resolved);
+        traceSetThreadName("main");
+    }
 }
 
 // ---- supervisor flag bundle ------------------------------------------
@@ -397,6 +420,14 @@ SupervisorCliOptions::addTo(CliParser &parser)
                 "resume an interrupted launch");
     parser.flag("verbose", &options.verbose,
                 "log every supervision event");
+    parser.value("trace", &trace.channels,
+                 "trace channels for launcher + workers (comma list "
+                 "or 'all')");
+    parser.value("trace-out", &traceOutText,
+                 "Chrome trace-event JSON base path (workers derive "
+                 "per-shard files)");
+    parser.value("trace-buffer", &trace.bufferRecords,
+                 "per-thread trace ring capacity, records");
     parser.passthrough(&options.workerArgs);
 }
 
@@ -430,7 +461,34 @@ SupervisorCliOptions::finalize(const std::string &argv0,
             }
         }
     }
+    if (!traceOutText.empty() && trace.channels.empty()) {
+        err = "--trace-out requires --trace=<channels|all>";
+        return false;
+    }
+    if (!traceOutText.empty())
+        trace.outPath = traceOutText;
+    // Forward the tracing flags verbatim: every worker re-derives its
+    // own per-shard output path from the same base, so one launch
+    // yields one trace file per process for tools/trace_merge.
+    if (trace.enabled()) {
+        options.workerArgs.push_back("--trace=" + trace.channels);
+        options.workerArgs.push_back("--trace-out=" + trace.outPath);
+        options.workerArgs.push_back(
+            "--trace-buffer=" + std::to_string(trace.bufferRecords));
+    }
     return true;
+}
+
+void
+SupervisorCliOptions::applyTracing() const
+{
+    warnIfDeprecatedTraceEnv();
+    if (!trace.enabled())
+        return;
+    TraceOptions resolved = trace;
+    resolved.outPath = tracePathWithTag(trace.outPath, ".supervisor");
+    traceConfigure(resolved);
+    traceSetThreadName("supervisor");
 }
 
 } // namespace dmdc

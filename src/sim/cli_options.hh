@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace_sink.hh"
 #include "sim/campaign_runner.hh"
 #include "sim/campaign_shard.hh"
 #include "sim/supervisor.hh"
@@ -159,17 +160,24 @@ struct CampaignCliOptions
     std::string shardText;        ///< raw --shard=i/N value
     std::string schedulerText;    ///< raw --scheduler value
     bool noCache = false;         ///< --no-cache
+    TraceOptions trace;           ///< --trace / --trace-out / --trace-buffer
+    std::string traceOutText;     ///< raw --trace-out value
 
     /** Register the shared flags on @p parser. */
     void addTo(CliParser &parser);
 
     /**
      * Cross-validate and derive: parse --shard, require --state with
-     * --resume, translate the cache cap. False + @p err on conflict.
+     * --resume, require --trace with --trace-out, translate the
+     * cache cap. False + @p err on conflict.
      */
     bool finalize(std::string &err);
 
-    /** Configure the process-wide runner and journal from this. */
+    /**
+     * Configure the process-wide runner, journal, and trace sink from
+     * this. Shard workers derive a per-shard trace path so
+     * cooperating processes never collide on one file.
+     */
     void apply() const;
 };
 
@@ -181,20 +189,32 @@ struct CampaignCliOptions
 struct SupervisorCliOptions
 {
     SupervisorOptions options;
+    TraceOptions trace;       ///< --trace / --trace-out / --trace-buffer
+    std::string traceOutText; ///< raw --trace-out value
 
     /** Register --procs/--heartbeat-interval/--hang-deadline/
      *  --shard-retries/--launch-dir/--worker/--out/--resume/--verbose
-     *  on @p parser and hook the passthrough sink. */
+     *  (plus the tracing flags) on @p parser and hook the passthrough
+     *  sink. */
     void addTo(CliParser &parser);
 
     /**
      * Cross-validate: procs >= 1, a usable worker binary (defaulted
      * from @p argv0's directory when --worker is absent), and no
      * forwarded flag that the supervisor itself owns (--shard, --json,
-     * --state, --heartbeat, --resume, ...). False + @p err on
+     * --state, --heartbeat, --resume, ...). Re-appends the tracing
+     * flags to the forwarded worker args so workers trace too (each
+     * deriving its own per-shard output path). False + @p err on
      * conflict.
      */
     bool finalize(const std::string &argv0, std::string &err);
+
+    /**
+     * Configure the launcher's own trace sink (supervisor-category
+     * spans), writing to a ".supervisor"-tagged sibling of the trace
+     * path so it never collides with worker output.
+     */
+    void applyTracing() const;
 };
 
 } // namespace dmdc

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/random.hh"
+#include "common/trace_sink.hh"
 #include "sim/campaign_shard.hh"
 
 namespace dmdc
@@ -258,6 +259,9 @@ class WorkStealingScheduler final : public DequeSchedulerBase
         }
         v.size.fetch_sub(n, std::memory_order_relaxed);
         t.size.fetch_add(n, std::memory_order_relaxed);
+        static TraceCategory &cat = traceCategory("runner");
+        static const std::uint16_t steal = traceNameId("steal");
+        traceInstantArg(cat, steal, n);
     }
 };
 

@@ -26,6 +26,7 @@
 #include "sim/fault_injector.hh"
 #include "sim/heartbeat.hh"
 #include "sim/run_error.hh"
+#include "common/trace_sink.hh"
 #include "sim/ticket_log.hh"
 
 namespace dmdc
@@ -33,6 +34,26 @@ namespace dmdc
 
 namespace
 {
+
+/** Interned ids for the daemon's ticket lifecycle: submit/start/
+ *  finish instants plus the drain transition, all on the "service"
+ *  category. */
+struct ServiceTrace
+{
+    TraceCategory &cat = traceCategory("service");
+    std::uint16_t submit = traceNameId("ticket-submit");
+    std::uint16_t start = traceNameId("ticket-start");
+    std::uint16_t finish = traceNameId("ticket-finish");
+    std::uint16_t revive = traceNameId("ticket-revive");
+    std::uint16_t drain = traceNameId("drain");
+};
+
+ServiceTrace &
+serviceTrace()
+{
+    static ServiceTrace ids;
+    return ids;
+}
 
 /** Same "%.17g" token the journal writer uses (campaign_runner.cc):
  *  the daemon re-derives journal bytes, so the spelling must match. */
@@ -661,6 +682,7 @@ struct ServiceDaemon::Impl
         wc.heartbeatPath.clear();
         wc.failFast = false;
         CampaignRunner runner(wc);
+        traceSetThreadName("serve-worker-" + std::to_string(w));
 
         for (;;) {
             ScheduledRun item;
@@ -699,6 +721,8 @@ struct ServiceDaemon::Impl
                 t->startedRun = true;
                 ticketLog.appendStart(t->key);
                 noteTicketAppendLocked();
+                traceInstantArg(serviceTrace().cat,
+                                serviceTrace().start, idx);
             }
         }
         SimResult result;
@@ -745,6 +769,8 @@ struct ServiceDaemon::Impl
                 ticketLog.appendFinish(t->key,
                                        runStatusName(t->outcome.status));
                 noteTicketAppendLocked();
+                traceInstantArg(serviceTrace().cat,
+                                serviceTrace().finish, idx);
                 // The serve-crash chaos site follows the worker-*
                 // progress rule: only after a freshly simulated run
                 // is durably cached and its finish logged, so a
@@ -758,6 +784,8 @@ struct ServiceDaemon::Impl
                 t->finishLogged = true;
                 ticketLog.appendFinish(t->key, "cancelled");
                 noteTicketAppendLocked();
+                traceInstantArg(serviceTrace().cat,
+                                serviceTrace().finish, idx);
             }
             // Drain-skip: no finish record. The ticket stays pending
             // in the log and the next daemon completes it.
@@ -798,6 +826,8 @@ struct ServiceDaemon::Impl
                 t.outcome = RunOutcome{};
                 ticketLog.appendSubmit(t.key, t.spec);
                 noteTicketAppendLocked();
+                traceInstantArg(serviceTrace().cat,
+                                serviceTrace().revive, it->second);
                 ScheduledRun item;
                 item.index = it->second;
                 item.identity = t.identity;
@@ -822,6 +852,7 @@ struct ServiceDaemon::Impl
         ++stats.unique;
         ticketLog.appendSubmit(key, tickets[idx]->spec);
         noteTicketAppendLocked();
+        traceInstantArg(serviceTrace().cat, serviceTrace().submit, idx);
         ScheduledRun item;
         item.index = idx;
         item.identity = tickets[idx]->identity;
@@ -1108,6 +1139,7 @@ struct ServiceDaemon::Impl
                 std::lock_guard<std::mutex> lock(m);
                 draining = true;
             }
+            traceInstant(serviceTrace().cat, serviceTrace().drain);
             workCv.notify_all();
             doneCv.notify_all();
             return "{\"ok\":true,\"stopping\":true}";
@@ -1429,6 +1461,7 @@ ServiceDaemon::serve()
         std::lock_guard<std::mutex> lock(impl_->m);
         impl_->draining = true;
         impl_->publishHeartbeatLocked(HeartbeatPhase::Draining);
+        traceInstant(serviceTrace().cat, serviceTrace().drain);
         // Unblock connection threads parked in readFrame().
         for (int fd : impl_->liveFds)
             ::shutdown(fd, SHUT_RDWR);

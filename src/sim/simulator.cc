@@ -30,6 +30,28 @@ configError(const std::string &message)
     throw RunError(RunErrorCategory::Config, message);
 }
 
+/** Interned-once trace identities for the kernel layer. */
+struct KernelTrace
+{
+    TraceCategory &cat = traceCategory("kernel");
+    std::uint16_t warmup = traceNameId("warmup");
+    std::uint16_t measure = traceNameId("measure");
+    std::uint16_t idleSkip = traceNameId("idle-skip");
+    std::uint16_t cycles = traceNameId("cycles");
+    std::uint16_t instructions = traceNameId("instructions");
+    std::uint16_t dmdcReplays = traceNameId("replays.dmdc");
+    std::uint16_t baselineReplays = traceNameId("replays.baseline");
+    std::uint16_t ageReplays = traceNameId("replays.age-table");
+    std::uint16_t checkingCycles = traceNameId("checking-cycles");
+};
+
+KernelTrace &
+kernelTrace()
+{
+    static KernelTrace ids;
+    return ids;
+}
+
 } // namespace
 
 void
@@ -75,6 +97,11 @@ validateSimOptions(const SimOptions &opt)
 Simulator::Simulator(const SimOptions &options) : options_(options)
 {
     validateSimOptions(options_);
+    // Library embedding hook: first configurer wins, so a SimOptions
+    // with tracing set behaves like the --trace flag unless a harness
+    // already configured the process-wide sink.
+    if (options_.trace.enabled() && !traceCaptureActive())
+        traceConfigure(options_.trace);
     params_ = makeMachineConfig(options_.configLevel);
     applyScheme(params_, options_.scheme, options_.coherence,
                 options_.safeLoads);
@@ -97,6 +124,7 @@ Simulator::~Simulator() = default;
 SimResult
 Simulator::run()
 {
+    KernelTrace &kt = kernelTrace();
     const WorkloadParams &wp = workload_->params();
     // Invalidations model another processor writing a shared address
     // space; sampling only this core's (small) footprint would make
@@ -201,9 +229,11 @@ Simulator::run()
                                 break;
                         }
                         stall_cycles += skipped;
+                        traceInstantArg(kt.cat, kt.idleSkip, skipped);
                     } else {
                         pipe_->skipIdleCycles(n);
                         stall_cycles += n;
+                        traceInstantArg(kt.cat, kt.idleSkip, n);
                     }
                 }
             }
@@ -218,9 +248,15 @@ Simulator::run()
         }
     };
 
-    run_phase(options_.warmupInsts);
+    {
+        TraceSpan span(kt.cat, kt.warmup);
+        run_phase(options_.warmupInsts);
+    }
     pipe_->resetStats();
-    run_phase(options_.runInsts);
+    {
+        TraceSpan span(kt.cat, kt.measure);
+        run_phase(options_.runInsts);
+    }
 
     // ---- collect ----
     SimResult r;
@@ -280,6 +316,20 @@ Simulator::run()
         r.falseHashX = ds.falseHashX.value();
         r.falseHashY = ds.falseHashY.value();
         r.falseOverflow = ds.falseOverflow.value();
+    }
+
+    if (kt.cat.on()) {
+        // Per-policy end-of-run counters: one sample each, so a
+        // merged campaign trace shows the policy mix at a glance.
+        traceCounter(kt.cat, kt.cycles, r.cycles);
+        traceCounter(kt.cat, kt.instructions, r.instructions);
+        traceCounter(kt.cat, kt.dmdcReplays, r.dmdcReplays);
+        traceCounter(kt.cat, kt.baselineReplays, r.baselineReplays);
+        traceCounter(kt.cat, kt.ageReplays, r.ageTableReplays);
+        if (const DmdcEngine *engine = pipe_->lsq().dmdc()) {
+            traceCounter(kt.cat, kt.checkingCycles,
+                         engine->stats().checkingCycles.value());
+        }
     }
 
     EnergyModel energy_model(params_);

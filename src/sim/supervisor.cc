@@ -22,6 +22,7 @@
 
 #include "common/atomic_file.hh"
 #include "common/logging.hh"
+#include "common/trace_sink.hh"
 #include "sim/campaign_runner.hh"
 #include "sim/campaign_shard.hh"
 #include "sim/cli_options.hh"
@@ -33,6 +34,27 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/** Interned-once trace identities for the supervision layer. */
+struct SupervisorTrace
+{
+    TraceCategory &cat = traceCategory("supervisor");
+    std::uint16_t launch = traceNameId("launch");
+    std::uint16_t spawn = traceNameId("spawn");
+    std::uint16_t done = traceNameId("worker-done");
+    std::uint16_t restart = traceNameId("worker-restart");
+    std::uint16_t failed = traceNameId("worker-failed");
+    std::uint16_t drain = traceNameId("drain");
+    std::uint16_t hungKill = traceNameId("hung-kill");
+    std::uint16_t merge = traceNameId("merge");
+};
+
+SupervisorTrace &
+supervisorTrace()
+{
+    static SupervisorTrace ids;
+    return ids;
+}
 
 double
 nowMs()
@@ -193,6 +215,8 @@ ShardSupervisor::spawn(Worker &w)
     w.pid = pid;
     w.state = WorkerState::Running;
     monitor_.track(w.shard, nowMs());
+    traceInstantArg(supervisorTrace().cat, supervisorTrace().spawn,
+                    w.shard);
     if (opts_.verbose) {
         inform("supervisor: shard %u/%u -> pid %d (attempt %u%s)",
                w.shard, opts_.procs, pid, w.attempt,
@@ -233,6 +257,8 @@ ShardSupervisor::handleExit(Worker &w, int waitStatus)
         w.state = WorkerState::Done;
         if (code == kExitDegraded)
             w.degraded = true;
+        traceInstantArg(supervisorTrace().cat, supervisorTrace().done,
+                        w.shard);
         if (opts_.verbose)
             inform("supervisor: shard %u done (exit %d)", w.shard,
                    code);
@@ -254,6 +280,8 @@ ShardSupervisor::handleExit(Worker &w, int waitStatus)
     // checkpoint manifest, so completed runs never re-simulate.
     if (w.attempt < opts_.shardRetries) {
         ++w.attempt;
+        traceInstantArg(supervisorTrace().cat,
+                        supervisorTrace().restart, w.shard);
         if (sig) {
             warn("supervisor: shard %u killed by signal %d; "
                  "restarting (attempt %u of %u)",
@@ -272,6 +300,8 @@ ShardSupervisor::handleExit(Worker &w, int waitStatus)
     warn("supervisor: shard %u failed after %u restart(s); giving up "
          "(manifest and journal kept in %s)",
          w.shard, w.attempt, opts_.launchDir.c_str());
+    traceInstantArg(supervisorTrace().cat, supervisorTrace().failed,
+                    w.shard);
     w.state = WorkerState::Failed;
 }
 
@@ -279,6 +309,7 @@ void
 ShardSupervisor::requestStop(int sig)
 {
     stopping_ = true;
+    traceInstant(supervisorTrace().cat, supervisorTrace().drain);
     inform("supervisor: signal received; asking workers to finish "
            "their in-flight run and checkpoint (signal again to "
            "force-kill)");
@@ -307,6 +338,8 @@ ShardSupervisor::forceStop()
 int
 ShardSupervisor::run()
 {
+    SupervisorTrace &st = supervisorTrace();
+    TraceSpan launch_span(st.cat, st.launch);
     namespace fs = std::filesystem;
     std::error_code ec;
     fs::create_directories(opts_.launchDir, ec);
@@ -374,6 +407,8 @@ ShardSupervisor::run()
                      haveBeat ? heartbeatPhaseName(hb.phase) : "unknown",
                      w.pid);
                 kill(w.pid, SIGKILL);
+                traceInstantArg(supervisorTrace().cat,
+                                supervisorTrace().hungKill, w.shard);
                 // Reaped (and restarted, if eligible) on the next
                 // poll iteration.
                 monitor_.track(w.shard, nowMs());
@@ -420,6 +455,8 @@ ShardSupervisor::run()
 int
 ShardSupervisor::mergeAndVerify()
 {
+    TraceSpan merge_span(supervisorTrace().cat,
+                         supervisorTrace().merge);
     const std::string out_path = opts_.journalPath.empty()
         ? opts_.launchDir + "/merged.json" : opts_.journalPath;
 

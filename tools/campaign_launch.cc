@@ -16,6 +16,10 @@
  *                               <launch-dir>/merged.json)
  *     --resume                  resume an interrupted launch
  *     --verbose                 log every supervision event
+ *     --trace=<channels>        trace launcher + workers (Chrome
+ *                               trace-event JSON per process; combine
+ *                               with tools/trace_merge)
+ *     --trace-out=<path>        trace base path (default trace.json)
  *
  * Every other argument is forwarded verbatim to the dmdc_sim workers
  * (use the --name=value spelling), so the campaign itself is specified
@@ -66,6 +70,7 @@ main(int argc, char **argv)
     std::string err;
     if (!launch.finalize(argv[0], err))
         cli.failUsage(err);
+    launch.applyTracing();
 
     ShardSupervisor supervisor(launch.options);
     return supervisor.run();

@@ -23,6 +23,9 @@
  *                           cancelled/forgotten (0 = never)
  *     --no-ticket-log       disable the durable ticket log
  *     --verbose             log connections and completed runs
+ *     --trace=<channels>    trace channels (comma list or 'all');
+ *                           Chrome trace-event JSON written at exit
+ *     --trace-out=<path>    trace output path (default trace.json)
  *
  * Clients (dmdc_client) submit campaigns as JSON run lists; the
  * daemon multiplexes every campaign onto one shared work-stealing
@@ -43,6 +46,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/logging.hh"
 #include "sim/cli_options.hh"
 #include "sim/service.hh"
 
@@ -75,6 +79,8 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opt.orphanGraceMs);
     bool no_cache = false;
     bool no_ticket_log = false;
+    TraceOptions trace_opt;
+    std::string trace_out;
 
     CliParser cli(argv[0],
                   "Campaign daemon: accepts dmdc_client campaigns on "
@@ -107,7 +113,23 @@ main(int argc, char **argv)
              "disable the durable ticket log");
     cli.flag("verbose", &opt.verbose,
              "log connections and completed runs");
+    cli.value("trace", &trace_opt.channels,
+              "trace channels (comma list or 'all')");
+    cli.value("trace-out", &trace_out,
+              "Chrome trace-event JSON path (default trace.json)");
+    cli.value("trace-buffer", &trace_opt.bufferRecords,
+              "per-thread trace ring capacity, records");
     cli.parseOrExit(argc, argv);
+
+    if (!trace_out.empty() && trace_opt.channels.empty())
+        cli.failUsage("--trace-out requires --trace=<channels|all>");
+    if (!trace_out.empty())
+        trace_opt.outPath = trace_out;
+    warnIfDeprecatedTraceEnv();
+    if (trace_opt.enabled()) {
+        traceConfigure(trace_opt);
+        traceSetThreadName("serve-main");
+    }
 
     opt.campaign.useCache = !no_cache;
     opt.campaign.cacheMaxBytes = cache_max_mb * 1024ull * 1024ull;

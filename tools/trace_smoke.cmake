@@ -1,0 +1,89 @@
+# Tracing smoke test (driven by ctest, see CMakeLists.txt).
+#
+# Runs one small campaign through campaign_launch with two supervised
+# shard workers and --trace=all. Every process writes its own Chrome
+# trace file (the launcher a .supervisor-tagged one, each worker a
+# shard-tagged one); trace_merge must combine them into a document
+# that re-validates, carries events from all three instrumented
+# layers (kernel, runner, supervisor), and the traced campaign's
+# journal must stay byte-identical to an untraced serial run.
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(campaign
+    --bench=gzip,swim --scheme=baseline,yla --insts=20000 --warmup=2000)
+
+execute_process(
+    COMMAND ${DMDC_SIM} ${campaign} --cache-dir=${WORK_DIR}/serial_cache
+            --json-deterministic --json=${WORK_DIR}/serial.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serial campaign failed (exit ${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CAMPAIGN_LAUNCH} --procs=2
+            --trace=all --trace-out=${WORK_DIR}/trace.json
+            --launch-dir=${WORK_DIR}/launch
+            --out=${WORK_DIR}/merged.json
+            ${campaign} --cache-dir=${WORK_DIR}/traced_cache --jobs=2
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "traced supervised launch failed (exit ${rc}); see "
+        "${WORK_DIR}/launch/shard*.log")
+endif()
+
+# Tracing must not perturb results: the traced campaign's merged
+# journal must equal the untraced serial journal byte-for-byte.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/serial.json ${WORK_DIR}/merged.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "traced merged journal differs from the serial journal")
+endif()
+
+foreach(part trace.supervisor.json trace.shard0of2.json
+             trace.shard1of2.json)
+    if(NOT EXISTS "${WORK_DIR}/${part}")
+        message(FATAL_ERROR "expected trace file ${part} was not "
+                            "written")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${TRACE_MERGE}
+            ${WORK_DIR}/trace.supervisor.json
+            ${WORK_DIR}/trace.shard0of2.json
+            ${WORK_DIR}/trace.shard1of2.json
+            --out=${WORK_DIR}/trace.merged.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace_merge failed (exit ${rc})")
+endif()
+
+# The merged document must itself pass trace_merge's strict
+# validation (i.e. parse as one well-formed trace).
+execute_process(
+    COMMAND ${TRACE_MERGE} ${WORK_DIR}/trace.merged.json
+            --out=${WORK_DIR}/trace.revalidated.json
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "merged trace failed re-validation (exit ${rc})")
+endif()
+
+file(READ "${WORK_DIR}/trace.merged.json" merged_trace)
+foreach(cat kernel runner supervisor)
+    string(FIND "${merged_trace}" "\"cat\":\"${cat}\"" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+            "merged trace has no \"${cat}\" events")
+    endif()
+endforeach()
+
+message(STATUS "trace smoke: merged trace spans all three layers and "
+               "the traced journal is byte-identical")
