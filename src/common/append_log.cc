@@ -5,6 +5,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/atomic_file.hh"
 #include "common/file_lock.hh"
 
 namespace dmdc
@@ -27,8 +28,15 @@ appendLogLine(const std::string &logPath, const std::string &lockPath,
     do {
         rc = ::write(fd, line.data(), line.size());
     } while (rc < 0 && errno == EINTR);
+    bool ok = rc == static_cast<ssize_t>(line.size());
+    // The record only counts as durable once it's on disk: a ticket
+    // or index entry that evaporates with the page cache defeats the
+    // crash-recovery replay it exists for. (No-op under
+    // setDurableSync(false)/DMDC_NO_FSYNC=1.)
+    if (ok && !durableSyncFd(fd))
+        ok = false;
     ::close(fd);
-    return rc == static_cast<ssize_t>(line.size());
+    return ok;
 }
 
 } // namespace dmdc

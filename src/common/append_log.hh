@@ -13,7 +13,10 @@
  *  - the record is written with a single write() on an O_APPEND fd,
  *    so concurrent appenders interleave whole records, never bytes;
  *  - readers CRC-check every record and skip torn or damaged lines,
- *    so a crash mid-append costs at most the record being written.
+ *    so a crash mid-append costs at most the record being written;
+ *  - the fd is fsynced after the write (see atomic_file.hh's
+ *    durability knob), so an acknowledged record survives power loss,
+ *    not merely process death.
  */
 
 #ifndef DMDC_COMMON_APPEND_LOG_HH

@@ -23,6 +23,7 @@
 #include "lsq/lsq_unit.hh"
 #include "mem/hierarchy.hh"
 #include "trace/workload.hh"
+#include "verify/ordering_oracle.hh"
 
 namespace dmdc
 {
@@ -153,6 +154,17 @@ class Pipeline
     void addFilterObserver(FilterObserver *obs)
     {
         lsq_.addObserver(obs);
+    }
+
+    /**
+     * Attach the --check ordering oracle (not owned): wires the LSQ
+     * hooks, the policy cross-check, and the ROB retire observer in
+     * one step. Pass nullptr to detach.
+     */
+    void attachOracle(OrderingOracle *oracle)
+    {
+        lsq_.setOracle(oracle);
+        rob_.setRetireObserver(oracle);
     }
 
     /** Zero all statistics (end-of-warm-up). */

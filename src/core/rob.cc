@@ -35,6 +35,8 @@ Rob::retireHead()
         panic("ROB retire on empty ROB");
     DynInst *inst = insts_.front();
     insts_.pop_front();
+    if (retireObserver_)
+        retireObserver_->retired(*inst);
     pool_.release(inst);
 }
 

@@ -20,6 +20,18 @@ namespace dmdc
 using DynInstPool = ObjectPool<DynInst>;
 
 /**
+ * Commit-order hook: notified for every retiring instruction, just
+ * before its entry is recycled to the pool. Null on normal runs
+ * (--check=off); the ordering oracle attaches one through
+ * Pipeline::attachOracle().
+ */
+struct RetireObserver
+{
+    virtual ~RetireObserver() = default;
+    virtual void retired(const DynInst &inst) = 0;
+};
+
+/**
  * The ROB owns every in-flight instruction; other structures (issue
  * queues, LSQ) hold non-owning pointers that must be dropped when the
  * ROB squashes. "Owns" means: retiring or squashing an entry returns
@@ -58,6 +70,12 @@ class Rob
     /** Retire the head instruction (must exist); recycles it. */
     void retireHead();
 
+    /** Attach (or detach with nullptr) the retire hook. */
+    void setRetireObserver(RetireObserver *obs)
+    {
+        retireObserver_ = obs;
+    }
+
     /**
      * Remove all instructions with seq >= @p from_seq (inclusive
      * squash), invoking @p on_squash on each before recycling,
@@ -78,6 +96,7 @@ class Rob
   private:
     RingBuffer<DynInst *> insts_;
     DynInstPool &pool_;
+    RetireObserver *retireObserver_ = nullptr;
 };
 
 } // namespace dmdc

@@ -8,6 +8,7 @@
 #include "lsq/lsq_unit.hh"
 
 #include "lsq/policy/registry.hh"
+#include "verify/ordering_oracle.hh"
 
 namespace dmdc
 {
@@ -91,6 +92,16 @@ const DmdcEngine *
 LsqUnit::dmdc() const
 {
     return policy_->dmdcEngine();
+}
+
+void
+LsqUnit::setOracle(OrderingOracle *oracle)
+{
+    oracle_ = oracle;
+    policy_->setOracle(oracle);
+    if (oracle)
+        oracle->setContract(policy_->enforcesCoherenceOrder(),
+                            policy_->exemptsSafeLoads());
 }
 
 void
@@ -184,6 +195,8 @@ LsqUnit::loadComplete(DynInst *inst, Cycle now, SeqNum forwarded_from)
         for (FilterObserver *obs : observers_)
             obs->loadIssued(inst->op.effAddr, inst->seq);
     }
+    if (oracle_)
+        oracle_->loadObserved(inst);
 }
 
 StoreResolveResult
@@ -196,7 +209,15 @@ LsqUnit::storeResolve(DynInst *inst, Cycle now)
             obs->storeResolved(inst->op.effAddr, inst->seq);
     }
 
-    return policy_->storeResolved(inst, now);
+    StoreResolveResult result = policy_->storeResolved(inst, now);
+    if (corruptChecking_) {
+        // Injected chaos: the checking path "loses" its findings.
+        result.violatingLoad = nullptr;
+        result.replayAllYounger = false;
+    }
+    if (oracle_ && result.violatingLoad)
+        oracle_->policyClaimedViolation(result.violatingLoad, inst);
+    return result;
 }
 
 void
@@ -209,14 +230,25 @@ ReplayClass
 LsqUnit::commit(DynInst *inst, Cycle now, bool suppress_replay)
 {
     ReplayClass rc = policy_->commit(inst, now, suppress_replay);
+    if (corruptChecking_ && rc.replay) {
+        // Injected chaos: swallow the replay and the ghost mark, so
+        // the stale load commits and even the pipeline's ghost panic
+        // stays blind. Only the oracle can see this.
+        rc = ReplayClass{};
+        inst->ghostViolation = false;
+    }
 
     if (rc.replay) {
+        if (oracle_ && rc.trueViolation)
+            oracle_->policyClaimedViolation(inst);
         // The load will be squashed and re-executed; do not release
         // its queue entry here (squashFrom handles it).
         return rc;
     }
 
     if (inst->isLoad()) {
+        if (oracle_)
+            oracle_->loadCommitted(inst, suppress_replay);
         policy_->loadRemoved(inst);
         if (hasObservers_) {
             for (FilterObserver *obs : observers_)
@@ -224,6 +256,8 @@ LsqUnit::commit(DynInst *inst, Cycle now, bool suppress_replay)
         }
         lq_.releaseHead(inst);
     } else if (inst->isStore()) {
+        if (oracle_)
+            oracle_->storeCommitted(inst);
         sq_.releaseHead(inst);
     }
     return rc;
@@ -232,6 +266,8 @@ LsqUnit::commit(DynInst *inst, Cycle now, bool suppress_replay)
 void
 LsqUnit::squashFrom(SeqNum from_seq)
 {
+    if (oracle_)
+        oracle_->squashFrom(from_seq);
     // Bloom-style policies and observers must see every in-flight
     // load leave.
     lq_.forEach([this, from_seq](DynInst *load) {
@@ -261,6 +297,8 @@ void
 LsqUnit::invalidationArrived(Addr addr, Cycle now,
                              SeqNum oldest_active)
 {
+    if (oracle_)
+        oracle_->invalidationDelivered(addr);
     policy_->invalidationArrived(addr, now, oldest_active);
 }
 

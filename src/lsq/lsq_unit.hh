@@ -30,6 +30,7 @@ namespace dmdc
 {
 
 class DependencePolicy;
+class OrderingOracle;
 
 /** LSQ configuration. */
 struct LsqParams
@@ -216,6 +217,24 @@ class LsqUnit
         hasObservers_ = true;
     }
 
+    /**
+     * Attach the ordering oracle (--check). Every oracle hook sits
+     * behind this null pointer, exactly like the trace sinks, so a
+     * normal run pays nothing. Also configures the oracle's policy
+     * contract (coherence-order enforcement, safe-load exemption).
+     */
+    void setOracle(OrderingOracle *oracle);
+    OrderingOracle *oracle() { return oracle_; }
+
+    /**
+     * DMDC_FAULT=lsq-corrupt chaos hook: silently drop every replay
+     * and claimed violation this policy reports, modeling a broken
+     * checking path. Detection is the oracle's job — CI proves the
+     * checker checks the checker.
+     */
+    void corruptChecking() { corruptChecking_ = true; }
+    bool checkingCorrupted() const { return corruptChecking_; }
+
     const StoreQueue &storeQueue() const { return sq_; }
     const LoadQueue &loadQueue() const { return lq_; }
     const LsqParams &params() const { return params_; }
@@ -264,6 +283,8 @@ class LsqUnit
      * loops (and their branch setup) entirely in normal runs.
      */
     bool hasObservers_ = false;
+    OrderingOracle *oracle_ = nullptr;
+    bool corruptChecking_ = false;
     Activity activity_;
     StatGroup statGroup_;
 };

@@ -7,6 +7,7 @@
 #include "lsq/policy/dependence_policy.hh"
 
 #include "common/logging.hh"
+#include "verify/ordering_oracle.hh"
 
 namespace dmdc
 {
@@ -110,6 +111,10 @@ DependencePolicy::ghostCheck(DynInst *store)
         victim->ghostViolatingStore = store->seq;
         if (!store->wrongPath && !victim->wrongPath)
             ++activity().trueViolationsDetected;
+        // File the ground truth so the oracle can cross-check any
+        // later policy-claimed violation for this victim.
+        if (oracle_)
+            oracle_->groundTruthViolation(victim->seq, store->seq);
     }
     return victim;
 }

@@ -32,6 +32,7 @@ namespace dmdc
 
 struct CoreParams;
 struct EnergyBreakdown;
+class OrderingOracle;
 
 /**
  * Services the owning LSQ unit provides to its policy: the load queue
@@ -134,6 +135,31 @@ class DependencePolicy
      */
     virtual void idleTicks(std::uint64_t n);
 
+    // ---- verification contract (--check ordering oracle) ----
+
+    /**
+     * Attach (or detach with nullptr) the ordering oracle. Ground
+     * truth found by ghostCheck() is cross-filed with the oracle so
+     * it can verify every policy-claimed violation.
+     */
+    void setOracle(OrderingOracle *oracle) { oracle_ = oracle; }
+
+    /**
+     * Whether this policy replays loads made stale by delivered
+     * invalidations (the paper's coherence extension). Policies that
+     * return true are held to the oracle's external forbidden-outcome
+     * rule (write serialization); the rest only have stale commits
+     * counted.
+     */
+    virtual bool enforcesCoherenceOrder() const { return false; }
+
+    /**
+     * Whether safe loads (DynInst::safeLoad) skip this policy's
+     * commit-time probe — their stale commits are architecturally
+     * permitted and exempt from the external rule.
+     */
+    virtual bool exemptsSafeLoads() const { return false; }
+
     // ---- introspection ----
 
     /**
@@ -174,6 +200,7 @@ class DependencePolicy
   private:
     std::string name_;
     PolicyServices services_;
+    OrderingOracle *oracle_ = nullptr;
 };
 
 } // namespace dmdc

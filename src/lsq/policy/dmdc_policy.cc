@@ -101,6 +101,18 @@ class DmdcPolicy : public DependencePolicy
         return engine_.get();
     }
 
+    bool
+    enforcesCoherenceOrder() const override
+    {
+        return engine_->params().coherence;
+    }
+
+    bool
+    exemptsSafeLoads() const override
+    {
+        return engine_->params().safeLoads;
+    }
+
     void
     accountEnergy(const PolicyEnergyContext &ctx,
                   EnergyBreakdown &e) const override

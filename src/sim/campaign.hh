@@ -39,7 +39,7 @@ std::vector<SimResult> runSuite(const SimOptions &base,
  * Run an explicit campaign on the global runner, marking degraded
  * result slots invalid and feeding the process-wide degradation
  * counter behind harnessExitCode(). The bench harnesses call this
- * instead of CampaignRunner::run() (deprecated, fatal()s).
+ * instead of touching the runner directly.
  */
 CampaignResult runCampaignChecked(const std::vector<SimOptions> &runs,
                                   bool verbose = false);

@@ -463,6 +463,15 @@ struct JournalRecord
     std::string error;    ///< empty when ok
     unsigned attempts;
     unsigned shard;
+
+    // Oracle verdict of a checked run ("off" otherwise). Emitted only
+    // in the non-deterministic journal: --check=off journals must stay
+    // byte-identical to pre-oracle ones, and checked runs are excluded
+    // from the deterministic format by construction (uncacheable).
+    std::string checkMode = "off";
+    std::uint64_t oracleLoads = 0;
+    std::uint64_t oracleStale = 0;
+    std::uint64_t oracleForbidden = 0;
 };
 
 struct Journal
@@ -503,7 +512,9 @@ appendJournal(const SimResult &r, const RunOutcome &oc)
         ? static_cast<double>(r.cycles) / oc.wallMs : 0.0;
     j.records.push_back({r.benchmark, r.scheme, r.configLevel, r.ipc,
                          r.cycles, oc.wallMs, sim_khz, oc.cached,
-                         oc.status, "", "", oc.attempts, oc.shard});
+                         oc.status, "", "", oc.attempts, oc.shard,
+                         r.checkMode, r.oracleLoadsChecked,
+                         r.oracleStaleCommits, r.oracleForbidden});
 }
 
 void
@@ -516,7 +527,8 @@ appendJournalFailure(const SimOptions &opt, const RunOutcome &oc)
     j.records.push_back({opt.benchmark, opt.scheme, opt.configLevel,
                          0.0, 0, oc.wallMs, 0.0, false, oc.status,
                          runErrorCategoryName(oc.category), oc.error,
-                         oc.attempts, oc.shard});
+                         oc.attempts, oc.shard,
+                         checkModeName(opt.check), 0, 0, 0});
 }
 
 /**
@@ -651,6 +663,12 @@ flushCampaignJournal()
                << ",\"wall_ms\":" << doubleToken(rec.wallMs)
                << ",\"sim_khz\":" << doubleToken(rec.simKhz)
                << ",\"cached\":" << (rec.cached ? "true" : "false");
+            if (rec.checkMode != "off") {
+                os << ",\"check\":\"" << rec.checkMode
+                   << "\",\"oracle_loads\":" << rec.oracleLoads
+                   << ",\"oracle_stale\":" << rec.oracleStale
+                   << ",\"oracle_forbidden\":" << rec.oracleForbidden;
+            }
             if (j.sharded)
                 os << ",\"shard\":" << rec.shard;
             os << '}';
@@ -709,7 +727,11 @@ campaignInterruptRequested()
 bool
 cacheableOptions(const SimOptions &opt)
 {
-    return opt.observers.empty() && !opt.tweak;
+    // Checked runs are deliberately uncacheable in both directions: a
+    // cache hit would skip the simulation the oracle exists to verify,
+    // and a checked result must never masquerade as a plain one.
+    return opt.observers.empty() && !opt.tweak &&
+        opt.check == CheckMode::Off && opt.coherenceAgent.empty();
 }
 
 const std::string &
@@ -803,9 +825,27 @@ CampaignRunner::storeToDisk(const std::string &key, const SimResult &r)
 }
 
 CampaignResult
-CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
+CampaignRunner::runChecked(const std::vector<SimOptions> &runs_in,
                            bool verbose)
 {
+    // Materialize the campaign-wide --check/--agent override before
+    // anything looks at the options: classification, fingerprints,
+    // checkpoints and journaling must all see the checked options.
+    std::vector<SimOptions> checked_runs;
+    const std::vector<SimOptions> *run_list = &runs_in;
+    if (config_.checkMode != CheckMode::Off ||
+        !config_.coherenceAgent.empty()) {
+        checked_runs = runs_in;
+        for (SimOptions &o : checked_runs) {
+            if (o.check == CheckMode::Off)
+                o.check = config_.checkMode;
+            if (o.coherenceAgent.empty())
+                o.coherenceAgent = config_.coherenceAgent;
+        }
+        run_list = &checked_runs;
+    }
+    const std::vector<SimOptions> &runs = *run_list;
+
     RunnerTrace &rt = runnerTrace();
     TraceSpan campaign_span(rt.cat, rt.campaign);
     const auto t0 = Clock::now();
@@ -1270,36 +1310,6 @@ CampaignRunner::runChecked(const std::vector<SimOptions> &runs,
         }
     }
     return cr;
-}
-
-std::vector<SimResult>
-CampaignRunner::run(const std::vector<SimOptions> &runs, bool verbose)
-{
-    CampaignResult cr = runChecked(runs, verbose);
-    if (!cr.allOk()) {
-        std::size_t bad = 0;
-        const RunOutcome *first = nullptr;
-        std::size_t first_index = 0;
-        for (std::size_t i = 0; i < cr.outcomes.size(); ++i) {
-            if (!cr.outcomes[i].ok() && cr.outcomes[i].inShard()) {
-                ++bad;
-                if (!first) {
-                    first = &cr.outcomes[i];
-                    first_index = i;
-                }
-            }
-        }
-        // Persist the failure manifest before exiting so the journal
-        // survives for post-mortems and --resume.
-        flushCampaignJournal();
-        fatal("campaign: %zu of %zu runs failed; first: %s/%s (%s: "
-              "%s); surviving runs are cached, rerun to resume",
-              bad, runs.size(), runs[first_index].benchmark.c_str(),
-              runs[first_index].scheme.c_str(),
-              runErrorCategoryName(first->category),
-              first->error.c_str());
-    }
-    return std::move(cr.results);
 }
 
 SimResult

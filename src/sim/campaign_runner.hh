@@ -117,6 +117,17 @@ struct CampaignConfig
      */
     std::size_t quarantineMaxEntries = 32;
     std::uint64_t quarantineMaxBytes = 8ull * 1024 * 1024;
+
+    /**
+     * Campaign-wide verification override (--check): materialized
+     * into every run's SimOptions (that doesn't already ask for
+     * checking itself) before classification. Checked runs always
+     * simulate — they bypass the run cache in both directions — so
+     * the oracle actually re-executes every pipeline.
+     */
+    CheckMode checkMode = CheckMode::Off;
+    /** Campaign-wide coherence-agent spec (--agent), same contract. */
+    std::string coherenceAgent;
 };
 
 /** Execution accounting of the most recent campaign. */
@@ -193,27 +204,13 @@ class CampaignRunner
     explicit CampaignRunner(CampaignConfig config = {});
 
     /**
-     * Execute every run in @p runs and return results in the same
-     * order. Identical to running runSimulation() serially per
-     * element, but parallel and memoized. @p verbose prints one
-     * inform() line per completed run plus a campaign summary line.
-     *
-     * Degradation contract: individual run failures never abort the
-     * campaign mid-flight — every surviving run completes and is
-     * cached — but this legacy entry point then fatal()s with a
-     * summary.
-     *
-     * @deprecated Every harness now renders degraded cells from
-     * runChecked()'s RunOutcomes instead of dying; new callers must
-     * not introduce the fatal() path again.
-     */
-    [[deprecated("use runChecked(); run() fatal()s on any failure")]]
-    std::vector<SimResult> run(const std::vector<SimOptions> &runs,
-                               bool verbose = false);
-
-    /**
-     * Like run(), but reports per-run RunOutcomes instead of
-     * fatal()ing: the caller decides what a failed run means.
+     * Execute every run in @p runs and report results plus per-run
+     * RunOutcomes in the same order. Identical to running
+     * runSimulation() serially per element, but parallel and
+     * memoized; the caller decides what a failed run means. (The
+     * former run() entry point, which fatal()ed on any failure, is
+     * gone — every harness renders degraded cells from the
+     * RunOutcomes instead of dying.)
      */
     CampaignResult runChecked(const std::vector<SimOptions> &runs,
                               bool verbose = false);

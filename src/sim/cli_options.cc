@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "verify/check_mode.hh"
+#include "verify/coherence_agent.hh"
 
 namespace dmdc
 {
@@ -354,6 +356,13 @@ CampaignCliOptions::addTo(CliParser &parser)
                  "Chrome trace-event JSON path (default trace.json)");
     parser.value("trace-buffer", &trace.bufferRecords,
                  "per-thread trace ring capacity, records");
+    parser.value("check", &checkText,
+                 "commit-time verification: off (default), oracle, "
+                 "or litmus (oracle + scripted coherence agent)");
+    parser.value("agent", &agentText,
+                 "coherence-agent spec for checked runs "
+                 "(producer-consumer|lock-handoff|false-sharing|mixed"
+                 "[:period=N])");
 }
 
 bool
@@ -378,6 +387,23 @@ CampaignCliOptions::finalize(std::string &err)
     }
     if (!traceOutText.empty())
         trace.outPath = traceOutText;
+    if (!checkText.empty() &&
+        !parseCheckMode(checkText, config.checkMode)) {
+        err = "--check expects off, oracle or litmus, got '" +
+              checkText + "'";
+        return false;
+    }
+    if (!agentText.empty()) {
+        std::string agent_err;
+        if (!CoherenceAgent::validateSpec(agentText, &agent_err)) {
+            err = "--agent: " + agent_err;
+            return false;
+        }
+        config.coherenceAgent = agentText;
+        // A scripted agent only runs under the oracle's eye.
+        if (config.checkMode == CheckMode::Off)
+            config.checkMode = CheckMode::Litmus;
+    }
     return true;
 }
 

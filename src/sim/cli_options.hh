@@ -162,6 +162,8 @@ struct CampaignCliOptions
     bool noCache = false;         ///< --no-cache
     TraceOptions trace;           ///< --trace / --trace-out / --trace-buffer
     std::string traceOutText;     ///< raw --trace-out value
+    std::string checkText;        ///< raw --check value
+    std::string agentText;        ///< raw --agent value
 
     /** Register the shared flags on @p parser. */
     void addTo(CliParser &parser);

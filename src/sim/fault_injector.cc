@@ -66,11 +66,13 @@ applyItem(FaultSpec &spec, const std::string &item, std::string &err)
         spec.frameTruncateP = p;
     else if (site == "client-stall")
         spec.clientStallP = p;
+    else if (site == "lsq-corrupt")
+        spec.lsqCorruptP = p;
     else {
         err = "unknown fault site '" + site +
             "' (sites: cache-corrupt, run-throw, run-hang, "
             "worker-crash, worker-hang, serve-crash, frame-truncate, "
-            "client-stall)";
+            "client-stall, lsq-corrupt)";
         return false;
     }
     return true;
@@ -186,6 +188,12 @@ bool
 FaultInjector::injectClientStall(const std::string &identity) const
 {
     return decide("client-stall", identity, 0, spec_.clientStallP);
+}
+
+bool
+FaultInjector::injectLsqCorrupt(const std::string &key) const
+{
+    return decide("lsq-corrupt", key, 0, spec_.lsqCorruptP);
 }
 
 } // namespace dmdc

@@ -28,6 +28,11 @@
  *                 drops the connection (torn-frame chaos for clients)
  *   client-stall  the client pauses between sending a request and
  *                 reading the reply, modelling a slow consumer
+ *   lsq-corrupt   silently weaken the LSQ's dependence checking for
+ *                 the run (drop detected violations and commit-time
+ *                 replays): the --check ordering oracle must report
+ *                 the resulting forbidden outcomes, proving it would
+ *                 catch a real checking bug
  *
  * The serve-crash site follows the worker-* progress rule: it fires
  * only after a freshly simulated run has been cached and its finish
@@ -64,6 +69,7 @@ struct FaultSpec
     double serveCrashP = 0.0;
     double frameTruncateP = 0.0;
     double clientStallP = 0.0;
+    double lsqCorruptP = 0.0;
     std::uint64_t seed = 0;
 
     bool
@@ -72,7 +78,8 @@ struct FaultSpec
         return cacheCorruptP > 0.0 || runThrowP > 0.0 ||
             runHangP > 0.0 || workerCrashP > 0.0 ||
             workerHangP > 0.0 || serveCrashP > 0.0 ||
-            frameTruncateP > 0.0 || clientStallP > 0.0;
+            frameTruncateP > 0.0 || clientStallP > 0.0 ||
+            lsqCorruptP > 0.0;
     }
 };
 
@@ -138,6 +145,11 @@ class FaultInjector
     /** Stall the client between sending the request identified by
      *  @p identity and reading its reply? */
     bool injectClientStall(const std::string &identity) const;
+
+    /** Silently weaken the LSQ checking of the run identified by
+     *  @p key? (Per-run: the corruption, like a real checking bug,
+     *  reproduces on retry.) */
+    bool injectLsqCorrupt(const std::string &key) const;
 
   private:
     bool decide(const char *site, const std::string &key,

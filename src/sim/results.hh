@@ -73,6 +73,16 @@ struct SimResult
 
     EnergyBreakdown energy;
 
+    // Ordering-oracle verdict (all zero unless the run had --check).
+    /** checkModeName() of the mode the run executed under. */
+    std::string checkMode = "off";
+    std::uint64_t oracleLoadsChecked = 0;
+    std::uint64_t oracleStaleCommits = 0;
+    /** Local + external + bogus-claim forbidden outcomes. */
+    std::uint64_t oracleForbidden = 0;
+    /** Invalidations delivered by the scripted coherence agent. */
+    std::uint64_t agentInvalidations = 0;
+
     /** Events per million committed instructions. */
     double
     perMInst(double count) const

@@ -17,6 +17,8 @@
 #include "sim/invalidation.hh"
 #include "sim/run_error.hh"
 #include "trace/spec_suite.hh"
+#include "verify/coherence_agent.hh"
+#include "verify/ordering_oracle.hh"
 
 namespace dmdc
 {
@@ -92,6 +94,12 @@ validateSimOptions(const SimOptions &opt)
         configError("invalidation rate must be finite and >= 0");
     if (!std::isfinite(opt.timeoutMs) || opt.timeoutMs < 0.0)
         configError("run timeout must be finite and >= 0");
+    if (!opt.coherenceAgent.empty()) {
+        std::string err;
+        if (!CoherenceAgent::validateSpec(opt.coherenceAgent, &err))
+            configError("bad coherence-agent spec '" +
+                        opt.coherenceAgent + "': " + err);
+    }
 }
 
 Simulator::Simulator(const SimOptions &options) : options_(options)
@@ -117,6 +125,29 @@ Simulator::Simulator(const SimOptions &options) : options_(options)
     pipe_ = std::make_unique<Pipeline>(params_, *workload_);
     for (FilterObserver *obs : options_.observers)
         pipe_->addFilterObserver(obs);
+
+    // --check=litmus means oracle + scripted coherence traffic; the
+    // mixed rotation is the default when no family was named.
+    if (options_.check == CheckMode::Litmus &&
+        options_.coherenceAgent.empty())
+        options_.coherenceAgent = "mixed";
+    if (options_.check != CheckMode::Off) {
+        OrderingOracle::Params op;
+        op.lineBytes = params_.mem.l1d.lineBytes;
+        oracle_ = std::make_unique<OrderingOracle>(op);
+        // attachOracle -> LsqUnit::setOracle fills in the policy
+        // contract (enforceExternal / exemptSafeLoads).
+        pipe_->attachOracle(oracle_.get());
+    }
+
+    // Deterministic chaos: silently weaken the policy's checking so
+    // CI can prove the oracle catches real miscompares. Same
+    // fingerprint shape as the run-hang site.
+    std::ostringstream corrupt_fp;
+    corrupt_fp << options_.benchmark << '|' << params_.lsq.policy
+               << '|' << options_.configLevel;
+    if (FaultInjector::global().injectLsqCorrupt(corrupt_fp.str()))
+        pipe_->lsq().corruptChecking();
 }
 
 Simulator::~Simulator() = default;
@@ -137,6 +168,28 @@ Simulator::run()
         Addr{0x10000000}, Addr{1} << inv_region_log2,
         params_.mem.l1d.lineBytes,
         wp.seed ^ 0xfeedbeefull);
+
+    // A scripted coherence agent (litmus runs) replaces the random
+    // injector outright: its traffic targets the workload's actual
+    // footprint so deliveries collide with in-flight loads.
+    std::unique_ptr<CoherenceAgent> agent;
+    if (!options_.coherenceAgent.empty())
+        agent = std::make_unique<CoherenceAgent>(
+            options_.coherenceAgent, Addr{0x10000000},
+            Addr{1} << wp.footprintLog2, params_.mem.l1d.lineBytes,
+            wp.seed ^ 0x5ca1ab1eull);
+    auto ext_tick = [&] {
+        if (agent)
+            agent->tick(*pipe_);
+        else
+            injector.tick(*pipe_);
+    };
+    auto ext_injected = [&] {
+        return agent ? agent->injected() : injector.injected();
+    };
+    auto ext_active = [&] {
+        return agent ? agent->active() : injector.active();
+    };
 
     // ---- watchdogs ----
     //
@@ -181,10 +234,10 @@ Simulator::run()
         std::uint64_t stall_cycles = 0;
         while (pipe_->committed() < target || hang_injected) {
             unsigned progress = 0;
-            const std::uint64_t injected_before = injector.injected();
+            const std::uint64_t injected_before = ext_injected();
             if (!hang_injected) {
                 progress = pipe_->tick();
-                injector.tick(*pipe_);
+                ext_tick();
             }
             if (hang_injected || pipe_->committed() == last_committed) {
                 if (stall_limit && ++stall_cycles > stall_limit)
@@ -204,7 +257,7 @@ Simulator::run()
             // Event-driven idle skip: after an empty tick with no
             // injection, jump to just before the next pipeline event.
             if (!hang_injected && progress == 0 &&
-                injector.injected() == injected_before &&
+                ext_injected() == injected_before &&
                 pipe_->committed() < target) {
                 const Cycle wake = pipe_->nextEventCycle();
                 Cycle n = wake > pipe_->now() + 1
@@ -215,17 +268,18 @@ Simulator::run()
                 if (stall_limit && n > stall_limit - stall_cycles)
                     n = stall_limit - stall_cycles;
                 if (n > 0) {
-                    if (injector.active()) {
-                        // Bulk skipping would perturb the injector's
-                        // per-cycle RNG stream: replay it cycle by
-                        // cycle, and stop skipping the moment it
-                        // injects (the pipeline is no longer idle).
+                    if (ext_active()) {
+                        // Bulk skipping would perturb the source's
+                        // per-cycle state (RNG stream or script
+                        // phase): replay it cycle by cycle, and stop
+                        // skipping the moment it injects (the
+                        // pipeline is no longer idle).
                         Cycle skipped = 0;
                         while (skipped < n) {
                             pipe_->skipIdleCycles(1);
                             ++skipped;
-                            injector.tick(*pipe_);
-                            if (injector.injected() != injected_before)
+                            ext_tick();
+                            if (ext_injected() != injected_before)
                                 break;
                         }
                         stall_cycles += skipped;
@@ -334,6 +388,24 @@ Simulator::run()
 
     EnergyModel energy_model(params_);
     r.energy = energy_model.compute(*pipe_);
+
+    // ---- verdict ----
+    r.checkMode = checkModeName(options_.check);
+    if (agent)
+        r.agentInvalidations = agent->injected();
+    if (oracle_) {
+        const OracleCounters &oc = oracle_->counters();
+        r.oracleLoadsChecked = oc.loadsChecked;
+        r.oracleStaleCommits = oc.staleCommits;
+        r.oracleForbidden = oc.forbidden();
+        // A forbidden outcome is a simulator-invariant failure: the
+        // run produced results, but they are untrustworthy.
+        if (oracle_->failed())
+            throw RunError(RunErrorCategory::SimInvariant,
+                           "ordering oracle: " + oracle_->firstFailure() +
+                               " (benchmark " + options_.benchmark +
+                               ", scheme " + params_.lsq.policy + ")");
+    }
     return r;
 }
 

@@ -16,6 +16,7 @@
 #include "lsq/lsq_unit.hh"
 #include "sim/results.hh"
 #include "trace/synthetic.hh"
+#include "verify/check_mode.hh"
 
 namespace dmdc
 {
@@ -84,6 +85,25 @@ struct SimOptions
      * embedding code can trace one run without touching globals.
      */
     TraceOptions trace;
+
+    // ---- verification (never part of the run-cache key: checked
+    // runs bypass the cache entirely, and --check=off journals must
+    // stay byte-identical to pre-oracle runs) ----
+
+    /**
+     * Commit-time verification. Oracle attaches the ordering oracle;
+     * Litmus additionally swaps the random invalidation injector for
+     * a scripted coherence agent (coherenceAgent, default "mixed").
+     * A forbidden outcome makes run() throw RunError(SimInvariant).
+     */
+    CheckMode check = CheckMode::Off;
+
+    /**
+     * Scripted coherence-agent spec ("producer-consumer",
+     * "lock-handoff", "false-sharing", "mixed", each optionally
+     * ":period=<cycles>"). Empty = random injector (or none).
+     */
+    std::string coherenceAgent;
 };
 
 /**
@@ -94,6 +114,8 @@ struct SimOptions
  * structured error instead of a fatal() deep inside construction.
  */
 void validateSimOptions(const SimOptions &options);
+
+class OrderingOracle;
 
 /** One fully-owned simulation instance. */
 class Simulator
@@ -110,11 +132,15 @@ class Simulator
     SyntheticWorkload &workload() { return *workload_; }
     const CoreParams &coreParams() const { return params_; }
 
+    /** The attached ordering oracle (nullptr with --check=off). */
+    const OrderingOracle *oracle() const { return oracle_.get(); }
+
   private:
     SimOptions options_;
     CoreParams params_;
     std::unique_ptr<SyntheticWorkload> workload_;
     std::unique_ptr<Pipeline> pipe_;
+    std::unique_ptr<OrderingOracle> oracle_;
 };
 
 /** Convenience wrapper: construct, run, return. */

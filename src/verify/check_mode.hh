@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CheckMode — the --check= verification switch.
+ *
+ * Lives in its own tiny header so sim-layer option structs can name the
+ * mode without pulling in the oracle implementation.
+ */
+
+#ifndef DMDC_VERIFY_CHECK_MODE_HH
+#define DMDC_VERIFY_CHECK_MODE_HH
+
+#include <string>
+
+namespace dmdc
+{
+
+/** Commit-time verification mode for a run. */
+enum class CheckMode
+{
+    Off,    ///< no oracle; zero overhead (the default)
+    Oracle, ///< ordering oracle attached, workload unchanged
+    /** Oracle attached and the random invalidation injector replaced
+     *  by a scripted coherence agent (default family "mixed"). */
+    Litmus,
+};
+
+/** Stable lower-case name, as used by --check= and journals. */
+inline const char *
+checkModeName(CheckMode m)
+{
+    switch (m) {
+      case CheckMode::Off:    return "off";
+      case CheckMode::Oracle: return "oracle";
+      case CheckMode::Litmus: return "litmus";
+    }
+    return "?";
+}
+
+/** Parse a checkModeName() spelling; false when unrecognized. */
+inline bool
+parseCheckMode(const std::string &text, CheckMode &out)
+{
+    for (CheckMode m : {CheckMode::Off, CheckMode::Oracle,
+                        CheckMode::Litmus}) {
+        if (text == checkModeName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace dmdc
+
+#endif // DMDC_VERIFY_CHECK_MODE_HH

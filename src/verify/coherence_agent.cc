@@ -1,0 +1,170 @@
+/**
+ * @file
+ * CoherenceAgent implementation.
+ */
+
+#include "verify/coherence_agent.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/pipeline.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+/** Cycles each family runs before Mixed rotates to the next. */
+constexpr Cycle kMixedSlice = 4096;
+
+bool
+parseSpec(const std::string &spec, AgentFamily &family,
+          std::uint64_t &period, std::string *error)
+{
+    std::string name = spec;
+    period = 0;
+    const std::string::size_type colon = spec.find(':');
+    if (colon != std::string::npos) {
+        name = spec.substr(0, colon);
+        const std::string opt = spec.substr(colon + 1);
+        const std::string key = "period=";
+        if (opt.compare(0, key.size(), key) != 0) {
+            if (error)
+                *error = "unknown agent option '" + opt +
+                         "' (expected period=<cycles>)";
+            return false;
+        }
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(opt.c_str() + key.size(), &end, 10);
+        if (end == opt.c_str() + key.size() || *end != '\0' || v == 0) {
+            if (error)
+                *error = "bad agent period '" + opt + "'";
+            return false;
+        }
+        period = v;
+    }
+
+    if (name == "producer-consumer") {
+        family = AgentFamily::ProducerConsumer;
+    } else if (name == "lock-handoff") {
+        family = AgentFamily::LockHandoff;
+    } else if (name == "false-sharing") {
+        family = AgentFamily::FalseSharing;
+    } else if (name == "mixed") {
+        family = AgentFamily::Mixed;
+    } else {
+        if (error)
+            *error = "unknown coherence agent '" + name +
+                     "' (choose producer-consumer, lock-handoff, "
+                     "false-sharing or mixed)";
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t
+defaultPeriod(AgentFamily family)
+{
+    switch (family) {
+      case AgentFamily::ProducerConsumer: return 400;
+      case AgentFamily::LockHandoff:      return 600;
+      case AgentFamily::FalseSharing:     return 64;
+      case AgentFamily::Mixed:            return 0; // per-family
+    }
+    return 400;
+}
+
+} // namespace
+
+bool
+CoherenceAgent::validateSpec(const std::string &spec,
+                             std::string *error)
+{
+    AgentFamily family;
+    std::uint64_t period;
+    return parseSpec(spec, family, period, error);
+}
+
+CoherenceAgent::CoherenceAgent(const std::string &spec, Addr data_base,
+                               Addr data_size, unsigned line_bytes,
+                               std::uint64_t seed)
+    : base_(data_base), lineBytes_(line_bytes), rng_(seed)
+{
+    std::string error;
+    if (!parseSpec(spec, family_, period_, &error))
+        fatal("--agent=%s: %s", spec.c_str(), error.c_str());
+    sizeMask_ = (data_size ? data_size : lineBytes_) - 1;
+}
+
+Addr
+CoherenceAgent::line(Addr index) const
+{
+    return base_ + ((index * lineBytes_) & sizeMask_ &
+                    ~Addr{lineBytes_ - 1});
+}
+
+void
+CoherenceAgent::deliver(Pipeline &pipe, Addr addr)
+{
+    pipe.externalInvalidation(addr);
+    ++injected_;
+}
+
+void
+CoherenceAgent::tickFamily(Pipeline &pipe, AgentFamily family,
+                           Cycle phase)
+{
+    switch (family) {
+      case AgentFamily::ProducerConsumer: {
+        // The remote producer writes a payload block, then publishes a
+        // flag; the consumer (this core) sees the payload lines
+        // invalidated first and the flag line last.
+        if (phase == 0)
+            ++iteration_;
+        const Addr group = iteration_ * 5;  // rotate payload block
+        if (phase == 0 || phase == 8 || phase == 16 || phase == 24)
+            deliver(pipe, line(group + phase / 8));
+        else if (phase == 48)
+            deliver(pipe, line(group + 4));  // the flag
+        break;
+      }
+      case AgentFamily::LockHandoff: {
+        // A contended lock: a burst of remote acquire/release writes
+        // to one lock line, then a quiet critical section.
+        if (phase < 32 && phase % 4 == 0)
+            deliver(pipe, line(0));
+        break;
+      }
+      case AgentFamily::FalseSharing: {
+        // Two cores ping-pong disjoint variables in one hot line:
+        // steady invalidations of the same line, forever.
+        if (phase == 0)
+            deliver(pipe, line(1));
+        break;
+      }
+      case AgentFamily::Mixed:
+        break;  // handled by the rotation in tick()
+    }
+}
+
+void
+CoherenceAgent::tick(Pipeline &pipe)
+{
+    AgentFamily family = family_;
+    if (family == AgentFamily::Mixed) {
+        switch ((cycle_ / kMixedSlice) % 3) {
+          case 0: family = AgentFamily::ProducerConsumer; break;
+          case 1: family = AgentFamily::LockHandoff; break;
+          default: family = AgentFamily::FalseSharing; break;
+        }
+    }
+    const std::uint64_t period =
+        period_ ? period_ : defaultPeriod(family);
+    tickFamily(pipe, family, cycle_ % period);
+    ++cycle_;
+}
+
+} // namespace dmdc

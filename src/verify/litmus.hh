@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Litmus harness: a corpus of scripted coherence-traffic scenarios
+ * (producer-consumer handoff, contended lock handoff, false sharing)
+ * run under the ordering oracle against every dependence-checking
+ * scheme. A case passes when the run completes without the oracle
+ * reporting a forbidden outcome; the harness additionally checks that
+ * the scripted traffic actually landed (deliveries were injected), so
+ * a silently inert agent cannot produce a vacuous pass.
+ */
+
+#ifndef DMDC_VERIFY_LITMUS_HH
+#define DMDC_VERIFY_LITMUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmdc
+{
+
+/** One scripted scenario. */
+struct LitmusCase
+{
+    std::string name;      ///< "scheme/family" display identity
+    std::string benchmark; ///< SPEC stand-in driving the core
+    std::string scheme;    ///< dependence-checking scheme under test
+    std::string agent;     ///< coherence-agent spec
+    bool coherence = true; ///< scheme's coherence extension
+    std::uint64_t warmupInsts = 20000;
+    std::uint64_t runInsts = 120000;
+};
+
+/** Outcome of one case. */
+struct LitmusOutcome
+{
+    std::string name;
+    bool passed = false;
+    std::string message;            ///< failure detail ("" on pass)
+    std::uint64_t loadsChecked = 0;
+    std::uint64_t staleCommits = 0;
+    std::uint64_t forbidden = 0;
+    std::uint64_t deliveries = 0;   ///< agent invalidations injected
+};
+
+/**
+ * The built-in corpus: every registered scheme against the mixed
+ * rotation, plus each pure family against the coherence-enforcing
+ * DMDC variants and the conventional baseline.
+ */
+std::vector<LitmusCase> litmusCorpus();
+
+/** Run one case; never throws (failures land in the outcome). */
+LitmusOutcome runLitmusCase(const LitmusCase &c);
+
+/**
+ * Run @p cases (the full corpus when empty) and return the outcomes;
+ * @p on_outcome, when set, is called after each case (progress
+ * reporting).
+ */
+std::vector<LitmusOutcome> runLitmusSuite(
+    const std::vector<LitmusCase> &cases = {},
+    void (*on_outcome)(const LitmusOutcome &) = nullptr);
+
+} // namespace dmdc
+
+#endif // DMDC_VERIFY_LITMUS_HH

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * OrderingOracle implementation.
+ */
+
+#include "verify/ordering_oracle.hh"
+
+#include <sstream>
+
+#include "core/inst.hh"
+
+namespace dmdc
+{
+
+namespace
+{
+
+unsigned
+log2Floor(unsigned v)
+{
+    unsigned s = 0;
+    while ((1u << (s + 1)) <= v)
+        ++s;
+    return s;
+}
+
+} // namespace
+
+OrderingOracle::OrderingOracle(const Params &params)
+    : params_(params),
+      lineShift_(log2Floor(params.lineBytes ? params.lineBytes : 64))
+{
+}
+
+void
+OrderingOracle::setContract(bool enforce_external,
+                            bool exempt_safe_loads)
+{
+    params_.enforceExternal = enforce_external;
+    params_.exemptSafeLoads = exempt_safe_loads;
+}
+
+SeqNum
+OrderingOracle::shadowByte(Addr addr) const
+{
+    auto it = shadow_.find(addr >> 3);
+    if (it == shadow_.end())
+        return invalidSeqNum;
+    return it->second[addr & 7];
+}
+
+std::uint64_t
+OrderingOracle::lineVersion(Addr addr) const
+{
+    auto it = lineVersion_.find(addr >> lineShift_);
+    return it == lineVersion_.end() ? 0 : it->second;
+}
+
+unsigned
+OrderingOracle::clampedSize(const DynInst *inst) const
+{
+    unsigned size = inst->op.memSize;
+    if (size < 1)
+        size = 1;
+    if (size > kMaxBytes)
+        size = kMaxBytes;
+    return size;
+}
+
+void
+OrderingOracle::fail(const std::string &message)
+{
+    if (firstFailure_.empty())
+        firstFailure_ = message;
+}
+
+void
+OrderingOracle::loadObserved(const DynInst *load)
+{
+    const Addr addr = load->op.effAddr;
+    const unsigned size = clampedSize(load);
+
+    LoadRecord rec;
+    for (unsigned i = 0; i < size; ++i)
+        rec.snapshot[i] = shadowByte(addr + i);
+    for (unsigned i = size; i < kMaxBytes; ++i)
+        rec.snapshot[i] = invalidSeqNum;
+    rec.verFirst = lineVersion(addr);
+    rec.verLast = lineVersion(addr + size - 1);
+    inflight_[load->seq] = rec;
+}
+
+void
+OrderingOracle::storeCommitted(const DynInst *store)
+{
+    const Addr addr = store->op.effAddr;
+    const unsigned size = clampedSize(store);
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr b = addr + i;
+        auto &chunk =
+            shadow_.try_emplace(b >> 3,
+                                std::array<SeqNum, quadWordBytes>{})
+                .first->second;
+        chunk[b & 7] = store->seq;
+    }
+    ++counters_.storesApplied;
+}
+
+void
+OrderingOracle::loadCommitted(const DynInst *load, bool exempt_replay)
+{
+    groundTruth_.erase(load->seq);
+
+    auto it = inflight_.find(load->seq);
+    if (it == inflight_.end()) {
+        ++counters_.forbiddenLocal;
+        std::ostringstream os;
+        os << "oracle: load seq " << load->seq
+           << " committed without an observed value";
+        fail(os.str());
+        return;
+    }
+    const LoadRecord rec = it->second;
+    inflight_.erase(it);
+    ++counters_.loadsChecked;
+
+    const Addr addr = load->op.effAddr;
+    const unsigned size = clampedSize(load);
+    const bool forwarded = load->forwardedFrom != invalidSeqNum;
+
+    // ---- local rule: value source vs committed program order ----
+    // Commit is in order, so the shadow now holds the youngest older
+    // committed writer of every byte; the load's value must have come
+    // from exactly that writer (no exemptions — a replay-guard
+    // re-commit re-read memory with every older store already
+    // committed, so it too must match).
+    for (unsigned i = 0; i < size; ++i) {
+        const SeqNum expect = shadowByte(addr + i);
+        const SeqNum got = forwarded ? load->forwardedFrom
+                                     : rec.snapshot[i];
+        if (expect != got) {
+            ++counters_.forbiddenLocal;
+            std::ostringstream os;
+            os << "oracle: forbidden local outcome: load seq "
+               << load->seq << " addr 0x" << std::hex << addr
+               << std::dec << "+" << i << " committed value from "
+               << (forwarded ? "forwarding store " : "writer ")
+               << got << " but program order requires writer "
+               << expect;
+            fail(os.str());
+            return;
+        }
+    }
+
+    // ---- external rule: version-stamped coherence order ----
+    // Forwarded loads took their value from this core's own store
+    // stream, so external staleness does not apply.
+    if (forwarded)
+        return;
+    const std::uint64_t cur_first = lineVersion(addr);
+    const std::uint64_t cur_last = lineVersion(addr + size - 1);
+    const bool stale =
+        rec.verFirst < cur_first || rec.verLast < cur_last;
+    if (!stale)
+        return;
+    ++counters_.staleCommits;
+
+    const bool exempt =
+        exempt_replay || (params_.exemptSafeLoads && load->safeLoad);
+    if (exempt) {
+        ++counters_.exemptStale;
+        return;
+    }
+    if (!params_.enforceExternal)
+        return;
+
+    // Write serialization (paper Sec. 4.3): each delivered
+    // invalidation re-arms every 2-byte chunk of the line for exactly
+    // one stale commit (the INV->WRT promotion); a second stale commit
+    // on a consumed chunk would have hit a WRT bit and replayed.
+    bool over_budget = false;
+    for (Addr c = addr >> 1; c <= (addr + size - 1) >> 1; ++c) {
+        const Addr caddr = c << 1;
+        const std::uint64_t cur = lineVersion(caddr);
+        const std::uint64_t seen =
+            (caddr >> lineShift_) == (addr >> lineShift_)
+                ? rec.verFirst : rec.verLast;
+        if (seen >= cur)
+            continue;  // this chunk's line was not stale
+        auto consumed = staleConsumed_.find(c);
+        if (consumed != staleConsumed_.end() && consumed->second == cur)
+            over_budget = true;
+        else
+            staleConsumed_[c] = cur;
+    }
+    if (over_budget) {
+        ++counters_.forbiddenExternal;
+        std::ostringstream os;
+        os << "oracle: forbidden external outcome: load seq "
+           << load->seq << " addr 0x" << std::hex << addr << std::dec
+           << " committed a second stale value for its line version"
+           << " (write serialization requires a replay)";
+        fail(os.str());
+    }
+}
+
+void
+OrderingOracle::retired(const DynInst &inst)
+{
+    if (inst.seq <= lastRetired_) {
+        ++counters_.forbiddenLocal;
+        std::ostringstream os;
+        os << "oracle: out-of-order retire: seq " << inst.seq
+           << " after seq " << lastRetired_;
+        fail(os.str());
+    }
+    lastRetired_ = inst.seq;
+}
+
+void
+OrderingOracle::squashFrom(SeqNum from_seq)
+{
+    inflight_.erase(inflight_.lower_bound(from_seq), inflight_.end());
+    groundTruth_.erase(groundTruth_.lower_bound(from_seq),
+                       groundTruth_.end());
+}
+
+void
+OrderingOracle::invalidationDelivered(Addr addr)
+{
+    ++lineVersion_[addr >> lineShift_];
+    ++counters_.invalidations;
+}
+
+void
+OrderingOracle::groundTruthViolation(SeqNum victim_seq,
+                                     SeqNum store_seq)
+{
+    groundTruth_[victim_seq] = store_seq;
+}
+
+void
+OrderingOracle::policyClaimedViolation(const DynInst *victim)
+{
+    ++counters_.claimsChecked;
+    if (groundTruth_.count(victim->seq))
+        return;
+    ++counters_.bogusClaims;
+    std::ostringstream os;
+    os << "oracle: policy claimed a true violation for load seq "
+       << victim->seq << " with no ghost ground truth";
+    fail(os.str());
+}
+
+void
+OrderingOracle::policyClaimedViolation(const DynInst *victim,
+                                       const DynInst *store)
+{
+    ++counters_.claimsChecked;
+    if (store->seq < victim->seq && victim->loadIssued &&
+        rangesOverlap(victim->op.effAddr, victim->op.memSize,
+                      store->op.effAddr, store->op.memSize))
+        return;
+    ++counters_.bogusClaims;
+    std::ostringstream os;
+    os << "oracle: policy claimed load seq " << victim->seq
+       << " violated store seq " << store->seq
+       << " but the pair is structurally impossible";
+    fail(os.str());
+}
+
+} // namespace dmdc

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * OrderingOracle — a commit-time memory-ordering checker.
+ *
+ * The oracle keeps a Louvre-style version-stamped shadow memory
+ * (arXiv 1710.10746): a per-byte record of the youngest committed
+ * store, plus a per-cache-line external version bumped at every
+ * delivered invalidation. Each load snapshots, at the cycle it obtains
+ * its value, the shadow writer of every byte it reads and the external
+ * version of the line(s) it touches. When the load later commits, the
+ * oracle replays program order against the snapshot:
+ *
+ *  - **Local rule** (all policies, hard): the value source the load
+ *    committed with — the forwarding store, or the per-byte snapshot —
+ *    must equal the youngest older committed store for every byte.
+ *    Commit is in order, so at load commit the shadow holds exactly
+ *    that; any mismatch means the pipeline retired a load that raced
+ *    an older overlapping store without replaying it.
+ *
+ *  - **External rule** (coherence-enforcing policies): a load whose
+ *    observed line version is behind the commit-time version committed
+ *    stale data. DMDC's write-serialization rule (paper Sec. 4.3)
+ *    permits exactly one such commit per 2-byte chunk per delivered
+ *    invalidation (the INV->WRT promotion); safe loads (when the
+ *    policy exempts them) and replay-guard re-commits are also
+ *    permitted. Anything beyond that is a forbidden outcome: the real
+ *    mechanism would have replayed it, so its commit proves the
+ *    checking path is broken.
+ *
+ * Every hook sits behind a null-pointer gate in the LSQ/pipeline, so a
+ * run with --check=off pays nothing.
+ */
+
+#ifndef DMDC_VERIFY_ORDERING_ORACLE_HH
+#define DMDC_VERIFY_ORDERING_ORACLE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "core/rob.hh"
+
+namespace dmdc
+{
+
+/** Aggregate verdict counters, surfaced in results and journals. */
+struct OracleCounters
+{
+    std::uint64_t loadsChecked = 0;    ///< committed loads verified
+    std::uint64_t storesApplied = 0;   ///< committed stores shadowed
+    std::uint64_t invalidations = 0;   ///< external deliveries seen
+    /** Committed loads observing a stale external line version
+     *  (counted for every policy; forbidden only past the permitted
+     *  write-serialization allowance on enforcing policies). */
+    std::uint64_t staleCommits = 0;
+    std::uint64_t exemptStale = 0;     ///< safe-load / replay-guard
+    std::uint64_t forbiddenLocal = 0;  ///< program-order violations
+    std::uint64_t forbiddenExternal = 0; ///< write-serialization breaks
+    std::uint64_t claimsChecked = 0;   ///< policy-claimed violations
+    std::uint64_t bogusClaims = 0;     ///< claims with no ground truth
+
+    std::uint64_t forbidden() const
+    {
+        return forbiddenLocal + forbiddenExternal + bogusClaims;
+    }
+};
+
+/** The commit-time ordering oracle. */
+class OrderingOracle : public RetireObserver
+{
+  public:
+    struct Params
+    {
+        unsigned lineBytes = 64;
+        /** Policy contract: stale loads past the write-serialization
+         *  allowance must have been replayed (dmdc-* with coherence). */
+        bool enforceExternal = false;
+        /** Policy contract: safe loads skip the commit probe, so their
+         *  stale commits are architecturally permitted. */
+        bool exemptSafeLoads = false;
+    };
+
+    explicit OrderingOracle(const Params &params);
+
+    /** Adjust the policy contract after the policy is attached. */
+    void setContract(bool enforce_external, bool exempt_safe_loads);
+
+    // ---- pipeline/LSQ hooks (all O(bytes) or O(log inflight)) ----
+
+    /** A load obtained its value this cycle (LsqUnit::loadComplete). */
+    void loadObserved(const DynInst *load);
+
+    /** A store committed and is about to write memory. */
+    void storeCommitted(const DynInst *store);
+
+    /**
+     * A load committed without replay. @p exempt_replay mirrors the
+     * pipeline's replay guard (suppress_replay): the load was already
+     * replayed once and the policy's probe is suppressed.
+     */
+    void loadCommitted(const DynInst *load, bool exempt_replay);
+
+    /** Squash: drop records of every instruction >= @p from_seq. */
+    void squashFrom(SeqNum from_seq);
+
+    /**
+     * ROB retire hook (RetireObserver): asserts commit is a strictly
+     * age-ordered sequence — the premise the local rule rests on.
+     */
+    void retired(const DynInst &inst) override;
+
+    /** An external invalidation was delivered for @p addr's line. */
+    void invalidationDelivered(Addr addr);
+
+    /**
+     * Ground truth from ghostCheck: @p victim_seq prematurely read
+     * data a resolving older store @p store_seq will overwrite.
+     */
+    void groundTruthViolation(SeqNum victim_seq, SeqNum store_seq);
+
+    /**
+     * Cross-check a commit-time claimed true violation (dmdc-style
+     * ReplayClass::trueViolation) against the ghost ground truth
+     * recorded via groundTruthViolation().
+     */
+    void policyClaimedViolation(const DynInst *victim);
+
+    /**
+     * Cross-check a resolve-time claimed violation (an LQ search hit
+     * naming @p victim against the resolving @p store) structurally:
+     * the store must be older, overlapping, and the load issued.
+     */
+    void policyClaimedViolation(const DynInst *victim,
+                                const DynInst *store);
+
+    // ---- verdict ----
+
+    const OracleCounters &counters() const { return counters_; }
+    bool failed() const { return !firstFailure_.empty(); }
+    const std::string &firstFailure() const { return firstFailure_; }
+
+  private:
+    /** Largest access the snapshot covers (quad word). */
+    static constexpr unsigned kMaxBytes = quadWordBytes;
+
+    struct LoadRecord
+    {
+        std::array<SeqNum, kMaxBytes> snapshot;
+        std::uint64_t verFirst = 0; ///< line version, first byte
+        std::uint64_t verLast = 0;  ///< line version, last byte
+    };
+
+    SeqNum shadowByte(Addr addr) const;
+    std::uint64_t lineVersion(Addr addr) const;
+    unsigned clampedSize(const DynInst *inst) const;
+    void fail(const std::string &message);
+
+    Params params_;
+    unsigned lineShift_;
+
+    /** Per-byte youngest committed writer, chunked by quad word. */
+    std::unordered_map<Addr, std::array<SeqNum, quadWordBytes>> shadow_;
+    /** External version per cache line (bumped per delivery). */
+    std::unordered_map<Addr, std::uint64_t> lineVersion_;
+    /** Write-serialization allowance: line version at which a 2-byte
+     *  chunk's single stale commit was consumed. */
+    std::unordered_map<Addr, std::uint64_t> staleConsumed_;
+    /** In-flight observed loads, keyed by seq (squash = erase tail). */
+    std::map<SeqNum, LoadRecord> inflight_;
+    /** Ghost ground truth: victim seq -> violating store seq. */
+    std::map<SeqNum, SeqNum> groundTruth_;
+
+    SeqNum lastRetired_ = invalidSeqNum;
+    OracleCounters counters_;
+    std::string firstFailure_;
+};
+
+} // namespace dmdc
+
+#endif // DMDC_VERIFY_ORDERING_ORACLE_HH

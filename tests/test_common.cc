@@ -6,9 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
+#include <unistd.h>
+
+#include "common/append_log.hh"
+#include "common/atomic_file.hh"
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -220,6 +227,78 @@ TEST(Logging, WarnCountsMessages)
     const auto before = loggedMessageCount(LogLevel::Warn);
     warn("test warning %d", 1);
     EXPECT_EQ(loggedMessageCount(LogLevel::Warn), before + 1);
+}
+
+// ---- durability layer (atomic_file / append_log) ---------------------
+
+/** Restores the durable-sync knob however the test exits. */
+class DurabilityTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { was_ = durableSyncEnabled(); }
+    void TearDown() override { setDurableSync(was_); }
+
+    static std::string
+    tmpPath(const char *leaf)
+    {
+        return (std::filesystem::temp_directory_path() /
+                (std::string("dmdc_durability_") + leaf +
+                 std::to_string(::getpid())))
+            .string();
+    }
+
+  private:
+    bool was_ = true;
+};
+
+TEST_F(DurabilityTest, AtomicWriteFsyncsFileAndDirectory)
+{
+    const std::string path = tmpPath("atomic");
+    setDurableSync(true);
+    const std::uint64_t before = durableSyncCount();
+    ASSERT_TRUE(writeFileAtomic(path, "payload"));
+    // One fsync for the temp file's data, one for the parent
+    // directory's rename entry.
+    EXPECT_GE(durableSyncCount(), before + 2);
+
+    std::ifstream is(path);
+    std::string content;
+    std::getline(is, content);
+    EXPECT_EQ(content, "payload");
+    std::filesystem::remove(path);
+}
+
+TEST_F(DurabilityTest, AppendLogFsyncsTheRecord)
+{
+    const std::string log = tmpPath("log");
+    const std::string lock = log + ".lock";
+    setDurableSync(true);
+    const std::uint64_t before = durableSyncCount();
+    ASSERT_TRUE(appendLogLine(log, lock, "record-1\n"));
+    EXPECT_GE(durableSyncCount(), before + 1);
+    std::filesystem::remove(log);
+    std::filesystem::remove(lock);
+}
+
+TEST_F(DurabilityTest, OptOutSkipsEveryFsync)
+{
+    const std::string path = tmpPath("optout");
+    const std::string log = tmpPath("optout_log");
+    const std::string lock = log + ".lock";
+    setDurableSync(false);
+    const std::uint64_t before = durableSyncCount();
+    ASSERT_TRUE(writeFileAtomic(path, "fast"));
+    ASSERT_TRUE(appendLogLine(log, lock, "fast-record\n"));
+    // Writes still land and renames still publish atomically; only
+    // the fsyncs are skipped.
+    EXPECT_EQ(durableSyncCount(), before);
+    std::ifstream is(path);
+    std::string content;
+    std::getline(is, content);
+    EXPECT_EQ(content, "fast");
+    std::filesystem::remove(path);
+    std::filesystem::remove(log);
+    std::filesystem::remove(lock);
 }
 
 } // namespace

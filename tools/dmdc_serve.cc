@@ -26,6 +26,11 @@
  *     --trace=<channels>    trace channels (comma list or 'all');
  *                           Chrome trace-event JSON written at exit
  *     --trace-out=<path>    trace output path (default trace.json)
+ *     --check=<mode>        off | oracle | litmus: run every accepted
+ *                           campaign under the commit-time ordering
+ *                           oracle (checked runs bypass the cache)
+ *     --agent=<spec>        scripted coherence-agent family for
+ *                           checked runs (implies --check=litmus)
  *
  * Clients (dmdc_client) submit campaigns as JSON run lists; the
  * daemon multiplexes every campaign onto one shared work-stealing
@@ -49,6 +54,8 @@
 #include "common/logging.hh"
 #include "sim/cli_options.hh"
 #include "sim/service.hh"
+#include "verify/check_mode.hh"
+#include "verify/coherence_agent.hh"
 
 using namespace dmdc;
 
@@ -119,7 +126,27 @@ main(int argc, char **argv)
               "Chrome trace-event JSON path (default trace.json)");
     cli.value("trace-buffer", &trace_opt.bufferRecords,
               "per-thread trace ring capacity, records");
+    std::string check_text;
+    std::string agent_text;
+    cli.value("check", &check_text,
+              "commit-time verification: off, oracle, or litmus");
+    cli.value("agent", &agent_text,
+              "coherence-agent spec for checked runs");
     cli.parseOrExit(argc, argv);
+
+    if (!check_text.empty() &&
+        !parseCheckMode(check_text, opt.campaign.checkMode)) {
+        cli.failUsage("--check expects off, oracle or litmus, got '" +
+                      check_text + "'");
+    }
+    if (!agent_text.empty()) {
+        std::string agent_err;
+        if (!CoherenceAgent::validateSpec(agent_text, &agent_err))
+            cli.failUsage("--agent: " + agent_err);
+        opt.campaign.coherenceAgent = agent_text;
+        if (opt.campaign.checkMode == CheckMode::Off)
+            opt.campaign.checkMode = CheckMode::Litmus;
+    }
 
     if (!trace_out.empty() && trace_opt.channels.empty())
         cli.failUsage("--trace-out requires --trace=<channels|all>");

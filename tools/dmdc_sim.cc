@@ -41,6 +41,13 @@
  *     --heartbeat=<path>    publish an atomic per-run heartbeat file
  *                           (supervised-worker mode: SIGINT/SIGTERM
  *                           drain gracefully and exit 5)
+ *     --check=<mode>        off | oracle | litmus: attach the
+ *                           commit-time ordering oracle (and, for
+ *                           litmus, a scripted coherence agent) to
+ *                           every run; an oracle failure is a
+ *                           non-transient run failure
+ *     --agent=<spec>        scripted coherence-agent family
+ *                           (implies --check=litmus)
  *
  * Comma-separated --bench / --scheme / --config values select campaign
  * mode: the cross product runs through the fault-isolated campaign
@@ -359,6 +366,13 @@ main(int argc, char **argv)
     }
 
     opt = runs.front();
+    // The campaign runner materializes --check/--agent into each run;
+    // the in-process --stats path below bypasses it, so mirror the
+    // same override here.
+    if (opt.check == CheckMode::Off)
+        opt.check = campaign_cfg.checkMode;
+    if (opt.coherenceAgent.empty())
+        opt.coherenceAgent = campaign_cfg.coherenceAgent;
     // Reject bad machine configurations before simulating, with a
     // usage-style exit code: a typo'd --config/--yla is a command
     // line problem, not a runtime failure.
